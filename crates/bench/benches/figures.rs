@@ -1,0 +1,143 @@
+//! One Criterion group per table/figure of the paper: each benchmarks a
+//! scaled-down instance of the exact code path the experiment harness
+//! runs for that figure (the full-size numbers live in EXPERIMENTS.md,
+//! produced by the `experiments` binary — simulated cycles, not wall
+//! time, are the paper's metric; these benches track the *simulator's*
+//! throughput per figure workload so regressions show up in CI).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lockiller::runner::Runner;
+use lockiller::system::SystemKind;
+use sim_core::config::SystemConfig;
+use stamp::{Scale, Workload, WorkloadKind};
+
+fn run_point(system: SystemKind, workload: WorkloadKind, threads: usize) -> u64 {
+    let mut prog = Workload::with_scale(workload, threads, Scale::Tiny);
+    let stats = Runner::new(system)
+        .threads(threads)
+        .config(SystemConfig::testing(threads.max(2)))
+        .run(&mut prog);
+    stats.cycles
+}
+
+/// Table I/II: configuration construction (sanity-speed of the setup path).
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table01_02_config");
+    g.bench_function("table1_config", |b| b.iter(SystemConfig::table1));
+    g.bench_function("table2_policies", |b| {
+        b.iter(|| SystemKind::ALL.map(|s| s.policy().max_retries))
+    });
+    g.finish();
+}
+
+/// Fig. 1: baseline HTM vs CGL at 2 threads.
+fn bench_fig01(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01_baseline_vs_cgl");
+    g.sample_size(10);
+    for w in [WorkloadKind::Genome, WorkloadKind::Yada] {
+        g.bench_with_input(BenchmarkId::new("baseline", w.name()), &w, |b, &w| {
+            b.iter(|| run_point(SystemKind::Baseline, w, 2))
+        });
+        g.bench_with_input(BenchmarkId::new("cgl", w.name()), &w, |b, &w| {
+            b.iter(|| run_point(SystemKind::Cgl, w, 2))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 7: speedup grid — representative high/low contention points.
+fn bench_fig07(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_speedup_grid");
+    g.sample_size(10);
+    for sys in [SystemKind::Baseline, SystemKind::LockillerRwi, SystemKind::LockillerTm] {
+        g.bench_with_input(
+            BenchmarkId::new("intruder_4t", sys.name()),
+            &sys,
+            |b, &sys| b.iter(|| run_point(sys, WorkloadKind::Intruder, 4)),
+        );
+    }
+    g.finish();
+}
+
+/// Fig. 8: commit-rate comparison across the recovery variants.
+fn bench_fig08(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_commit_rate");
+    g.sample_size(10);
+    for sys in SystemKind::FIG8 {
+        g.bench_with_input(
+            BenchmarkId::new("kmeans_high_4t", sys.name()),
+            &sys,
+            |b, &sys| b.iter(|| run_point(sys, WorkloadKind::KmeansHigh, 4)),
+        );
+    }
+    g.finish();
+}
+
+/// Fig. 9: breakdown systems at the max thread count of the test config.
+fn bench_fig09(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_breakdown32");
+    g.sample_size(10);
+    for sys in [SystemKind::Baseline, SystemKind::LockillerRwi, SystemKind::LockillerRwil] {
+        g.bench_with_input(BenchmarkId::new("vacation_4t", sys.name()), &sys, |b, &sys| {
+            b.iter(|| run_point(sys, WorkloadKind::VacationHigh, 4))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 10/11: abort-cause + 2-thread breakdown systems.
+fn bench_fig10_11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_11_abort_causes");
+    g.sample_size(10);
+    for sys in [SystemKind::Baseline, SystemKind::LockillerRwil, SystemKind::LockillerTm] {
+        g.bench_with_input(BenchmarkId::new("yada_2t", sys.name()), &sys, |b, &sys| {
+            b.iter(|| run_point(sys, WorkloadKind::Yada, 2))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 12: average-speedup sweep (one representative per class).
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_avg_speedup");
+    g.sample_size(10);
+    for sys in [SystemKind::LosaTmSafu, SystemKind::LockillerTm] {
+        g.bench_with_input(BenchmarkId::new("genome_4t", sys.name()), &sys, |b, &sys| {
+            b.iter(|| run_point(sys, WorkloadKind::Genome, 4))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 13: cache-size sensitivity (tiny L1 forces overflow machinery).
+fn bench_fig13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_cache_sensitivity");
+    g.sample_size(10);
+    let tiny_l1 = || {
+        let mut cfg = SystemConfig::testing(2);
+        cfg.mem.l1 = sim_core::config::CacheGeometry { sets: 4, ways: 2 };
+        cfg
+    };
+    for sys in [SystemKind::Baseline, SystemKind::LockillerTm] {
+        g.bench_with_input(BenchmarkId::new("labyrinth_small_l1", sys.name()), &sys, |b, &sys| {
+            b.iter(|| {
+                let mut prog = Workload::with_scale(WorkloadKind::Labyrinth, 2, Scale::Tiny);
+                Runner::new(sys).threads(2).config(tiny_l1()).run(&mut prog).cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_tables,
+    bench_fig01,
+    bench_fig07,
+    bench_fig08,
+    bench_fig09,
+    bench_fig10_11,
+    bench_fig12,
+    bench_fig13
+);
+criterion_main!(figures);

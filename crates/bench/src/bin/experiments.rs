@@ -1,0 +1,114 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--quick] [--verbose] [--csv FILE] [table1|table2|fig1|fig7..fig13|headline|ablation|characterize|all]
+//! ```
+//!
+//! `--quick` runs the reduced thread sweep {2, 8, 32} at Small workload
+//! scale; the default runs {2,4,8,16,32} at Full scale (the numbers
+//! recorded in EXPERIMENTS.md).
+
+use lockiller_bench::experiments as ex;
+use lockiller_bench::lab::Lab;
+use stamp::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let csv_path = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut skip_next = false;
+    let what: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--csv" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .map(|s| s.as_str())
+        .collect();
+    let what = if what.is_empty() { vec!["all"] } else { what };
+
+    let scale = if quick { Scale::Small } else { Scale::Full };
+    let mut lab = Lab::new(scale);
+    lab.verbose = verbose;
+
+    for w in &what {
+        match *w {
+            "table1" => {
+                ex::table1();
+            }
+            "table2" => {
+                ex::table2();
+            }
+            "fig1" => {
+                ex::fig1(&mut lab);
+            }
+            "fig7" => {
+                ex::fig7(&mut lab, quick);
+            }
+            "fig8" => {
+                ex::fig8(&mut lab, quick);
+            }
+            "fig9" => {
+                ex::fig9(&mut lab, quick);
+            }
+            "fig10" => {
+                ex::fig10(&mut lab);
+            }
+            "fig11" => {
+                ex::fig11(&mut lab);
+            }
+            "fig12" => {
+                ex::fig12(&mut lab, quick);
+            }
+            "fig13" => {
+                ex::fig13(&mut lab, quick);
+            }
+            "headline" => {
+                ex::headline(&mut lab, quick);
+            }
+            "ablation" => {
+                lockiller_bench::ablation::run_all(scale);
+            }
+            "characterize" => {
+                ex::characterize(&mut lab);
+            }
+            "plots" => {
+                ex::plots(&mut lab, quick, std::path::Path::new("figures")).expect("write plots");
+            }
+            "all" => {
+                ex::table1();
+                ex::table2();
+                ex::fig1(&mut lab);
+                ex::fig7(&mut lab, quick);
+                ex::fig8(&mut lab, quick);
+                ex::fig9(&mut lab, quick);
+                ex::fig10(&mut lab);
+                ex::fig11(&mut lab);
+                ex::fig12(&mut lab, quick);
+                ex::fig13(&mut lab, quick);
+                ex::headline(&mut lab, quick);
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = csv_path {
+        std::fs::write(&path, lab.dump_csv()).expect("write csv");
+        eprintln!("[csv written to {path}]");
+    }
+    eprintln!("[{} simulation points run]", lab.runs_cached());
+}

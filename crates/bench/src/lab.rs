@@ -1,0 +1,197 @@
+//! Run cache: one simulation per (system, workload, threads, config)
+//! point, memoized so figures sharing points (every speedup figure needs
+//! the CGL baseline) do not re-simulate.
+
+use lockiller::runner::Runner;
+use lockiller::system::SystemKind;
+use sim_core::config::SystemConfig;
+use sim_core::stats::RunStats;
+use stamp::{Scale, Workload, WorkloadKind};
+use std::collections::HashMap;
+
+/// Hardware configuration points used by the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConfigPoint {
+    /// Table I: 32 KB L1 / 8 MB LLC.
+    Typical,
+    /// Fig. 13: 8 KB L1 / 1 MB LLC.
+    SmallCache,
+    /// Fig. 13: 128 KB L1 / 32 MB LLC.
+    LargeCache,
+}
+
+impl ConfigPoint {
+    pub fn config(self) -> SystemConfig {
+        match self {
+            ConfigPoint::Typical => SystemConfig::table1(),
+            ConfigPoint::SmallCache => SystemConfig::small_cache(),
+            ConfigPoint::LargeCache => SystemConfig::large_cache(),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ConfigPoint::Typical => "typical (32KB L1 / 8MB LLC)",
+            ConfigPoint::SmallCache => "small (8KB L1 / 1MB LLC)",
+            ConfigPoint::LargeCache => "large (128KB L1 / 32MB LLC)",
+        }
+    }
+}
+
+type Key = (SystemKind, WorkloadKind, usize, ConfigPoint);
+
+/// The memoizing runner.
+pub struct Lab {
+    scale: Scale,
+    seed: u64,
+    cache: HashMap<Key, RunStats>,
+    pub verbose: bool,
+}
+
+impl Lab {
+    pub fn new(scale: Scale) -> Lab {
+        Lab { scale, seed: 0xC0FFEE, cache: HashMap::new(), verbose: false }
+    }
+
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Run (or recall) one simulation point.
+    pub fn run(
+        &mut self,
+        system: SystemKind,
+        workload: WorkloadKind,
+        threads: usize,
+        cfg: ConfigPoint,
+    ) -> RunStats {
+        let key = (system, workload, threads, cfg);
+        if let Some(s) = self.cache.get(&key) {
+            return s.clone();
+        }
+        if self.verbose {
+            eprintln!(
+                "  [run] {} / {} / {} threads / {}",
+                system.name(),
+                workload.name(),
+                threads,
+                cfg.name()
+            );
+        }
+        let mut prog = Workload::with_scale(workload, threads, self.scale);
+        let stats = Runner::new(system)
+            .threads(threads)
+            .config(cfg.config())
+            .seed(self.seed)
+            .run(&mut prog);
+        self.cache.insert(key, stats.clone());
+        stats
+    }
+
+    /// Speedup of `system` over CGL on the same point (the paper's
+    /// speedup definition: same code, same threads, elision overloaded).
+    pub fn speedup(
+        &mut self,
+        system: SystemKind,
+        workload: WorkloadKind,
+        threads: usize,
+        cfg: ConfigPoint,
+    ) -> f64 {
+        let cgl = self.run(SystemKind::Cgl, workload, threads, cfg).cycles as f64;
+        let sys = self.run(system, workload, threads, cfg).cycles as f64;
+        cgl / sys
+    }
+
+    /// Geometric mean of speedups over all nine workloads.
+    pub fn avg_speedup(
+        &mut self,
+        system: SystemKind,
+        threads: usize,
+        cfg: ConfigPoint,
+    ) -> f64 {
+        let mut logsum = 0.0;
+        for w in WorkloadKind::ALL {
+            logsum += self.speedup(system, w, threads, cfg).ln();
+        }
+        (logsum / WorkloadKind::ALL.len() as f64).exp()
+    }
+
+    pub fn runs_cached(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Export every cached simulation point as CSV (for external
+    /// plotting). Columns are stable; one row per point.
+    pub fn dump_csv(&self) -> String {
+        let mut rows: Vec<(&Key, &RunStats)> = self.cache.iter().collect();
+        rows.sort_by_key(|(k, _)| (k.1.name(), k.2, k.0.name(), format!("{:?}", k.3)));
+        let mut out = String::from(
+            "system,workload,threads,config,cycles,tx_starts,commits,stl_commits,\
+             lock_commits,aborts_mc,aborts_lock,aborts_mutex,aborts_nontran,aborts_of,\
+             aborts_fault,rejects,sig_rejects,wakeups,fallbacks,switches_granted,\
+             switches_denied,messages
+",
+        );
+        for ((sys, w, t, cfg), s) in rows {
+            out.push_str(&format!(
+                "{},{},{},{:?},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}
+",
+                sys.name(),
+                w.name(),
+                t,
+                cfg,
+                s.cycles,
+                s.tx_starts,
+                s.commits,
+                s.stl_commits,
+                s.lock_commits,
+                s.aborts[0],
+                s.aborts[1],
+                s.aborts[2],
+                s.aborts[3],
+                s.aborts[4],
+                s.aborts[5],
+                s.rejects,
+                s.sig_rejects,
+                s.wakeups,
+                s.fallbacks,
+                s.switches_granted,
+                s.switches_denied,
+                s.messages,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_memoizes_points() {
+        let mut lab = Lab::new(Scale::Tiny);
+        let a = lab.run(SystemKind::Cgl, WorkloadKind::Ssca2, 2, ConfigPoint::Typical);
+        assert_eq!(lab.runs_cached(), 1);
+        let b = lab.run(SystemKind::Cgl, WorkloadKind::Ssca2, 2, ConfigPoint::Typical);
+        assert_eq!(lab.runs_cached(), 1, "second call must hit the cache");
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn speedup_is_cgl_relative() {
+        let mut lab = Lab::new(Scale::Tiny);
+        let s = lab.speedup(SystemKind::Cgl, WorkloadKind::Ssca2, 2, ConfigPoint::Typical);
+        assert!((s - 1.0).abs() < 1e-12, "CGL vs CGL must be 1.0");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut lab = Lab::new(Scale::Tiny);
+        lab.run(SystemKind::Baseline, WorkloadKind::Ssca2, 2, ConfigPoint::Typical);
+        let csv = lab.dump_csv();
+        assert!(csv.starts_with("system,workload"));
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("Baseline,ssca2,2"));
+    }
+}

@@ -1,0 +1,16 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation section (§IV) on the simulated 32-core CMP.
+//!
+//! The `experiments` binary drives [`experiments`]; each figure function
+//! returns structured rows and also renders the same series the paper
+//! plots. Criterion benches (one per figure, under `benches/`) run
+//! scaled-down instances of the same code paths.
+
+pub mod ablation;
+pub mod experiments;
+pub mod lab;
+pub mod svgplot;
+pub mod table;
+
+pub use experiments::*;
+pub use lab::{ConfigPoint, Lab};

@@ -1,0 +1,374 @@
+//! Minimal self-contained SVG chart writer for the figure harness: line
+//! charts (speedup vs threads) and grouped bar charts (per-workload
+//! speedups), following the repo's data-viz conventions:
+//!
+//! - categorical series colors come from a fixed, CVD-validated slot
+//!   order and follow the *system identity*, never the series index of a
+//!   particular chart;
+//! - 2px lines with >=8px markers, thin bars with a 2px surface gap and
+//!   rounded data ends (square at the baseline), recessive grid;
+//! - every series set ships a legend plus direct end-labels (two of the
+//!   palette slots sit below 3:1 contrast on the light surface, so
+//!   visible labels are mandatory, not cosmetic);
+//! - text wears ink tokens, never series color; native `<title>` tooltips
+//!   on every mark.
+
+use lockiller::system::SystemKind;
+
+/// Chart surface and ink tokens (light mode).
+const SURFACE: &str = "#fcfcfb";
+const INK: &str = "#0b0b0b";
+const INK_2: &str = "#52514e";
+const GRID: &str = "#e7e6e2";
+
+/// Fixed categorical slots (validated order; see DESIGN.md tooling note).
+const SLOTS: [&str; 8] =
+    ["#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948", "#e87ba4", "#eb6834"];
+
+/// Color follows the entity: each evaluated system owns a slot.
+pub fn system_color(kind: SystemKind) -> &'static str {
+    match kind {
+        SystemKind::Cgl => INK_2,
+        SystemKind::Baseline => SLOTS[0],
+        SystemKind::LosaTmSafu => SLOTS[1],
+        SystemKind::LockillerRai => SLOTS[6],
+        SystemKind::LockillerRri => SLOTS[7],
+        SystemKind::LockillerRwi => SLOTS[2],
+        SystemKind::LockillerRwl => SLOTS[5],
+        SystemKind::LockillerRwil => SLOTS[3],
+        SystemKind::LockillerTm => SLOTS[4],
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// One series of a line chart.
+pub struct Series {
+    pub name: String,
+    pub color: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render a multi-series line chart (e.g., speedup vs threads).
+/// X values are treated as ordered categories (2, 4, 8, 16, 32).
+pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
+    let (w, h) = (760.0, 420.0);
+    let (ml, mr, mt, mb) = (56.0, 150.0, 44.0, 46.0);
+    let pw = w - ml - mr;
+    let ph = h - mt - mb;
+
+    let xs: Vec<f64> = series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.0).collect())
+        .unwrap_or_default();
+    let ymax = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .fold(1.0f64, f64::max)
+        * 1.08;
+
+    let xpos = |i: usize| ml + pw * (i as f64) / ((xs.len().max(2) - 1) as f64);
+    let ypos = |v: f64| mt + ph * (1.0 - v / ymax);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="system-ui, sans-serif">
+<rect width="{w}" height="{h}" fill="{SURFACE}"/>
+<text x="{ml}" y="24" font-size="15" font-weight="600" fill="{INK}">{}</text>
+"#,
+        esc(title)
+    ));
+
+    // Recessive horizontal grid + y ticks.
+    let ticks = 4;
+    for t in 0..=ticks {
+        let v = ymax * t as f64 / ticks as f64;
+        let y = ypos(v);
+        out.push_str(&format!(
+            r#"<line x1="{ml}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="{GRID}" stroke-width="1"/>
+<text x="{:.1}" y="{:.1}" font-size="11" fill="{INK_2}" text-anchor="end">{v:.1}</text>
+"#,
+            ml + pw,
+            ml - 8.0,
+            y + 4.0
+        ));
+    }
+    // X ticks.
+    for (i, x) in xs.iter().enumerate() {
+        out.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" font-size="11" fill="{INK_2}" text-anchor="middle">{x}</text>
+"#,
+            xpos(i),
+            mt + ph + 18.0
+        ));
+    }
+    out.push_str(&format!(
+        r#"<text x="{:.1}" y="{:.1}" font-size="11" fill="{INK_2}" text-anchor="middle">{}</text>
+<text x="14" y="{:.1}" font-size="11" fill="{INK_2}" text-anchor="middle" transform="rotate(-90 14 {:.1})">{}</text>
+"#,
+        ml + pw / 2.0,
+        h - 8.0,
+        esc(x_label),
+        mt + ph / 2.0,
+        mt + ph / 2.0,
+        esc(y_label)
+    ));
+
+    // Direct end labels must not collide: compute nudged label y
+    // positions (min 13px apart, preserving vertical order).
+    let mut label_ys: Vec<(usize, f64)> = series
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.points.last().map(|p| (i, ypos(p.1))))
+        .collect();
+    label_ys.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    for i in 1..label_ys.len() {
+        if label_ys[i].1 - label_ys[i - 1].1 < 13.0 {
+            label_ys[i].1 = label_ys[i - 1].1 + 13.0;
+        }
+    }
+    let label_y = |idx: usize| -> f64 {
+        label_ys.iter().find(|(i, _)| *i == idx).map(|(_, y)| *y).unwrap_or(0.0)
+    };
+
+    // Series: 2px lines, 8px (r=4) markers, direct end labels.
+    for (si, s) in series.iter().enumerate() {
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| format!("{:.1},{:.1}", xpos(i), ypos(p.1)))
+            .collect();
+        out.push_str(&format!(
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="2" stroke-linejoin="round"/>
+"#,
+            pts.join(" "),
+            s.color
+        ));
+        for (i, p) in s.points.iter().enumerate() {
+            out.push_str(&format!(
+                r#"<circle cx="{:.1}" cy="{:.1}" r="4" fill="{}" stroke="{SURFACE}" stroke-width="2"><title>{}: {:.2}x at {} threads</title></circle>
+"#,
+                xpos(i),
+                ypos(p.1),
+                s.color,
+                esc(&s.name),
+                p.1,
+                p.0
+            ));
+        }
+        if s.points.last().is_some() {
+            let ly = label_y(si);
+            out.push_str(&format!(
+                r#"<circle cx="{:.1}" cy="{ly:.1}" r="4" fill="{}"/><text x="{:.1}" y="{:.1}" font-size="11" fill="{INK}">{}</text>
+"#,
+                ml + pw + 10.0,
+                s.color,
+                ml + pw + 18.0,
+                ly + 4.0,
+                esc(&s.name)
+            ));
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// One group of a grouped-bar chart: a category (workload) with one bar
+/// per series (system).
+pub struct BarGroup {
+    pub label: String,
+    pub values: Vec<f64>,
+}
+
+/// Render a grouped bar chart with a reference line at y=1 (CGL parity).
+pub fn grouped_bars(
+    title: &str,
+    y_label: &str,
+    series_names: &[(String, String)], // (name, color)
+    groups: &[BarGroup],
+) -> String {
+    let (w, h) = (860.0, 440.0);
+    let (ml, mr, mt, mb) = (56.0, 24.0, 64.0, 56.0);
+    let pw = w - ml - mr;
+    let ph = h - mt - mb;
+    let ymax = groups
+        .iter()
+        .flat_map(|g| g.values.iter().copied())
+        .fold(1.0f64, f64::max)
+        * 1.1;
+    let ypos = |v: f64| mt + ph * (1.0 - v / ymax);
+
+    let n_groups = groups.len().max(1) as f64;
+    let n_series = series_names.len().max(1) as f64;
+    let group_w = pw / n_groups;
+    // Thin bars with a 2px surface gap between neighbours.
+    let bar_w = ((group_w * 0.72 - 2.0 * (n_series - 1.0)) / n_series).clamp(3.0, 26.0);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="system-ui, sans-serif">
+<rect width="{w}" height="{h}" fill="{SURFACE}"/>
+<text x="{ml}" y="24" font-size="15" font-weight="600" fill="{INK}">{}</text>
+"#,
+        esc(title)
+    ));
+    // Legend row (color chip + ink label).
+    let mut lx = ml;
+    for (name, color) in series_names {
+        out.push_str(&format!(
+            r#"<rect x="{lx:.1}" y="36" width="10" height="10" rx="2" fill="{color}"/><text x="{:.1}" y="45" font-size="11" fill="{INK_2}">{}</text>
+"#,
+            lx + 14.0,
+            esc(name)
+        ));
+        lx += 16.0 + 7.0 * name.len() as f64 + 18.0;
+    }
+    // Grid + ticks.
+    for t in 0..=4 {
+        let v = ymax * t as f64 / 4.0;
+        let y = ypos(v);
+        out.push_str(&format!(
+            r#"<line x1="{ml}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="{GRID}" stroke-width="1"/>
+<text x="{:.1}" y="{:.1}" font-size="11" fill="{INK_2}" text-anchor="end">{v:.1}</text>
+"#,
+            ml + pw,
+            ml - 8.0,
+            y + 4.0
+        ));
+    }
+    // CGL parity reference line at y = 1.
+    let y1 = ypos(1.0);
+    out.push_str(&format!(
+        r#"<line x1="{ml}" y1="{y1:.1}" x2="{:.1}" y2="{y1:.1}" stroke="{INK_2}" stroke-width="1" stroke-dasharray="4 3"/>
+<text x="{:.1}" y="{:.1}" font-size="10" fill="{INK_2}" text-anchor="end">CGL = 1.0</text>
+"#,
+        ml + pw,
+        ml + pw,
+        y1 - 5.0
+    ));
+    // Bars: rounded at the data end, square at the baseline.
+    let base = mt + ph;
+    for (gi, g) in groups.iter().enumerate() {
+        let gx = ml + group_w * gi as f64 + group_w * 0.14;
+        for (si, &v) in g.values.iter().enumerate() {
+            let x = gx + (bar_w + 2.0) * si as f64;
+            let y = ypos(v);
+            let r = (bar_w / 2.0).min(4.0);
+            let color = &series_names[si].1;
+            let height = (base - y).max(0.0);
+            if height <= r {
+                out.push_str(&format!(
+                    r#"<rect x="{x:.1}" y="{y:.1}" width="{bar_w:.1}" height="{height:.1}" fill="{color}"><title>{}: {} {v:.2}x</title></rect>
+"#,
+                    esc(&g.label),
+                    esc(&series_names[si].0)
+                ));
+            } else {
+                out.push_str(&format!(
+                    r#"<path d="M{x:.1} {base:.1} V{:.1} Q{x:.1} {y:.1} {:.1} {y:.1} H{:.1} Q{:.1} {y:.1} {:.1} {:.1} V{base:.1} Z" fill="{color}"><title>{}: {} {v:.2}x</title></path>
+"#,
+                    y + r,
+                    x + r,
+                    x + bar_w - r,
+                    x + bar_w,
+                    x + bar_w,
+                    y + r,
+                    esc(&g.label),
+                    esc(&series_names[si].0)
+                ));
+            }
+        }
+        out.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" font-size="11" fill="{INK_2}" text-anchor="middle">{}</text>
+"#,
+            gx + (bar_w + 2.0) * n_series / 2.0,
+            base + 18.0,
+            esc(&g.label)
+        ));
+    }
+    out.push_str(&format!(
+        r#"<text x="14" y="{:.1}" font-size="11" fill="{INK_2}" text-anchor="middle" transform="rotate(-90 14 {:.1})">{}</text>
+"#,
+        mt + ph / 2.0,
+        mt + ph / 2.0,
+        esc(y_label)
+    ));
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> Vec<Series> {
+        vec![
+            Series {
+                name: "Baseline".into(),
+                color: system_color(SystemKind::Baseline).into(),
+                points: vec![(2.0, 1.2), (4.0, 1.8), (8.0, 2.7)],
+            },
+            Series {
+                name: "LockillerTM".into(),
+                color: system_color(SystemKind::LockillerTm).into(),
+                points: vec![(2.0, 1.5), (4.0, 2.6), (8.0, 4.1)],
+            },
+        ]
+    }
+
+    #[test]
+    fn line_chart_is_wellformed_svg() {
+        let svg = line_chart("Fig 12", "threads", "speedup vs CGL", &sample_series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        // Markers: 3 points per series + 1 end-label dot each.
+        assert_eq!(svg.matches("<circle").count(), 8);
+        assert!(svg.contains("LockillerTM"));
+        // Tooltips present on marks.
+        assert!(svg.contains("<title>"));
+    }
+
+    #[test]
+    fn bars_have_gap_and_baseline_anchor() {
+        let names = vec![
+            ("Baseline".to_string(), system_color(SystemKind::Baseline).to_string()),
+            ("LockillerTM".to_string(), system_color(SystemKind::LockillerTm).to_string()),
+        ];
+        let groups = vec![
+            BarGroup { label: "genome".into(), values: vec![1.8, 1.9] },
+            BarGroup { label: "yada".into(), values: vec![0.5, 1.2] },
+        ];
+        let svg = grouped_bars("Fig 1", "speedup", &names, &groups);
+        assert!(svg.contains("CGL = 1.0"), "parity reference line missing");
+        assert_eq!(svg.matches("<path").count(), 4, "one rounded bar per value");
+        assert!(svg.contains("genome"));
+    }
+
+    #[test]
+    fn colors_follow_system_identity() {
+        // The same system gets the same color regardless of chart.
+        assert_eq!(system_color(SystemKind::LockillerTm), "#4a3aa7");
+        assert_eq!(system_color(SystemKind::Baseline), "#2a78d6");
+        // All colors distinct.
+        let mut cs: Vec<&str> = SystemKind::ALL.iter().map(|s| system_color(*s)).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        assert_eq!(cs.len(), SystemKind::ALL.len());
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let svg = line_chart(
+            "a < b & c",
+            "x",
+            "y",
+            &[Series { name: "s<1>".into(), color: "#2a78d6".into(), points: vec![(1.0, 1.0), (2.0, 2.0)] }],
+        );
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("s<1>"));
+    }
+}

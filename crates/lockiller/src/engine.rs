@@ -1,0 +1,812 @@
+//! The discrete-event engine: owns the event queue, the memory subsystem,
+//! the value layer, and one controller per simulated core; drives guest
+//! threads in rendezvous lockstep.
+//!
+//! ## Event kinds
+//!
+//! - `Recv(core)` — rendezvous point: blocking-receive the core's next
+//!   operation (the guest computes in zero simulated time);
+//! - `Respond(core, resp)` — deliver a response scheduled earlier (e.g.,
+//!   the end of a `Compute`, a commit penalty, an abort penalty);
+//! - `Net(msg)` — a NoC message arrives at the memory subsystem;
+//! - `Notice(n)` — a memory-subsystem notification (completion, reject,
+//!   protocol abort, wake-up, HLA result);
+//! - `Retry(core, seq)` / `ParkTimeout(core, seq)` — recovery-mechanism
+//!   requester-side actions (RetryLater pause, wake-up safety net).
+//!
+//! ## Execution-time accounting
+//!
+//! Cycles are attributed per core to the paper's breakdown categories at
+//! every response delivery; speculative cycles accumulate in a pending
+//! bucket resolved to `htm` / `aborted` / `switchLock` when the
+//! transaction's fate is known (Figs. 9 and 11).
+
+use crate::flatmem::{FlatMem, WriteBuffer};
+use crate::guest::{GuestOp, GuestResp, TTEST_HTM, TTEST_STL, TTEST_TL};
+use crate::trace::{Trace, TraceKind};
+use coherence::memsys::{AccessKind, AccessResult, CoreNotice, MemSystem};
+use coherence::msg::TxMode;
+use sim_core::config::{PriorityKind, RejectAction, SystemConfig};
+use sim_core::event::EventQueue;
+use sim_core::fxhash::FxHashSet;
+use sim_core::stats::{AbortCause, Phase, PhaseTracker, RunStats};
+use sim_core::types::{Addr, CoreId, Cycle};
+use std::sync::mpsc::{Receiver, Sender};
+
+#[derive(Debug)]
+enum Ev {
+    Recv(CoreId),
+    Respond(CoreId, GuestResp),
+    Net(coherence::msg::NetMsg),
+    Notice(CoreNotice),
+    Retry(CoreId, u64),
+    ParkTimeout(CoreId, u64),
+}
+
+/// Per-core controller state.
+struct Ctl {
+    to_guest: Option<Sender<GuestResp>>,
+    from_guest: Option<Receiver<GuestOp>>,
+    tracker: PhaseTracker,
+    phase: Phase,
+    /// Cycles currently accumulate into the speculative pending bucket.
+    spec: bool,
+    last_attr: Cycle,
+    /// Inside a speculative attempt (including after an STL switch, until
+    /// hlend).
+    in_tx: bool,
+    is_stl: bool,
+    tx_insts: u64,
+    tx_refs: u64,
+    tx_begin_at: Cycle,
+    switch_tried: bool,
+    /// Protocol abort arrived while an op had a scheduled response; the
+    /// abort is delivered in its place.
+    doomed: Option<AbortCause>,
+    /// A response event is in flight for this core.
+    respond_scheduled: bool,
+    /// Memory op awaiting coherence completion / park / retry.
+    cur_op: Option<GuestOp>,
+    /// Op received while a protocol abort notice was still in flight;
+    /// consumed (answered with the abort) when the notice lands.
+    deferred_op: Option<GuestOp>,
+    parked: Option<u64>,
+    /// A wake-up that arrived before its reject (shorter NoC route);
+    /// consumed instead of parking when the reject lands.
+    wakeup_banked: bool,
+    switch_pending: bool,
+    tl_pending: bool,
+    /// Resolve the pending speculative bucket into this phase at the next
+    /// response delivery.
+    resolve: Option<Phase>,
+    /// Switch to this phase after the next response delivery.
+    phase_after: Option<Phase>,
+    finished: bool,
+}
+
+impl Ctl {
+    fn new() -> Ctl {
+        Ctl {
+            to_guest: None,
+            from_guest: None,
+            tracker: PhaseTracker::default(),
+            phase: Phase::NonTran,
+            spec: false,
+            last_attr: 0,
+            in_tx: false,
+            is_stl: false,
+            tx_insts: 0,
+            tx_refs: 0,
+            tx_begin_at: 0,
+            switch_tried: false,
+            doomed: None,
+            respond_scheduled: false,
+            cur_op: None,
+            deferred_op: None,
+            parked: None,
+            wakeup_banked: false,
+            switch_pending: false,
+            tl_pending: false,
+            resolve: None,
+            phase_after: None,
+            finished: false,
+        }
+    }
+}
+
+/// The engine. Construct, [`Engine::register`] each guest channel pair,
+/// then [`Engine::run`] to completion and [`Engine::into_stats`].
+pub struct Engine {
+    cfg: SystemConfig,
+    ms: MemSystem,
+    q: EventQueue<Ev>,
+    pub mem: FlatMem,
+    bufs: Vec<WriteBuffer>,
+    ctl: Vec<Ctl>,
+    touched_pages: FxHashSet<u64>,
+    barrier_waiting: Vec<CoreId>,
+    threads: usize,
+    done_count: usize,
+    seq: u64,
+    stats: RunStats,
+    end_time: Cycle,
+    pub trace: Trace,
+}
+
+impl Engine {
+    pub fn new(
+        cfg: SystemConfig,
+        mem: FlatMem,
+        threads: usize,
+        mutex_addr: Addr,
+        mapped_pages: FxHashSet<u64>,
+    ) -> Engine {
+        assert!(threads >= 1 && threads <= cfg.num_cores);
+        let mut ms = MemSystem::new(cfg.clone());
+        ms.set_mutex_line(mutex_addr.line());
+        let touched_pages = mapped_pages;
+        Engine {
+            ms,
+            q: EventQueue::new(),
+            mem,
+            bufs: (0..threads).map(|_| WriteBuffer::default()).collect(),
+            ctl: (0..threads).map(|_| Ctl::new()).collect(),
+            touched_pages,
+            barrier_waiting: Vec::new(),
+            threads,
+            done_count: 0,
+            seq: 0,
+            stats: RunStats::new(threads),
+            end_time: 0,
+            trace: Trace::default(),
+            cfg,
+        }
+    }
+
+    /// Attach the engine side of a guest's channel pair.
+    pub fn register(&mut self, core: CoreId, to_guest: Sender<GuestResp>, from_guest: Receiver<GuestOp>) {
+        self.ctl[core].to_guest = Some(to_guest);
+        self.ctl[core].from_guest = Some(from_guest);
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    // ---------------- phase accounting ----------------
+
+    fn attr(&mut self, core: CoreId, upto: Cycle) {
+        let c = &mut self.ctl[core];
+        debug_assert!(upto >= c.last_attr);
+        let d = upto - c.last_attr;
+        if d > 0 {
+            if c.spec {
+                c.tracker.add_pending_spec(d);
+            } else {
+                c.tracker.add(c.phase, d);
+            }
+            c.last_attr = upto;
+        } else {
+            c.last_attr = upto;
+        }
+    }
+
+    fn set_phase(&mut self, core: CoreId, now: Cycle, phase: Phase) {
+        self.attr(core, now);
+        self.ctl[core].phase = phase;
+    }
+
+    // ---------------- responses ----------------
+
+    fn respond(&mut self, core: CoreId, now: Cycle, resp: GuestResp) {
+        self.trace(now, core, &format!("resp {resp:?}"));
+        self.attr(core, now);
+        if let Some(res) = self.ctl[core].resolve.take() {
+            self.ctl[core].tracker.resolve_spec(res);
+            self.ctl[core].spec = false;
+        }
+        if let Some(p) = self.ctl[core].phase_after.take() {
+            self.ctl[core].phase = p;
+        }
+        self.ctl[core]
+            .to_guest
+            .as_ref()
+            .expect("core not registered")
+            .send(resp)
+            .expect("guest thread died");
+        self.q.schedule_at(now, Ev::Recv(core));
+    }
+
+    fn schedule_respond(&mut self, core: CoreId, at: Cycle, resp: GuestResp) {
+        self.ctl[core].respond_scheduled = true;
+        self.q.schedule_at(at, Ev::Respond(core, resp));
+    }
+
+    // ---------------- memory-subsystem output plumbing ----------------
+
+    fn drain_ms(&mut self) {
+        let (msgs, notices) = self.ms.take_outputs();
+        for (at, m) in msgs {
+            self.q.schedule_at(at, Ev::Net(m));
+        }
+        for (at, n) in notices {
+            self.q.schedule_at(at, Ev::Notice(n));
+        }
+    }
+
+    // ---------------- main loop ----------------
+
+    /// Run until every guest thread has exited.
+    pub fn run(&mut self) {
+        let max_cycles: Cycle = std::env::var("LOCKILLER_MAX_CYCLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(Cycle::MAX);
+        for c in 0..self.threads {
+            self.q.schedule_at(0, Ev::Recv(c));
+        }
+        while self.done_count < self.threads {
+            let (t, ev) = self.q.pop().expect("deadlock: no events but threads alive");
+            if t > max_cycles {
+                self.dump_state(t);
+                panic!("watchdog: simulation exceeded {max_cycles} cycles");
+            }
+            if std::env::var_os("LOCKILLER_CHECK").is_some() {
+                if let Err(e) = self.ms.check_swmr() {
+                    panic!("at cycle {t} before {ev:?}: {e}");
+                }
+            }
+            match ev {
+                Ev::Recv(c) => {
+                    let rx = self.ctl[c].from_guest.as_ref().expect("core not registered");
+                    let op = if let Ok(secs) = std::env::var("LOCKILLER_WALL_TIMEOUT") {
+                        let dur = std::time::Duration::from_secs(secs.parse().unwrap_or(30));
+                        match rx.recv_timeout(dur) {
+                            Ok(op) => op,
+                            Err(e) => {
+                                self.dump_state(t);
+                                panic!("guest {c} unresponsive ({e:?}) — lost response?");
+                            }
+                        }
+                    } else {
+                        rx.recv().expect("guest thread terminated without Exit")
+                    };
+                    self.handle_op(t, c, op);
+                }
+                Ev::Respond(c, resp) => {
+                    self.ctl[c].respond_scheduled = false;
+                    if self.ctl[c].in_tx && !matches!(resp, GuestResp::Aborted(_)) {
+                        if let Some(cause) = self.ctl[c].doomed.take() {
+                            self.deliver_abort(t, c, cause);
+                            continue;
+                        }
+                    }
+                    self.respond(c, t, resp);
+                }
+                Ev::Net(m) => {
+                    self.ms.handle_msg(t, m);
+                    self.drain_ms();
+                }
+                Ev::Notice(n) => self.handle_notice(t, n),
+                Ev::Retry(c, seq) => {
+                    if self.ctl[c].parked == Some(seq) {
+                        self.ctl[c].parked = None;
+                        self.reissue(t, c);
+                    }
+                }
+                Ev::ParkTimeout(c, seq) => {
+                    if self.ctl[c].parked == Some(seq) {
+                        self.stats.wakeup_timeouts += 1;
+                        self.ctl[c].parked = None;
+                        self.reissue(t, c);
+                    }
+                }
+            }
+        }
+        self.end_time = self.q.now().max(self.end_time);
+    }
+
+    /// Consume the engine, producing run statistics.
+    pub fn into_stats(mut self) -> (RunStats, FlatMem) {
+        self.stats.cycles = self.end_time;
+        for c in 0..self.threads {
+            let tracker = std::mem::take(&mut self.ctl[c].tracker);
+            self.stats.merge_core(c, &tracker);
+        }
+        self.stats.rejects = self.ms.stats.rejects;
+        self.stats.sig_rejects = self.ms.stats.sig_rejects;
+        self.stats.wakeups = self.ms.stats.wakeups_sent;
+        let noc = self.ms.noc_stats();
+        self.stats.messages = noc.messages;
+        self.stats.hops = noc.hops;
+        self.stats.threads = self.threads;
+        (self.stats, self.mem)
+    }
+
+    /// Diagnostic dump used by the cycle watchdog.
+    fn dump_state(&self, t: Cycle) {
+        eprintln!("=== engine state at cycle {t} ===");
+        for (c, ctl) in self.ctl.iter().enumerate() {
+            eprintln!(
+                "core {c}: finished={} in_tx={} stl={} parked={:?} cur_op={:?} deferred={:?} doomed={:?} resp_sched={} tl_pend={} sw_pend={} ms_mode={:?} ms_pending={}",
+                ctl.finished,
+                ctl.in_tx,
+                ctl.is_stl,
+                ctl.parked,
+                ctl.cur_op,
+                ctl.deferred_op,
+                ctl.doomed,
+                ctl.respond_scheduled,
+                ctl.tl_pending,
+                ctl.switch_pending,
+                self.ms.core_mode(c),
+                self.ms.has_pending(c),
+            );
+        }
+        eprintln!(
+            "stats: commits={} aborts={:?} rejects={} sig_rejects={} wakeups={} timeouts={} fallbacks={} switches={}/{}",
+            self.stats.commits,
+            self.stats.aborts,
+            self.ms.stats.rejects,
+            self.ms.stats.sig_rejects,
+            self.ms.stats.wakeups_sent,
+            self.stats.wakeup_timeouts,
+            self.stats.fallbacks,
+            self.stats.switches_granted,
+            self.stats.switches_denied,
+        );
+    }
+
+    // ---------------- op handling ----------------
+
+    fn update_prio(&mut self, core: CoreId) {
+        let p = match self.cfg.policy.priority {
+            PriorityKind::InstsBased => self.ctl[core].tx_insts,
+            PriorityKind::ProgressionBased => self.ctl[core].tx_refs,
+            PriorityKind::RequesterWins | PriorityKind::Fcfs => 0,
+        };
+        self.ms.set_prio(core, p);
+    }
+
+    fn trace(&self, t: Cycle, core: CoreId, what: &str) {
+        if std::env::var_os("LOCKILLER_TRACE").is_some() {
+            eprintln!("[{t}] c{core} {what}");
+        }
+    }
+
+    fn handle_op(&mut self, t: Cycle, core: CoreId, op: GuestOp) {
+        self.trace(t, core, &format!("op {op:?} in_tx={} doomed={:?}", self.ctl[core].in_tx, self.ctl[core].doomed));
+        // A protocol abort that arrived between ops is delivered on the
+        // next transactional interaction. If the memory subsystem has
+        // already aborted us but its notice has not landed yet, defer the
+        // op and answer it with the abort when the notice arrives.
+        if self.ctl[core].in_tx {
+            if let Some(cause) = self.ctl[core].doomed.take() {
+                self.deliver_abort(t, core, cause);
+                return;
+            }
+            if self.ms.core_mode(core) == TxMode::None {
+                self.ctl[core].deferred_op = Some(op);
+                return;
+            }
+        }
+        match op {
+            GuestOp::Compute(n) => {
+                if self.ctl[core].in_tx {
+                    self.ctl[core].tx_insts += n;
+                    self.update_prio(core);
+                }
+                self.schedule_respond(core, t + n, GuestResp::Done);
+            }
+            GuestOp::Load(_) | GuestOp::Store(..) | GuestOp::Cas(..) => {
+                self.start_access(t, core, op, false);
+            }
+            GuestOp::TxBegin => {
+                self.trace.record(t, core, TraceKind::TxBegin);
+                self.stats.tx_starts += 1;
+                self.ms.begin_htm(core, 0);
+                let c = &mut self.ctl[core];
+                c.in_tx = true;
+                c.is_stl = false;
+                c.switch_tried = false;
+                c.tx_insts = 0;
+                c.tx_refs = 0;
+                c.tx_begin_at = t;
+                self.update_prio(core);
+                self.attr(core, t);
+                self.ctl[core].spec = true;
+                self.schedule_respond(core, t + 2, GuestResp::Done);
+            }
+            GuestOp::TTest => {
+                let v = match self.ms.core_mode(core) {
+                    TxMode::LockStl => TTEST_STL,
+                    TxMode::LockTl => TTEST_TL,
+                    _ => TTEST_HTM,
+                };
+                self.schedule_respond(core, t + 1, GuestResp::Value(v));
+            }
+            GuestOp::TxCommit => {
+                if std::env::var_os("LOCKILLER_WATCH").is_some() {
+                    eprintln!("[{t}] COMMIT c{core} buf={} entries", self.bufs[core].len());
+                }
+                debug_assert!(!self.ctl[core].is_stl, "STL commits via hlend");
+                let (rs, ws) = self.ms.tx_set_sizes(core);
+                self.stats.rs_lines_sum += rs;
+                self.stats.ws_lines_sum += ws;
+                self.stats.tx_cycles_sum += t - self.ctl[core].tx_begin_at;
+                self.ms.commit_htm(t, core);
+                self.drain_ms();
+                let buf = &mut self.bufs[core];
+                buf.commit(&mut self.mem);
+                self.trace.record(t, core, TraceKind::Commit);
+                self.stats.commits += 1;
+                self.ctl[core].in_tx = false;
+                self.ctl[core].resolve = Some(Phase::Htm);
+                self.ctl[core].phase_after = Some(Phase::NonTran);
+                self.schedule_respond(core, t + self.cfg.commit_penalty, GuestResp::Done);
+            }
+            GuestOp::TxAbortUser => {
+                // _xabort: lock observed taken at subscription time.
+                self.do_abort(t, core, AbortCause::Mutex);
+            }
+            GuestOp::HlBegin => {
+                if self.cfg.policy.switching_mode {
+                    // TL entry also needs the LLC's authorization when
+                    // switchingMode may have an STL holder (§III-C).
+                    self.ctl[core].tl_pending = true;
+                    self.ms.hla_request(t, core, false);
+                    self.drain_ms();
+                } else {
+                    self.ms.enter_lock(core, false);
+                    self.trace.record(t, core, TraceKind::HlBegin);
+                    self.stats.fallbacks += 1;
+                    self.set_phase(core, t, Phase::Lock);
+                    self.schedule_respond(core, t + 2, GuestResp::Done);
+                }
+            }
+            GuestOp::HlEnd => {
+                self.trace.record(t, core, TraceKind::HlEnd);
+                if self.ctl[core].is_stl {
+                    let (rs, ws) = self.ms.tx_set_sizes(core);
+                    self.stats.rs_lines_sum += rs;
+                    self.stats.ws_lines_sum += ws;
+                    self.stats.tx_cycles_sum += t - self.ctl[core].tx_begin_at;
+                    self.ms.exit_lock(t, core);
+                    self.drain_ms();
+                    self.stats.commits += 1;
+                    self.stats.stl_commits += 1;
+                    let c = &mut self.ctl[core];
+                    c.in_tx = false;
+                    c.is_stl = false;
+                    c.resolve = Some(Phase::SwitchLock);
+                    c.phase_after = Some(Phase::NonTran);
+                } else {
+                    self.ms.exit_lock(t, core);
+                    self.drain_ms();
+                    self.stats.lock_commits += 1;
+                    self.ctl[core].phase_after = Some(Phase::NonTran);
+                }
+                self.schedule_respond(core, t + 2, GuestResp::Done);
+            }
+            GuestOp::SpinBegin => {
+                self.set_phase(core, t, Phase::WaitLock);
+                self.schedule_respond(core, t, GuestResp::Done);
+            }
+            GuestOp::SpinEnd => {
+                self.set_phase(core, t, Phase::NonTran);
+                self.schedule_respond(core, t, GuestResp::Done);
+            }
+            GuestOp::FallbackBegin => {
+                self.ms.set_fallback(core, true);
+                self.trace.record(t, core, TraceKind::Fallback);
+                self.stats.fallbacks += 1;
+                self.set_phase(core, t, Phase::Lock);
+                self.schedule_respond(core, t, GuestResp::Done);
+            }
+            GuestOp::FallbackEnd => {
+                self.ms.set_fallback(core, false);
+                self.stats.lock_commits += 1;
+                self.set_phase(core, t, Phase::NonTran);
+                self.schedule_respond(core, t, GuestResp::Done);
+            }
+            GuestOp::PageTouch(p) => {
+                if self.touched_pages.contains(&p) {
+                    self.schedule_respond(core, t, GuestResp::Done);
+                } else {
+                    // Demand-paging fault: maps the page either way; inside
+                    // an HTM transaction it aborts (best-effort HTM does
+                    // not survive exceptions, and switchingMode explicitly
+                    // does not cover faults — §III-C).
+                    self.touched_pages.insert(p);
+                    if self.ms.core_mode(core) == TxMode::Htm {
+                        self.do_abort(t, core, AbortCause::Fault);
+                    } else {
+                        self.schedule_respond(core, t + self.cfg.fault_service, GuestResp::Done);
+                    }
+                }
+            }
+            GuestOp::Barrier => {
+                self.set_phase(core, t, Phase::NonTran);
+                self.barrier_waiting.push(core);
+                let live = self.threads - self.done_count;
+                if self.barrier_waiting.len() == live {
+                    let waiters = std::mem::take(&mut self.barrier_waiting);
+                    for w in waiters {
+                        self.schedule_respond(w, t + 1, GuestResp::Done);
+                    }
+                }
+            }
+            GuestOp::Exit => {
+                self.attr(core, t);
+                self.ctl[core].finished = true;
+                self.done_count += 1;
+                self.end_time = self.end_time.max(t);
+                // Anyone blocked on a barrier with us gone would hang; a
+                // well-formed workload exits only after its last barrier.
+                let live = self.threads - self.done_count;
+                if live > 0 && !self.barrier_waiting.is_empty() && self.barrier_waiting.len() == live {
+                    let waiters = std::mem::take(&mut self.barrier_waiting);
+                    for w in waiters {
+                        self.schedule_respond(w, t + 1, GuestResp::Done);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---------------- memory accesses ----------------
+
+    fn start_access(&mut self, t: Cycle, core: CoreId, op: GuestOp, reissue: bool) {
+        let (addr, kind) = match op {
+            GuestOp::Load(a) => (a, AccessKind::Load),
+            GuestOp::Store(a, _) => (a, AccessKind::Store),
+            GuestOp::Cas(a, ..) => (a, AccessKind::Store),
+            _ => unreachable!(),
+        };
+        if !reissue && self.ctl[core].in_tx {
+            self.ctl[core].tx_insts += 1;
+            self.ctl[core].tx_refs += 1;
+            self.update_prio(core);
+        }
+        self.ctl[core].cur_op = Some(op);
+        match self.ms.access(t, core, addr.line(), kind) {
+            AccessResult::Done { at } => {
+                self.drain_ms();
+                self.complete_access(at, core);
+            }
+            AccessResult::Pending => {
+                self.drain_ms();
+            }
+            AccessResult::Overflow { .. } => {
+                self.drain_ms();
+                self.handle_overflow(t, core);
+            }
+        }
+    }
+
+    /// Capacity overflow in HTM mode: proactive switch (Fig. 6) or abort.
+    fn handle_overflow(&mut self, t: Cycle, core: CoreId) {
+        let can_switch = self.cfg.policy.switching_mode
+            && self.cfg.policy.htmlock
+            && !self.ctl[core].switch_tried
+            && self.ctl[core].in_tx;
+        if can_switch {
+            self.ctl[core].switch_tried = true;
+            self.ctl[core].switch_pending = true;
+            self.ms.hla_request(t, core, true);
+            self.drain_ms();
+        } else {
+            self.do_abort(t, core, AbortCause::Of);
+        }
+    }
+
+    /// Value semantics at access completion time.
+    fn complete_access(&mut self, t: Cycle, core: CoreId) {
+        self.ctl[core].wakeup_banked = false;
+        let op = self.ctl[core].cur_op.take().expect("completion without op");
+        // Buffer speculative values based on the ENGINE's view of the
+        // transaction, not the memory subsystem's: a protocol abort may
+        // already have flipped the memsys mode to None while its notice
+        // is still queued behind this completion — writing flat memory
+        // then would leak a dying transaction's store (the abort notice
+        // converts the response to Aborted and discards the buffer).
+        let htm = self.ctl[core].in_tx && !self.ctl[core].is_stl;
+        if let Ok(w) = std::env::var("LOCKILLER_WATCH") {
+            let watch: u64 = w.parse().unwrap_or(0);
+            let a = match op {
+                GuestOp::Load(a) | GuestOp::Store(a, _) | GuestOp::Cas(a, ..) => Some(a),
+                _ => None,
+            };
+            if a.map(|a| a.0 == watch).unwrap_or(false) {
+                eprintln!("[{t}] WATCH c{core} {op:?} htm={htm} mode={:?} flat={}", self.ms.core_mode(core), self.mem.read(Addr(watch)));
+            }
+        }
+        let resp = match op {
+            GuestOp::Load(a) => {
+                let v = if htm { self.bufs[core].read(&self.mem, a) } else { self.mem.read(a) };
+                GuestResp::Value(v)
+            }
+            GuestOp::Store(a, v) => {
+                if htm {
+                    self.bufs[core].write(a, v);
+                } else {
+                    self.mem.write(a, v);
+                }
+                GuestResp::Done
+            }
+            GuestOp::Cas(a, expected, new) => {
+                let cur = if htm { self.bufs[core].read(&self.mem, a) } else { self.mem.read(a) };
+                if cur == expected {
+                    if htm {
+                        self.bufs[core].write(a, new);
+                    } else {
+                        self.mem.write(a, new);
+                    }
+                }
+                GuestResp::Value(cur)
+            }
+            other => unreachable!("complete_access on {other:?}"),
+        };
+        self.schedule_respond(core, t, resp);
+    }
+
+    fn reissue(&mut self, t: Cycle, core: CoreId) {
+        let op = self.ctl[core].cur_op.take().expect("reissue without op");
+        self.start_access(t, core, op, true);
+    }
+
+    // ---------------- aborts ----------------
+
+    /// Engine-initiated abort (explicit xabort, fault, overflow, failed
+    /// switch, self-abort on reject).
+    fn do_abort(&mut self, t: Cycle, core: CoreId, cause: AbortCause) {
+        self.ms.abort_locally(t, core);
+        self.drain_ms();
+        self.stats.record_abort(cause);
+        self.deliver_abort(t, core, cause);
+    }
+
+    /// Common abort delivery (memory-subsystem side already cleaned up).
+    fn deliver_abort(&mut self, t: Cycle, core: CoreId, cause: AbortCause) {
+        if std::env::var_os("LOCKILLER_WATCH").is_some() {
+            eprintln!("[{t}] ABORT c{core} {cause:?} buf={}", self.bufs[core].len());
+        }
+        self.bufs[core].discard();
+        self.attr(core, t);
+        let c = &mut self.ctl[core];
+        c.tracker.resolve_spec(Phase::Aborted);
+        c.spec = false;
+        c.in_tx = false;
+        c.is_stl = false;
+        debug_assert!(!c.switch_pending, "abort cannot race an applyingHLA switch");
+        c.cur_op = None;
+        c.deferred_op = None;
+        c.parked = None;
+        c.wakeup_banked = false;
+        c.doomed = None;
+        c.phase = Phase::Rollback;
+        c.phase_after = Some(Phase::NonTran);
+        self.ms.cancel_pending(core);
+        self.trace.record(t, core, TraceKind::Abort(cause));
+        self.schedule_respond(core, t + self.cfg.abort_penalty, GuestResp::Aborted(cause));
+    }
+
+    // ---------------- notices ----------------
+
+    fn handle_notice(&mut self, t: Cycle, n: CoreNotice) {
+        if std::env::var_os("LOCKILLER_TRACE").is_some() {
+            eprintln!("[{t}] notice {n:?}");
+        }
+        match n {
+            CoreNotice::AccessDone { core } => {
+                if self.ctl[core].cur_op.is_some() && self.ctl[core].parked.is_none() {
+                    self.complete_access(t, core);
+                }
+            }
+            CoreNotice::AccessRejected { core, by_sig } => {
+                self.trace.record(t, core, TraceKind::Rejected { by_sig });
+                self.handle_reject(t, core, by_sig)
+            }
+            CoreNotice::TxAborted { core, cause } => {
+                // Protocol-side abort (probe loss / back-invalidation).
+                self.stats.record_abort(cause);
+                if self.ctl[core].respond_scheduled {
+                    // Mid-compute or similar: convert the scheduled
+                    // response into an abort when it fires.
+                    self.bufs[core].discard();
+                    self.ctl[core].doomed = Some(cause);
+                } else if self.ctl[core].cur_op.is_some() || self.ctl[core].deferred_op.is_some() {
+                    // Blocked in the coherence layer, parked, or an op was
+                    // deferred waiting for exactly this notice.
+                    self.deliver_abort(t, core, cause);
+                } else {
+                    // Between ops: deliver on the next one.
+                    self.bufs[core].discard();
+                    self.ctl[core].doomed = Some(cause);
+                }
+            }
+            CoreNotice::Wakeup { core } => {
+                if self.ctl[core].parked.is_some() {
+                    self.trace.record(t, core, TraceKind::Woken);
+                    self.ctl[core].parked = None;
+                    self.ctl[core].wakeup_banked = false;
+                    self.reissue(t, core);
+                } else if self.ctl[core].cur_op.is_some() {
+                    // The reject this wake-up answers is still in flight
+                    // (wake-ups travel core-to-core and can overtake the
+                    // directory's reject response). Bank it.
+                    self.ctl[core].wakeup_banked = true;
+                }
+            }
+            CoreNotice::HlaResult { core, granted } => {
+                if self.ctl[core].tl_pending {
+                    assert!(granted, "TL authorization is granted or queued, never denied");
+                    self.ctl[core].tl_pending = false;
+                    self.ms.enter_lock(core, false);
+                    // Record the grant so hlend releases the arbiter.
+                    self.ms.finish_hla(t, core, true);
+                    self.drain_ms();
+                    self.trace.record(t, core, TraceKind::HlBegin);
+                    self.stats.fallbacks += 1;
+                    self.set_phase(core, t, Phase::Lock);
+                    self.schedule_respond(core, t + 2, GuestResp::Done);
+                } else if self.ctl[core].switch_pending {
+                    self.ctl[core].switch_pending = false;
+                    if granted {
+                        // Successful proactive switch: speculative state
+                        // becomes permanent, priority becomes lock-level,
+                        // and the blocked access retries in STL mode.
+                        self.ms.enter_lock(core, true);
+                        self.bufs[core].commit(&mut self.mem);
+                        self.ms.finish_hla(t, core, true);
+                        self.drain_ms();
+                        self.ctl[core].is_stl = true;
+                        self.trace.record(t, core, TraceKind::SwitchGranted);
+                        self.stats.switches_granted += 1;
+                        self.reissue(t, core);
+                    } else {
+                        self.ms.finish_hla(t, core, false);
+                        self.drain_ms();
+                        self.trace.record(t, core, TraceKind::SwitchDenied);
+                        self.stats.switches_denied += 1;
+                        self.do_abort(t, core, AbortCause::Of);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_reject(&mut self, t: Cycle, core: CoreId, by_sig: bool) {
+        let action = self.cfg.policy.reject_action;
+        let in_tx = self.ctl[core].in_tx;
+        match action {
+            RejectAction::SelfAbort if in_tx && !by_sig => {
+                self.do_abort(t, core, AbortCause::Mc);
+            }
+            RejectAction::RetryLater => {
+                let seq = self.next_seq();
+                self.ctl[core].parked = Some(seq);
+                self.q.schedule_at(t + self.cfg.policy.retry_pause, Ev::Retry(core, seq));
+            }
+            _ => {
+                // WaitWakeup (and non-tx/sig rejects under SelfAbort,
+                // which cannot abort anything useful): park until the
+                // rejecter's commit/abort/hlend wakes us — unless the
+                // wake-up already arrived, in which case retry now.
+                if self.ctl[core].wakeup_banked {
+                    self.ctl[core].wakeup_banked = false;
+                    self.reissue(t, core);
+                    return;
+                }
+                let seq = self.next_seq();
+                self.ctl[core].parked = Some(seq);
+                self.q.schedule_at(
+                    t + self.cfg.policy.wakeup_timeout,
+                    Ev::ParkTimeout(core, seq),
+                );
+            }
+        }
+    }
+
+}

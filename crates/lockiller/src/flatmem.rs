@@ -1,0 +1,268 @@
+//! The value layer: one authoritative flat word memory plus per-core
+//! speculative write buffers.
+//!
+//! The coherence protocol guarantees isolation (conflicting accesses abort
+//! or are rejected before data is granted), so values can live in a single
+//! flat store: speculative stores buffer per core and flush atomically at
+//! commit (or at a successful STL switch, which makes them permanent);
+//! non-speculative stores write through immediately. See the `coherence`
+//! crate docs for why this is equivalent to in-cache versioning.
+
+use sim_core::fxhash::FxHashMap;
+use sim_core::types::Addr;
+
+/// Word-addressable flat memory. Grows on demand during setup; guest
+/// accesses outside the allocated range are a workload bug and panic.
+#[derive(Clone, Debug, Default)]
+pub struct FlatMem {
+    words: Vec<u64>,
+}
+
+impl FlatMem {
+    pub fn new() -> FlatMem {
+        // Word 0 is the reserved null word.
+        FlatMem { words: vec![0] }
+    }
+
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.len() <= 1
+    }
+
+    /// Extend the address space to at least `words` words.
+    pub fn grow_to(&mut self, words: usize) {
+        if words > self.words.len() {
+            self.words.resize(words, 0);
+        }
+    }
+
+    #[inline]
+    pub fn read(&self, a: Addr) -> u64 {
+        self.words[a.0 as usize]
+    }
+
+    #[inline]
+    pub fn write(&mut self, a: Addr, v: u64) {
+        self.words[a.0 as usize] = v;
+    }
+
+    /// FNV-style digest of all memory, used by serializability oracles in
+    /// the test suite.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in &self.words {
+            h ^= w;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Per-core speculative write buffer.
+#[derive(Clone, Debug, Default)]
+pub struct WriteBuffer {
+    pending: FxHashMap<Addr, u64>,
+}
+
+impl WriteBuffer {
+    #[inline]
+    pub fn write(&mut self, a: Addr, v: u64) {
+        self.pending.insert(a, v);
+    }
+
+    /// Transactional read: own speculative value, else the flat memory.
+    #[inline]
+    pub fn read(&self, mem: &FlatMem, a: Addr) -> u64 {
+        self.pending.get(&a).copied().unwrap_or_else(|| mem.read(a))
+    }
+
+    /// Commit: flush everything to flat memory atomically (the protocol
+    /// has kept the written lines exclusive, so this is linearizable at
+    /// the commit point).
+    pub fn commit(&mut self, mem: &mut FlatMem) {
+        for (a, v) in self.pending.drain() {
+            mem.write(a, v);
+        }
+    }
+
+    /// Abort: discard speculative values.
+    pub fn discard(&mut self) {
+        self.pending.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+/// Setup-phase view of memory: a bump allocator with direct (un-timed)
+/// access, used to build workload data structures before the simulated
+/// region of interest starts. Pages touched during setup count as mapped
+/// (no demand-paging faults for them during the run).
+pub struct SetupCtx {
+    mem: FlatMem,
+    brk: u64,
+    /// Page-aligned word ranges reserved for demand-paged heaps: their
+    /// pages are NOT pre-mapped, so first touches fault during the run.
+    unmapped: Vec<(u64, u64)>,
+}
+
+/// Words per demand-paging page (4 KiB / 8 bytes).
+pub const PAGE_WORDS: u64 = 512;
+
+impl SetupCtx {
+    pub fn new() -> SetupCtx {
+        SetupCtx { mem: FlatMem::new(), brk: 8, unmapped: Vec::new() }
+    }
+
+    /// Allocate `words` words, cache-line aligned to avoid accidental
+    /// false sharing between unrelated structures (workloads that *want*
+    /// false sharing pack explicitly).
+    pub fn alloc(&mut self, words: u64) -> Addr {
+        let aligned = (self.brk + 7) & !7;
+        self.brk = aligned + words;
+        self.mem.grow_to(self.brk as usize + 1);
+        Addr(aligned)
+    }
+
+    /// Allocate and initialize from a slice.
+    pub fn alloc_init(&mut self, data: &[u64]) -> Addr {
+        let a = self.alloc(data.len() as u64);
+        for (i, &v) in data.iter().enumerate() {
+            self.mem.write(a.add(i as u64), v);
+        }
+        a
+    }
+
+    /// Reserve a per-thread heap arena of `words` words and return its
+    /// base; used by the transactional allocator in `tmlib`. Unlike
+    /// [`SetupCtx::alloc`], the reserved pages are *not* pre-mapped:
+    /// first touches during the run raise demand-paging faults, exactly
+    /// like fresh heap pages under the original allocator.
+    pub fn reserve_arena(&mut self, words: u64) -> Addr {
+        // Page-align both ends so no mapped data shares these pages.
+        let start = self.brk.next_multiple_of(PAGE_WORDS);
+        let end = (start + words).next_multiple_of(PAGE_WORDS);
+        self.brk = end;
+        self.mem.grow_to(end as usize + 1);
+        self.unmapped.push((start, end));
+        Addr(start)
+    }
+
+    pub fn write(&mut self, a: Addr, v: u64) {
+        self.mem.write(a, v);
+    }
+
+    pub fn read(&self, a: Addr) -> u64 {
+        self.mem.read(a)
+    }
+
+    /// Highest allocated word + 1 (every page below is pre-mapped).
+    pub fn brk(&self) -> u64 {
+        self.brk
+    }
+
+    /// Finish setup: returns the memory image and the set of pre-mapped
+    /// pages (everything below the break except reserved arenas).
+    pub fn into_mem(self) -> (FlatMem, sim_core::fxhash::FxHashSet<u64>) {
+        let last_page = self.brk / PAGE_WORDS;
+        let mut mapped = sim_core::fxhash::FxHashSet::default();
+        'page: for p in 0..=last_page {
+            let lo = p * PAGE_WORDS;
+            for &(s, e) in &self.unmapped {
+                if lo >= s && lo < e {
+                    continue 'page;
+                }
+            }
+            mapped.insert(p);
+        }
+        (self.mem, mapped)
+    }
+}
+
+impl Default for SetupCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = FlatMem::new();
+        m.grow_to(100);
+        m.write(Addr(42), 7);
+        assert_eq!(m.read(Addr(42)), 7);
+        assert_eq!(m.read(Addr(43)), 0);
+    }
+
+    #[test]
+    fn write_buffer_shadows_flat() {
+        let mut m = FlatMem::new();
+        m.grow_to(100);
+        m.write(Addr(1), 10);
+        let mut wb = WriteBuffer::default();
+        assert_eq!(wb.read(&m, Addr(1)), 10);
+        wb.write(Addr(1), 20);
+        assert_eq!(wb.read(&m, Addr(1)), 20);
+        assert_eq!(m.read(Addr(1)), 10, "flat unchanged before commit");
+        wb.commit(&mut m);
+        assert_eq!(m.read(Addr(1)), 20);
+        assert!(wb.is_empty());
+    }
+
+    #[test]
+    fn discard_leaves_flat_untouched() {
+        let mut m = FlatMem::new();
+        m.grow_to(10);
+        let mut wb = WriteBuffer::default();
+        wb.write(Addr(3), 99);
+        wb.discard();
+        wb.commit(&mut m);
+        assert_eq!(m.read(Addr(3)), 0);
+    }
+
+    #[test]
+    fn setup_alloc_is_line_aligned() {
+        let mut s = SetupCtx::new();
+        let a = s.alloc(3);
+        let b = s.alloc(3);
+        assert_eq!(a.0 % 8, 0);
+        assert_eq!(b.0 % 8, 0);
+        assert!(b.0 >= a.0 + 3);
+        assert_ne!(a.line(), b.line(), "separate allocations share a line");
+    }
+
+    #[test]
+    fn alloc_init_copies() {
+        let mut s = SetupCtx::new();
+        let a = s.alloc_init(&[5, 6, 7]);
+        assert_eq!(s.read(a), 5);
+        assert_eq!(s.read(a.add(2)), 7);
+    }
+
+    #[test]
+    fn digest_changes_with_content() {
+        let mut m = FlatMem::new();
+        m.grow_to(50);
+        let d0 = m.digest();
+        m.write(Addr(9), 1);
+        assert_ne!(m.digest(), d0);
+    }
+
+    #[test]
+    fn null_word_reserved() {
+        let s = SetupCtx::new();
+        assert!(s.brk() >= 8, "allocations must not hand out the null line");
+    }
+}

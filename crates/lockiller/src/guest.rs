@@ -1,0 +1,373 @@
+//! Guest-program API and the transactional runtime (Listings 1 and 2 of
+//! the paper).
+//!
+//! A guest program runs on its own OS thread and talks to the engine in
+//! strict rendezvous: every operation blocks until the engine delivers the
+//! response at the correct simulated cycle. [`GuestCtx::critical`]
+//! implements `lock_acquire_elided`/`lock_release_elided`:
+//!
+//! - **CGL**: plain spin-lock critical section, no speculation;
+//! - **Baseline**: `xbegin`, subscribe to the fallback lock (a
+//!   transactional load of the lock word — acquiring the lock then aborts
+//!   every subscriber), `_xabort` if the lock is held, bounded retries,
+//!   then a fallback critical section under the lock;
+//! - **HTMLock systems**: the subscription is removed (the paper's grey
+//!   modification to Listing 1); the fallback executes `hlbegin`/`hlend`
+//!   as a TL lock transaction running concurrently with HTM transactions;
+//! - **switchingMode**: the engine may switch a running transaction to STL
+//!   transparently; `lock_release_elided` dispatches on `_ttest`
+//!   (Listing 2) and skips the lock release for STL finishes.
+//!
+//! Transaction bodies receive a [`TxCtx`] whose memory operations return
+//! `Result<_, Abort>`: an abort unwinds the body via `?` and the retry
+//! loop re-executes it, exactly like hardware rolling back to the xbegin.
+
+use sim_core::rng::SimRng;
+use sim_core::stats::AbortCause;
+use sim_core::types::Addr;
+use std::sync::mpsc::{Receiver, Sender};
+
+/// `_ttest` return value in STL mode (agreed constant, §III-C).
+pub const TTEST_STL: u64 = 0x0FFF_FFFF;
+/// `_ttest` return value in TL mode.
+pub const TTEST_TL: u64 = 0x1FFF_FFFF;
+/// `_ttest` return value inside a plain HTM transaction (nesting depth 1).
+pub const TTEST_HTM: u64 = 1;
+
+/// Operations a guest sends to the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GuestOp {
+    /// `n` non-memory instructions.
+    Compute(u64),
+    Load(Addr),
+    Store(Addr, u64),
+    /// Compare-and-swap; responds with the previous value.
+    Cas(Addr, u64, u64),
+    /// `xbegin`.
+    TxBegin,
+    /// `xend` (the engine dispatches to `hlend` semantics when the
+    /// transaction switched to STL — see `lock_release_elided`).
+    TxCommit,
+    /// `_xabort` — explicit abort (lock observed taken at subscription).
+    TxAbortUser,
+    /// `_ttest`.
+    TTest,
+    /// `hlbegin` — enter TL mode (caller holds the software lock).
+    HlBegin,
+    /// `hlend` — leave TL/STL mode.
+    HlEnd,
+    /// Phase annotations for the execution-time breakdown.
+    SpinBegin,
+    SpinEnd,
+    FallbackBegin,
+    FallbackEnd,
+    /// First-touch notification from the allocator (demand paging).
+    PageTouch(u64),
+    Barrier,
+    Exit,
+}
+
+/// Engine responses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GuestResp {
+    Done,
+    Value(u64),
+    /// The transaction aborted; control must unwind to the retry loop.
+    Aborted(AbortCause),
+}
+
+/// Abort token propagated by `?` through transaction bodies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Abort {
+    pub cause: AbortCause,
+}
+
+/// Policy knobs the guest-side runtime needs (copied from the system's
+/// `PolicyConfig` at spawn).
+#[derive(Clone, Copy, Debug)]
+pub struct GuestPolicy {
+    pub coarse_grained_lock: bool,
+    pub htmlock: bool,
+    pub max_retries: u32,
+    pub fallback_on_capacity: bool,
+}
+
+/// The guest side of the rendezvous channel plus the runtime state.
+pub struct GuestCtx {
+    pub tid: usize,
+    pub threads: usize,
+    pub rng: SimRng,
+    policy: GuestPolicy,
+    lock_addr: Addr,
+    tx: Sender<GuestOp>,
+    rx: Receiver<GuestResp>,
+    in_critical: bool,
+}
+
+impl GuestCtx {
+    pub fn new(
+        tid: usize,
+        threads: usize,
+        rng: SimRng,
+        policy: GuestPolicy,
+        lock_addr: Addr,
+        tx: Sender<GuestOp>,
+        rx: Receiver<GuestResp>,
+    ) -> GuestCtx {
+        GuestCtx { tid, threads, rng, policy, lock_addr, tx, rx, in_critical: false }
+    }
+
+    fn op(&self, o: GuestOp) -> GuestResp {
+        self.tx.send(o).expect("engine hung up");
+        self.rx.recv().expect("engine hung up")
+    }
+
+    fn op_infallible(&self, o: GuestOp) -> GuestResp {
+        match self.op(o) {
+            GuestResp::Aborted(c) => panic!("unexpected abort ({c:?}) outside a transaction"),
+            r => r,
+        }
+    }
+
+    // ---------------- non-transactional primitives ----------------
+
+    pub fn load(&self, a: Addr) -> u64 {
+        match self.op_infallible(GuestOp::Load(a)) {
+            GuestResp::Value(v) => v,
+            r => panic!("bad response to load: {r:?}"),
+        }
+    }
+
+    pub fn store(&self, a: Addr, v: u64) {
+        self.op_infallible(GuestOp::Store(a, v));
+    }
+
+    pub fn cas(&self, a: Addr, expected: u64, new: u64) -> u64 {
+        match self.op_infallible(GuestOp::Cas(a, expected, new)) {
+            GuestResp::Value(v) => v,
+            r => panic!("bad response to cas: {r:?}"),
+        }
+    }
+
+    pub fn compute(&self, n: u64) {
+        self.op_infallible(GuestOp::Compute(n));
+    }
+
+    pub fn page_touch(&self, page: u64) -> Result<(), Abort> {
+        match self.op(GuestOp::PageTouch(page)) {
+            GuestResp::Aborted(c) => Err(Abort { cause: c }),
+            _ => Ok(()),
+        }
+    }
+
+    pub fn barrier(&self) {
+        self.op_infallible(GuestOp::Barrier);
+    }
+
+    /// Must be the last call of `thread_main` (the runner also sends it on
+    /// return as a safety net — it is idempotent engine-side).
+    pub fn exit(&self) {
+        let _ = self.tx.send(GuestOp::Exit);
+    }
+
+    // ---------------- spin lock (test-and-test-and-set) ----------------
+
+    fn spin_acquire(&self) {
+        self.op_infallible(GuestOp::SpinBegin);
+        loop {
+            if self.load(self.lock_addr) == 0 && self.cas(self.lock_addr, 0, 1) == 0 {
+                break;
+            }
+            self.compute(16);
+        }
+        self.op_infallible(GuestOp::SpinEnd);
+    }
+
+    fn spin_until_free(&self) {
+        self.op_infallible(GuestOp::SpinBegin);
+        while self.load(self.lock_addr) != 0 {
+            self.compute(16);
+        }
+        self.op_infallible(GuestOp::SpinEnd);
+    }
+
+    fn release_lock(&self) {
+        self.store(self.lock_addr, 0);
+    }
+
+    // ---------------- the elided-lock critical section ----------------
+
+    /// Execute `f` as a critical section under the active system's
+    /// concurrency control. Shared state touched by `f` must live in
+    /// simulated memory (so aborts roll it back); host-side locals must be
+    /// re-initialized inside the closure.
+    pub fn critical<T>(&mut self, mut f: impl FnMut(&mut TxCtx) -> Result<T, Abort>) -> T {
+        assert!(!self.in_critical, "nested critical sections are not supported");
+        self.in_critical = true;
+        let v = self.critical_inner(&mut f);
+        self.in_critical = false;
+        v
+    }
+
+    fn critical_inner<T>(&mut self, f: &mut impl FnMut(&mut TxCtx) -> Result<T, Abort>) -> T {
+        if self.policy.coarse_grained_lock {
+            self.spin_acquire();
+            self.op_infallible(GuestOp::FallbackBegin);
+            let v = run_infallible(self, f);
+            self.op_infallible(GuestOp::FallbackEnd);
+            self.release_lock();
+            return v;
+        }
+
+        // lock_acquire_elided (Listing 1).
+        let mut retries = self.policy.max_retries;
+        while retries > 0 {
+            match self.try_htm(f) {
+                Ok(v) => return v,
+                Err(HtmFail::LockTaken) => {
+                    // Subscribed lock observed held: wait until free, then
+                    // burn one retry (Listing 1 decrements per iteration).
+                    self.spin_until_free();
+                    retries -= 1;
+                }
+                Err(HtmFail::Abort(cause)) => {
+                    let hopeless = matches!(cause, AbortCause::Of | AbortCause::Fault);
+                    if hopeless && self.policy.fallback_on_capacity {
+                        retries = 0;
+                    } else {
+                        retries -= 1;
+                    }
+                }
+            }
+        }
+
+        // Fallback path: lock_acquire + (hlbegin | plain critical section).
+        self.spin_acquire();
+        if self.policy.htmlock {
+            self.op_infallible(GuestOp::HlBegin);
+            let v = run_infallible(self, f);
+            self.op_infallible(GuestOp::HlEnd);
+            self.release_lock();
+            v
+        } else {
+            self.op_infallible(GuestOp::FallbackBegin);
+            let v = run_infallible(self, f);
+            self.op_infallible(GuestOp::FallbackEnd);
+            self.release_lock();
+            v
+        }
+    }
+
+    /// One speculative attempt: xbegin, optional lock subscription, body,
+    /// then `lock_release_elided` (Listing 2) with its ttest dispatch.
+    fn try_htm<T>(
+        &mut self,
+        f: &mut impl FnMut(&mut TxCtx) -> Result<T, Abort>,
+    ) -> Result<T, HtmFail> {
+        match self.op(GuestOp::TxBegin) {
+            GuestResp::Aborted(c) => return Err(HtmFail::Abort(c)),
+            _ => {}
+        }
+
+        let body = (|| -> Result<T, Abort> {
+            if !self.policy.htmlock {
+                // Baseline subscription: the fallback lock joins the read
+                // set; abort explicitly if it is already held.
+                let lock_addr = self.lock_addr;
+                let mut tx = TxCtx { g: self };
+                if tx.load(lock_addr)? != 0 {
+                    match tx.g.op(GuestOp::TxAbortUser) {
+                        GuestResp::Aborted(_) => return Err(Abort { cause: AbortCause::Mutex }),
+                        r => panic!("xabort must abort, got {r:?}"),
+                    }
+                }
+            }
+            let mut tx = TxCtx { g: self };
+            f(&mut tx)
+        })();
+
+        match body {
+            Err(a) => {
+                if a.cause == AbortCause::Mutex && !self.policy.htmlock {
+                    Err(HtmFail::LockTaken)
+                } else {
+                    Err(HtmFail::Abort(a.cause))
+                }
+            }
+            Ok(v) => {
+                // lock_release_elided (Listing 2): dispatch on _ttest.
+                match self.op(GuestOp::TTest) {
+                    GuestResp::Aborted(c) => Err(HtmFail::Abort(c)),
+                    GuestResp::Value(TTEST_STL) => {
+                        // Switched transaction: hlend, no lock to release.
+                        self.op_infallible(GuestOp::HlEnd);
+                        Ok(v)
+                    }
+                    GuestResp::Value(_) => match self.op(GuestOp::TxCommit) {
+                        GuestResp::Aborted(c) => Err(HtmFail::Abort(c)),
+                        _ => Ok(v),
+                    },
+                    r => panic!("bad ttest response: {r:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// Why a speculative attempt failed.
+enum HtmFail {
+    LockTaken,
+    Abort(AbortCause),
+}
+
+/// Run the body on the non-speculative path, where aborts cannot occur.
+fn run_infallible<T>(
+    g: &mut GuestCtx,
+    f: &mut impl FnMut(&mut TxCtx) -> Result<T, Abort>,
+) -> T {
+    let mut tx = TxCtx { g };
+    match f(&mut tx) {
+        Ok(v) => v,
+        Err(a) => panic!("abort on the non-speculative path: {a:?}"),
+    }
+}
+
+/// Memory operations inside a critical section. On the speculative path
+/// these can fail with [`Abort`]; on lock/CGL paths they never do, so the
+/// same body code serves every system.
+pub struct TxCtx<'a> {
+    pub g: &'a mut GuestCtx,
+}
+
+impl TxCtx<'_> {
+    pub fn load(&mut self, a: Addr) -> Result<u64, Abort> {
+        match self.g.op(GuestOp::Load(a)) {
+            GuestResp::Value(v) => Ok(v),
+            GuestResp::Aborted(c) => Err(Abort { cause: c }),
+            r => panic!("bad response to tx load: {r:?}"),
+        }
+    }
+
+    pub fn store(&mut self, a: Addr, v: u64) -> Result<(), Abort> {
+        match self.g.op(GuestOp::Store(a, v)) {
+            GuestResp::Aborted(c) => Err(Abort { cause: c }),
+            _ => Ok(()),
+        }
+    }
+
+    pub fn compute(&mut self, n: u64) -> Result<(), Abort> {
+        match self.g.op(GuestOp::Compute(n)) {
+            GuestResp::Aborted(c) => Err(Abort { cause: c }),
+            _ => Ok(()),
+        }
+    }
+
+    pub fn page_touch(&mut self, page: u64) -> Result<(), Abort> {
+        self.g.page_touch(page)
+    }
+
+    /// Thread id of the owning guest (handy for per-thread structures).
+    pub fn tid(&self) -> usize {
+        self.g.tid
+    }
+}

@@ -1,0 +1,37 @@
+//! # LockillerTM — the paper's contribution
+//!
+//! This crate assembles the CMP simulator substrate (`sim-core`, `noc`,
+//! `coherence`) into a full transactional-memory system and implements the
+//! three LockillerTM mechanisms plus every baseline the paper evaluates:
+//!
+//! - the **recovery mechanism** with insts-based dynamic priority
+//!   (§III-A): configured through [`SystemKind`], executed by the
+//!   coherence layer's NACK/reject/wake-up machinery;
+//! - the **HTMLock mechanism** (§III-B): the `hlbegin`/`hlend` runtime in
+//!   [`guest`], lock transactions with globally-highest priority, and LLC
+//!   overflow signatures;
+//! - the **switchingMode mechanism** (§III-C): transparent proactive
+//!   switching to STL mode on capacity overflow, driven by the engine.
+//!
+//! [`system::SystemKind`] names the nine Table-II systems; [`runner::Runner`]
+//! executes a [`program::Program`] (a multi-threaded guest workload) on a
+//! chosen system and returns [`sim_core::stats::RunStats`].
+//!
+//! Guest programs run on OS threads in strict rendezvous lockstep with the
+//! single-threaded discrete-event engine, which makes every simulation
+//! bit-deterministic.
+
+pub mod engine;
+pub mod flatmem;
+pub mod guest;
+pub mod program;
+pub mod runner;
+pub mod system;
+pub mod trace;
+
+pub use flatmem::{FlatMem, SetupCtx};
+pub use guest::{Abort, GuestCtx, TxCtx};
+pub use program::Program;
+pub use runner::Runner;
+pub use system::SystemKind;
+pub use trace::{render_timeline, Trace, TraceEvent, TraceKind};

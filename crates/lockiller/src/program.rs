@@ -1,0 +1,29 @@
+//! The workload interface: a `Program` is a multi-threaded guest
+//! application (e.g., one STAMP benchmark with fixed inputs).
+
+use crate::flatmem::{FlatMem, SetupCtx};
+use crate::guest::GuestCtx;
+
+/// A guest workload.
+///
+/// Lifecycle: [`Program::setup`] builds the shared data structures in
+/// simulated memory (un-timed, before the region of interest), then
+/// [`Program::run`] executes on every simulated thread concurrently, and
+/// finally [`Program::validate`] checks the resulting memory image —
+/// the serializability oracle used by the integration tests.
+pub trait Program: Sync {
+    fn name(&self) -> &str;
+
+    /// Build inputs and shared structures; record their addresses in
+    /// `self` for the thread bodies to use.
+    fn setup(&mut self, s: &mut SetupCtx, threads: usize);
+
+    /// Thread body; `ctx.tid` identifies the simulated thread.
+    fn run(&self, ctx: &mut GuestCtx);
+
+    /// Post-run invariant check on the final memory image.
+    fn validate(&self, mem: &FlatMem) -> Result<(), String> {
+        let _ = mem;
+        Ok(())
+    }
+}

@@ -1,0 +1,192 @@
+//! One-call simulation driver: configure a Table-II system, run a
+//! [`Program`] on it, get [`RunStats`] back.
+
+use crate::engine::Engine;
+use crate::flatmem::{FlatMem, SetupCtx};
+use crate::guest::{GuestCtx, GuestPolicy};
+use crate::program::Program;
+use crate::system::SystemKind;
+use sim_core::config::SystemConfig;
+use sim_core::rng::SimRng;
+use sim_core::stats::RunStats;
+use std::sync::mpsc::channel;
+
+/// Builder for a simulation run.
+#[derive(Clone)]
+pub struct Runner {
+    kind: SystemKind,
+    cfg: SystemConfig,
+    threads: usize,
+    seed: u64,
+    validate: bool,
+    retries: Option<u32>,
+    tracing: bool,
+}
+
+impl Runner {
+    pub fn new(kind: SystemKind) -> Runner {
+        Runner {
+            kind,
+            cfg: SystemConfig::table1(),
+            threads: 2,
+            seed: 0xC0FFEE,
+            validate: true,
+            retries: None,
+            tracing: false,
+        }
+    }
+
+    /// Record a structured execution trace (see [`crate::trace`]);
+    /// retrieve it with [`Runner::run_traced`].
+    pub fn tracing(mut self) -> Runner {
+        self.tracing = true;
+        self
+    }
+
+    /// Override the HTM retry budget (`TME_MAX_RETRIES`), e.g. for the
+    /// retry-budget ablation study.
+    pub fn retries(mut self, n: u32) -> Runner {
+        self.retries = Some(n);
+        self
+    }
+
+    /// Number of simulated worker threads (each pinned to one core).
+    pub fn threads(mut self, n: usize) -> Runner {
+        self.threads = n;
+        self
+    }
+
+    /// Replace the hardware configuration (cache sensitivity studies).
+    pub fn config(mut self, cfg: SystemConfig) -> Runner {
+        self.cfg = cfg;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Runner {
+        self.seed = seed;
+        self
+    }
+
+    /// Skip the program's post-run validation (used by tests that check
+    /// failure behaviour).
+    pub fn no_validate(mut self) -> Runner {
+        self.validate = false;
+        self
+    }
+
+    pub fn kind(&self) -> SystemKind {
+        self.kind
+    }
+
+    /// Run `prog` to completion; panics if post-run validation fails.
+    pub fn run<P: Program>(&self, prog: &mut P) -> RunStats {
+        let (stats, mem) = self.run_raw(prog);
+        if self.validate {
+            if let Err(e) = prog.validate(&mem) {
+                panic!(
+                    "validation failed: {} on {} ({} threads): {e}",
+                    prog.name(),
+                    self.kind.name(),
+                    self.threads
+                );
+            }
+        }
+        stats
+    }
+
+    /// Run with tracing enabled, returning the event trace too.
+    pub fn run_traced<P: Program>(
+        &self,
+        prog: &mut P,
+    ) -> (RunStats, Vec<crate::trace::TraceEvent>) {
+        let mut me = self.clone();
+        me.tracing = true;
+        let (stats, _mem, trace) = me.run_full(prog);
+        (stats, trace)
+    }
+
+    /// Run and return both the statistics and the final memory image.
+    pub fn run_raw<P: Program>(&self, prog: &mut P) -> (RunStats, FlatMem) {
+        let (stats, mem, _) = self.run_full(prog);
+        (stats, mem)
+    }
+
+    fn run_full<P: Program>(&self, prog: &mut P) -> (RunStats, FlatMem, Vec<crate::trace::TraceEvent>) {
+        let mut cfg = self.cfg.clone();
+        cfg.policy = self.kind.policy();
+        if let Some(r) = self.retries {
+            cfg.policy.max_retries = r;
+        }
+        assert!(
+            self.threads >= 1 && self.threads <= cfg.num_cores,
+            "thread count {} exceeds {} cores",
+            self.threads,
+            cfg.num_cores
+        );
+
+        // Setup phase: the fallback lock gets its own line, then the
+        // program builds its structures. Pages touched here are pre-mapped.
+        let mut setup = SetupCtx::new();
+        let lock_addr = setup.alloc(8);
+        prog.setup(&mut setup, self.threads);
+        let (mem, mapped_pages) = setup.into_mem();
+
+        let mut engine = Engine::new(cfg.clone(), mem, self.threads, lock_addr, mapped_pages);
+        if self.tracing {
+            engine.trace = crate::trace::Trace::enabled();
+        }
+
+        let gpolicy = GuestPolicy {
+            coarse_grained_lock: cfg.policy.coarse_grained_lock,
+            htmlock: cfg.policy.htmlock,
+            max_retries: cfg.policy.max_retries,
+            fallback_on_capacity: cfg.policy.fallback_on_capacity,
+        };
+
+        let mut base_rng = SimRng::new(self.seed);
+        let mut guests = Vec::with_capacity(self.threads);
+        for tid in 0..self.threads {
+            let (op_tx, op_rx) = channel();
+            let (resp_tx, resp_rx) = channel();
+            engine.register(tid, resp_tx, op_rx);
+            guests.push(GuestCtx::new(
+                tid,
+                self.threads,
+                base_rng.fork(tid as u64),
+                gpolicy,
+                lock_addr,
+                op_tx,
+                resp_rx,
+            ));
+        }
+
+        std::thread::scope(|s| {
+            for mut g in guests {
+                let p: &P = prog;
+                s.spawn(move || {
+                    p.run(&mut g);
+                    g.exit();
+                });
+            }
+            engine.run();
+        });
+
+        let trace = engine.trace.take();
+        let (stats, mem) = engine.into_stats();
+        (stats, mem, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let r = Runner::new(SystemKind::Baseline);
+        assert_eq!(r.kind(), SystemKind::Baseline);
+        let r = r.threads(4).seed(1);
+        assert_eq!(r.threads, 4);
+        assert_eq!(r.seed, 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! The nine evaluated systems of Table II, mapped to policy knobs.
+
+use sim_core::config::{PolicyConfig, PriorityKind, RejectAction};
+
+/// Table II of the paper: every evaluated concurrency-control system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Coarse-grained locking with the same granularity as transactions.
+    Cgl,
+    /// Best-effort HTM with requester-win conflict resolution and a
+    /// lock-subscribing fallback path.
+    Baseline,
+    /// LosaTM without the false-sharing and capacity-overflow
+    /// optimizations: recovery-style NACKs with progression-based
+    /// priority and wake-up.
+    LosaTmSafu,
+    /// Baseline + recovery + self-abort on reject + insts-based priority.
+    LockillerRai,
+    /// Baseline + recovery + retry-after-pause on reject + insts-based
+    /// priority.
+    LockillerRri,
+    /// Baseline + recovery + wait-for-wakeup on reject + insts-based
+    /// priority.
+    LockillerRwi,
+    /// Baseline + recovery + wake-up + HTMLock, without insts-based
+    /// priority (FCFS arbitration among HTM transactions).
+    LockillerRwl,
+    /// LockillerTM-RWI + HTMLock.
+    LockillerRwil,
+    /// The full system: RWI + HTMLock + switchingMode.
+    LockillerTm,
+}
+
+impl SystemKind {
+    /// All systems, in Table II order.
+    pub const ALL: [SystemKind; 9] = [
+        SystemKind::Cgl,
+        SystemKind::Baseline,
+        SystemKind::LosaTmSafu,
+        SystemKind::LockillerRai,
+        SystemKind::LockillerRri,
+        SystemKind::LockillerRwi,
+        SystemKind::LockillerRwl,
+        SystemKind::LockillerRwil,
+        SystemKind::LockillerTm,
+    ];
+
+    /// The HTM systems compared in Fig. 8 (recovery variants + baseline).
+    pub const FIG8: [SystemKind; 4] = [
+        SystemKind::Baseline,
+        SystemKind::LockillerRai,
+        SystemKind::LockillerRri,
+        SystemKind::LockillerRwi,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Cgl => "CGL",
+            SystemKind::Baseline => "Baseline",
+            SystemKind::LosaTmSafu => "LosaTM-SAFU",
+            SystemKind::LockillerRai => "LockillerTM-RAI",
+            SystemKind::LockillerRri => "LockillerTM-RRI",
+            SystemKind::LockillerRwi => "LockillerTM-RWI",
+            SystemKind::LockillerRwl => "LockillerTM-RWL",
+            SystemKind::LockillerRwil => "LockillerTM-RWIL",
+            SystemKind::LockillerTm => "LockillerTM",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<SystemKind> {
+        SystemKind::ALL.iter().copied().find(|s| s.name().eq_ignore_ascii_case(name))
+    }
+
+    /// The policy configuration implementing this system.
+    pub fn policy(self) -> PolicyConfig {
+        let base = PolicyConfig::default();
+        match self {
+            SystemKind::Cgl => PolicyConfig { coarse_grained_lock: true, ..base },
+            SystemKind::Baseline => PolicyConfig {
+                recovery: false,
+                priority: PriorityKind::RequesterWins,
+                ..base
+            },
+            SystemKind::LosaTmSafu => PolicyConfig {
+                recovery: true,
+                priority: PriorityKind::ProgressionBased,
+                reject_action: RejectAction::WaitWakeup,
+                ..base
+            },
+            SystemKind::LockillerRai => PolicyConfig {
+                recovery: true,
+                priority: PriorityKind::InstsBased,
+                reject_action: RejectAction::SelfAbort,
+                ..base
+            },
+            SystemKind::LockillerRri => PolicyConfig {
+                recovery: true,
+                priority: PriorityKind::InstsBased,
+                reject_action: RejectAction::RetryLater,
+                ..base
+            },
+            SystemKind::LockillerRwi => PolicyConfig {
+                recovery: true,
+                priority: PriorityKind::InstsBased,
+                reject_action: RejectAction::WaitWakeup,
+                ..base
+            },
+            SystemKind::LockillerRwl => PolicyConfig {
+                recovery: true,
+                priority: PriorityKind::Fcfs,
+                reject_action: RejectAction::WaitWakeup,
+                htmlock: true,
+                ..base
+            },
+            SystemKind::LockillerRwil => PolicyConfig {
+                recovery: true,
+                priority: PriorityKind::InstsBased,
+                reject_action: RejectAction::WaitWakeup,
+                htmlock: true,
+                ..base
+            },
+            SystemKind::LockillerTm => PolicyConfig {
+                recovery: true,
+                priority: PriorityKind::InstsBased,
+                reject_action: RejectAction::WaitWakeup,
+                htmlock: true,
+                switching_mode: true,
+                ..base
+            },
+        }
+    }
+
+    pub fn uses_htm(self) -> bool {
+        self != SystemKind::Cgl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_systems_as_in_table2() {
+        assert_eq!(SystemKind::ALL.len(), 9);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for s in SystemKind::ALL {
+            assert_eq!(SystemKind::from_name(s.name()), Some(s));
+        }
+        assert_eq!(SystemKind::from_name("lockillertm"), Some(SystemKind::LockillerTm));
+        assert_eq!(SystemKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn policy_feature_ladder() {
+        assert!(SystemKind::Cgl.policy().coarse_grained_lock);
+        let b = SystemKind::Baseline.policy();
+        assert!(!b.recovery && !b.htmlock && !b.switching_mode);
+        let rwi = SystemKind::LockillerRwi.policy();
+        assert!(rwi.recovery && !rwi.htmlock);
+        assert_eq!(rwi.priority, PriorityKind::InstsBased);
+        assert_eq!(rwi.reject_action, RejectAction::WaitWakeup);
+        let rwil = SystemKind::LockillerRwil.policy();
+        assert!(rwil.recovery && rwil.htmlock && !rwil.switching_mode);
+        let full = SystemKind::LockillerTm.policy();
+        assert!(full.recovery && full.htmlock && full.switching_mode);
+        let rwl = SystemKind::LockillerRwl.policy();
+        assert_eq!(rwl.priority, PriorityKind::Fcfs);
+        assert!(rwl.htmlock);
+        let losa = SystemKind::LosaTmSafu.policy();
+        assert_eq!(losa.priority, PriorityKind::ProgressionBased);
+        assert!(!losa.htmlock);
+    }
+
+    #[test]
+    fn rai_rri_differ_only_in_reject_action() {
+        let rai = SystemKind::LockillerRai.policy();
+        let rri = SystemKind::LockillerRri.policy();
+        assert_eq!(rai.reject_action, RejectAction::SelfAbort);
+        assert_eq!(rri.reject_action, RejectAction::RetryLater);
+        assert_eq!(rai.priority, rri.priority);
+        assert_eq!(rai.htmlock, rri.htmlock);
+    }
+}

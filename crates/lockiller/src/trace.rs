@@ -1,0 +1,184 @@
+//! Structured execution tracing: the engine can record per-core
+//! transactional events (begin/commit/abort/fallback/switch/reject) with
+//! cycle timestamps, for debugging, visualization, and tests that assert
+//! on event orderings rather than aggregate counters.
+
+use sim_core::stats::AbortCause;
+use sim_core::types::{CoreId, Cycle};
+
+/// One traced event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// `xbegin` — a speculative attempt starts.
+    TxBegin,
+    /// `xend` — speculative commit.
+    Commit,
+    /// Abort delivered to the guest, with its cause.
+    Abort(AbortCause),
+    /// The retry loop gave up and took the fallback path.
+    Fallback,
+    /// TL lock transaction entered (`hlbegin`).
+    HlBegin,
+    /// TL/STL lock transaction finished (`hlend`).
+    HlEnd,
+    /// Proactive switch authorized: the transaction continues as STL.
+    SwitchGranted,
+    /// Proactive switch denied (another lock transaction active).
+    SwitchDenied,
+    /// This core's request was rejected by the recovery mechanism
+    /// (`by_sig` = by the LLC overflow signatures).
+    Rejected { by_sig: bool },
+    /// A wake-up arrived and the parked request retried.
+    Woken,
+}
+
+impl TraceKind {
+    /// Compact single-character glyph for timeline rendering.
+    pub fn glyph(self) -> char {
+        match self {
+            TraceKind::TxBegin => '(',
+            TraceKind::Commit => ')',
+            TraceKind::Abort(_) => 'x',
+            TraceKind::Fallback => 'F',
+            TraceKind::HlBegin => '[',
+            TraceKind::HlEnd => ']',
+            TraceKind::SwitchGranted => 'S',
+            TraceKind::SwitchDenied => 's',
+            TraceKind::Rejected { .. } => 'r',
+            TraceKind::Woken => 'w',
+        }
+    }
+}
+
+/// A `(cycle, core, kind)` record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub cycle: Cycle,
+    pub core: CoreId,
+    pub kind: TraceKind,
+}
+
+/// Event sink owned by the engine; disabled by default (zero cost beyond
+/// a branch).
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub fn enabled() -> Trace {
+        Trace { enabled: true, events: Vec::new() }
+    }
+
+    #[inline]
+    pub fn record(&mut self, cycle: Cycle, core: CoreId, kind: TraceKind) {
+        if self.enabled {
+            self.events.push(TraceEvent { cycle, core, kind });
+        }
+    }
+
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+/// Render a compact ASCII timeline: one lane per core, one column per
+/// `cycles_per_col` cycles; multiple events in a column keep the last
+/// glyph.
+pub fn render_timeline(events: &[TraceEvent], threads: usize, width: usize) -> String {
+    if events.is_empty() {
+        return String::from("(no events)\n");
+    }
+    let end = events.iter().map(|e| e.cycle).max().unwrap() + 1;
+    let per_col = end.div_ceil(width as u64).max(1);
+    let cols = end.div_ceil(per_col) as usize;
+    let mut lanes = vec![vec!['.'; cols]; threads];
+    for e in events {
+        let col = (e.cycle / per_col) as usize;
+        if e.core < threads && col < cols {
+            lanes[e.core][col] = e.kind.glyph();
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "timeline: {} cycles, {} cycles/column\n\
+         legend: ( begin  ) commit  x abort  r rejected  w woken  F fallback  [ hlbegin  ] hlend  S switch\n",
+        end, per_col
+    ));
+    for (c, lane) in lanes.iter().enumerate() {
+        out.push_str(&format!("core {c:>2} |"));
+        out.extend(lane.iter());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::default();
+        t.record(5, 0, TraceKind::TxBegin);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.record(1, 0, TraceKind::TxBegin);
+        t.record(9, 1, TraceKind::Commit);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].kind, TraceKind::TxBegin);
+        assert_eq!(t.events()[1].cycle, 9);
+    }
+
+    #[test]
+    fn glyphs_are_unique() {
+        let kinds = [
+            TraceKind::TxBegin,
+            TraceKind::Commit,
+            TraceKind::Abort(AbortCause::Mc),
+            TraceKind::Fallback,
+            TraceKind::HlBegin,
+            TraceKind::HlEnd,
+            TraceKind::SwitchGranted,
+            TraceKind::SwitchDenied,
+            TraceKind::Rejected { by_sig: false },
+            TraceKind::Woken,
+        ];
+        let mut glyphs: Vec<char> = kinds.iter().map(|k| k.glyph()).collect();
+        glyphs.sort_unstable();
+        glyphs.dedup();
+        assert_eq!(glyphs.len(), kinds.len());
+    }
+
+    #[test]
+    fn timeline_renders_lanes() {
+        let events = vec![
+            TraceEvent { cycle: 0, core: 0, kind: TraceKind::TxBegin },
+            TraceEvent { cycle: 50, core: 0, kind: TraceKind::Commit },
+            TraceEvent { cycle: 25, core: 1, kind: TraceKind::Abort(AbortCause::Mc) },
+        ];
+        let s = render_timeline(&events, 2, 10);
+        assert!(s.contains("core  0 |"));
+        assert!(s.contains("core  1 |"));
+        assert!(s.contains('('));
+        assert!(s.contains('x'));
+    }
+
+    #[test]
+    fn timeline_handles_empty() {
+        assert_eq!(render_timeline(&[], 2, 10), "(no events)\n");
+    }
+}

@@ -1,0 +1,18 @@
+//! Network-on-chip timing model: a 2-D mesh with dimension-ordered (X-Y)
+//! routing, per-link serialization, and store-and-forward flit timing, as
+//! configured by Table I of the paper (4x8 mesh, 1-cycle links, 1 flit per
+//! cycle per link, 16-byte flits: 1-flit control messages, 5-flit data
+//! messages).
+//!
+//! The model is *passive*: [`Mesh::send`] computes the arrival cycle of a
+//! message injected `now`, updating per-link occupancy so that contending
+//! messages serialize. The simulation engine schedules the delivery event
+//! at the returned cycle. This keeps the NoC free of its own event loop
+//! while still modelling queueing delay on hot links (e.g., the links into
+//! a contended LLC home bank).
+
+pub mod mesh;
+pub mod route;
+
+pub use mesh::{Mesh, NocStats};
+pub use route::{route_hops, NodeId, Position};

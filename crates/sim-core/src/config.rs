@@ -1,0 +1,315 @@
+//! System configuration mirroring Table I of the paper, plus the policy
+//! knobs that distinguish the Table II systems.
+//!
+//! [`SystemConfig::table1`] is the "typical" configuration every headline
+//! experiment uses; [`SystemConfig::small_cache`] and
+//! [`SystemConfig::large_cache`] are the Fig. 13 sensitivity points
+//! (8 KB L1 / 1 MB LLC and 128 KB L1 / 32 MB LLC).
+
+use crate::types::Cycle;
+
+/// Geometry of one set-associative cache (sizes are per instance: one L1,
+/// or one LLC bank).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Number of sets. Must be a power of two.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheGeometry {
+    /// Geometry for a cache of `bytes` capacity with `ways` associativity
+    /// and 64-byte lines.
+    pub fn from_capacity(bytes: usize, ways: usize) -> CacheGeometry {
+        let lines = bytes / 64;
+        assert!(lines >= ways && lines % ways == 0, "capacity not divisible by ways");
+        let sets = lines / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheGeometry { sets, ways }
+    }
+
+    /// Total lines held.
+    pub fn lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Set index for a line number.
+    #[inline]
+    pub fn set_of(&self, line: u64) -> usize {
+        (line as usize) & (self.sets - 1)
+    }
+}
+
+/// Memory-subsystem parameters (Table I).
+#[derive(Clone, Debug)]
+pub struct MemConfig {
+    /// Private L1 geometry (per core).
+    pub l1: CacheGeometry,
+    /// Shared LLC geometry **per bank** (one bank per tile).
+    pub llc_bank: CacheGeometry,
+    /// L1 hit latency in cycles.
+    pub l1_hit: Cycle,
+    /// LLC bank access latency in cycles.
+    pub llc_hit: Cycle,
+    /// Off-chip memory latency in cycles.
+    pub mem_latency: Cycle,
+    /// Bits per overflow signature (OfRdSig / OfWrSig); Bloom filter size.
+    pub signature_bits: usize,
+    /// Hash functions per signature.
+    pub signature_hashes: usize,
+    /// Direct L1-to-L1 responses (§III-A: "assuming L1 nodes can
+    /// communicate directly, the response containing reject information
+    /// can be sent directly to the requester"): a probed owner answers
+    /// the requester in one hop (data or reject) while acknowledging the
+    /// directory in parallel. `false` = every response flows through the
+    /// home bank (the paper's subordinate-only topology, Fig. 2 ④⑤⑥).
+    pub direct_rsp: bool,
+}
+
+/// Network-on-chip parameters (Table I: 4x8 mesh, X-Y routing, 16 B flits).
+#[derive(Clone, Copy, Debug)]
+pub struct NocConfig {
+    /// Mesh width (X dimension).
+    pub width: usize,
+    /// Mesh height (Y dimension).
+    pub height: usize,
+    /// Per-hop link latency in cycles.
+    pub link_latency: Cycle,
+    /// Flits in a control message.
+    pub control_flits: u32,
+    /// Flits in a data message (64 B line + header at 16 B flits = 5).
+    pub data_flits: u32,
+}
+
+/// How a transaction's priority (the "user-defined data" carried on the
+/// bus in the paper's recovery mechanism) is computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PriorityKind {
+    /// No priority: the requester always wins (baseline best-effort HTM).
+    RequesterWins,
+    /// Instructions committed inside the current transaction attempt
+    /// (the paper's insts-based policy).
+    InstsBased,
+    /// Memory references completed inside the current attempt (the
+    /// progression-based policy attributed to LosaTM).
+    ProgressionBased,
+    /// First-come-first-served among HTM transactions: every HTM
+    /// transaction has equal priority (ties broken by core id), used by
+    /// the RWL configuration which has recovery but no insts-based
+    /// priority.
+    Fcfs,
+}
+
+/// What a requester does after the recovery mechanism rejects its request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectAction {
+    /// Abort the requesting transaction (LockillerTM-RAI).
+    SelfAbort,
+    /// Re-issue the request after a fixed pause (LockillerTM-RRI).
+    RetryLater,
+    /// Park the request until the rejecting core sends a wake-up
+    /// (LockillerTM-RWI and all HTMLock systems).
+    WaitWakeup,
+}
+
+/// Policy knobs distinguishing the Table II systems. The `lockiller`
+/// crate maps each named system to one of these.
+#[derive(Clone, Debug)]
+pub struct PolicyConfig {
+    /// Execute critical sections under a single global lock instead of HTM.
+    pub coarse_grained_lock: bool,
+    /// Enable the recovery (NACK/reject) mechanism.
+    pub recovery: bool,
+    /// Priority metric used when `recovery` is on.
+    pub priority: PriorityKind,
+    /// Requester behaviour on reject.
+    pub reject_action: RejectAction,
+    /// Enable the HTMLock mechanism (lock transactions run concurrently
+    /// with HTM transactions; no lock subscription in HTM read sets).
+    pub htmlock: bool,
+    /// Enable the switchingMode mechanism (requires `htmlock`).
+    pub switching_mode: bool,
+    /// HTM retry budget before taking the fallback path (Listing 1's
+    /// `TME_MAX_RETRIES`).
+    pub max_retries: u32,
+    /// Go to the fallback path immediately on capacity/fault aborts
+    /// instead of burning the remaining retries.
+    pub fallback_on_capacity: bool,
+    /// Pause, in cycles, before re-issuing a rejected request under
+    /// [`RejectAction::RetryLater`].
+    pub retry_pause: Cycle,
+    /// Safety-net timeout for parked (WaitWakeup) requests. A correctly
+    /// functioning wake-up path never hits this; a stats counter records
+    /// if it ever fires so tests can assert it stayed at zero.
+    pub wakeup_timeout: Cycle,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            coarse_grained_lock: false,
+            recovery: false,
+            priority: PriorityKind::RequesterWins,
+            reject_action: RejectAction::WaitWakeup,
+            htmlock: false,
+            switching_mode: false,
+            max_retries: 8,
+            fallback_on_capacity: true,
+            retry_pause: 64,
+            wakeup_timeout: 200_000,
+        }
+    }
+}
+
+/// Full system model configuration (Table I + policy).
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Number of cores / tiles.
+    pub num_cores: usize,
+    pub mem: MemConfig,
+    pub noc: NocConfig,
+    pub policy: PolicyConfig,
+    /// Cycles charged for processing an abort (register restore etc.).
+    pub abort_penalty: Cycle,
+    /// Cycles charged for a commit.
+    pub commit_penalty: Cycle,
+    /// Cycles charged to service a demand-paging fault outside a
+    /// transaction (inside an HTM transaction a fault aborts instead).
+    pub fault_service: Cycle,
+}
+
+impl SystemConfig {
+    /// The paper's Table I configuration: 32 in-order cores, 32 KB 4-way
+    /// private L1s, 8 MB 16-way shared LLC, 4x8 mesh, 100-cycle memory.
+    pub fn table1() -> SystemConfig {
+        SystemConfig {
+            num_cores: 32,
+            mem: MemConfig {
+                l1: CacheGeometry::from_capacity(32 * 1024, 4),
+                // 8 MB shared LLC split over 32 banks = 256 KB/bank, 16-way.
+                llc_bank: CacheGeometry::from_capacity(8 * 1024 * 1024 / 32, 16),
+                l1_hit: 2,
+                llc_hit: 12,
+                mem_latency: 100,
+                signature_bits: 1024,
+                signature_hashes: 3,
+                direct_rsp: false,
+            },
+            noc: NocConfig {
+                width: 4,
+                height: 8,
+                link_latency: 1,
+                control_flits: 1,
+                data_flits: 5,
+            },
+            policy: PolicyConfig::default(),
+            abort_penalty: 30,
+            commit_penalty: 6,
+            fault_service: 300,
+        }
+    }
+
+    /// Fig. 13 "small cache" point: 8 KB L1, 1 MB LLC.
+    pub fn small_cache() -> SystemConfig {
+        let mut c = SystemConfig::table1();
+        c.mem.l1 = CacheGeometry::from_capacity(8 * 1024, 4);
+        c.mem.llc_bank = CacheGeometry::from_capacity(1024 * 1024 / 32, 16);
+        c
+    }
+
+    /// Fig. 13 "large cache" point: 128 KB L1, 32 MB LLC.
+    pub fn large_cache() -> SystemConfig {
+        let mut c = SystemConfig::table1();
+        c.mem.l1 = CacheGeometry::from_capacity(128 * 1024, 4);
+        c.mem.llc_bank = CacheGeometry::from_capacity(32 * 1024 * 1024 / 32, 16);
+        c
+    }
+
+    /// A scaled-down configuration for fast unit/integration tests:
+    /// fewer cores and small caches, same protocol behaviour.
+    pub fn testing(num_cores: usize) -> SystemConfig {
+        let mut c = SystemConfig::table1();
+        assert!(num_cores >= 1 && num_cores <= 32);
+        c.num_cores = num_cores;
+        // Keep the mesh large enough to hold every core.
+        if num_cores <= 4 {
+            c.noc.width = 2;
+            c.noc.height = 2;
+        } else if num_cores <= 8 {
+            c.noc.width = 2;
+            c.noc.height = 4;
+        } else if num_cores <= 16 {
+            c.noc.width = 4;
+            c.noc.height = 4;
+        }
+        c.mem.l1 = CacheGeometry::from_capacity(4 * 1024, 4);
+        c.mem.llc_bank = CacheGeometry::from_capacity(64 * 1024 / num_cores.next_power_of_two(), 8);
+        c
+    }
+
+    /// Number of LLC banks (one per tile).
+    pub fn num_banks(&self) -> usize {
+        self.num_cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let c = SystemConfig::table1();
+        assert_eq!(c.num_cores, 32);
+        // 32 KB, 4-way, 64 B lines => 128 sets.
+        assert_eq!(c.mem.l1.sets, 128);
+        assert_eq!(c.mem.l1.ways, 4);
+        assert_eq!(c.mem.l1.lines() * 64, 32 * 1024);
+        // 8 MB over 32 banks.
+        assert_eq!(c.mem.llc_bank.lines() * 64 * 32, 8 * 1024 * 1024);
+        assert_eq!(c.mem.llc_bank.ways, 16);
+        assert_eq!(c.mem.l1_hit, 2);
+        assert_eq!(c.mem.llc_hit, 12);
+        assert_eq!(c.mem.mem_latency, 100);
+        assert_eq!(c.noc.width * c.noc.height, 32);
+        assert_eq!(c.noc.data_flits, 5);
+        assert_eq!(c.noc.control_flits, 1);
+        assert_eq!(c.noc.link_latency, 1);
+    }
+
+    #[test]
+    fn cache_geometry_from_capacity() {
+        let g = CacheGeometry::from_capacity(32 * 1024, 4);
+        assert_eq!(g.sets, 128);
+        assert_eq!(g.lines(), 512);
+        // Set mapping masks low line bits.
+        assert_eq!(g.set_of(0), 0);
+        assert_eq!(g.set_of(127), 127);
+        assert_eq!(g.set_of(128), 0);
+    }
+
+    #[test]
+    fn sensitivity_configs() {
+        let s = SystemConfig::small_cache();
+        assert_eq!(s.mem.l1.lines() * 64, 8 * 1024);
+        assert_eq!(s.mem.llc_bank.lines() * 64 * 32, 1024 * 1024);
+        let l = SystemConfig::large_cache();
+        assert_eq!(l.mem.l1.lines() * 64, 128 * 1024);
+        assert_eq!(l.mem.llc_bank.lines() * 64 * 32, 32 * 1024 * 1024);
+    }
+
+    #[test]
+    fn testing_config_meshes_fit() {
+        for n in [1, 2, 3, 4, 6, 8, 12, 16, 24, 32] {
+            let c = SystemConfig::testing(n);
+            assert!(c.noc.width * c.noc.height >= n, "mesh too small for {n} cores");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        let _ = CacheGeometry::from_capacity(24 * 1024, 4);
+    }
+}

@@ -1,0 +1,119 @@
+//! A small, fast, deterministic hasher (the FxHash multiply-rotate scheme
+//! used by rustc) plus map/set aliases.
+//!
+//! The simulator keys many hot tables by address or line number; SipHash's
+//! HashDoS protection is irrelevant here and its cost is not, so every
+//! internal table uses these aliases. Determinism also matters: iteration
+//! never drives behaviour, but hashing itself must not depend on process
+//! randomness for runs to be bit-reproducible.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash: a very fast non-cryptographic hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+}
+
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+/// Hash a single u64 with the Fx scheme (used by the Bloom signatures).
+#[inline]
+pub fn hash_u64(x: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(x);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = hash_u64(0xdead_beef);
+        let b = hash_u64(0xdead_beef);
+        assert_eq!(a, b);
+        assert_ne!(hash_u64(1), hash_u64(2));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * 3);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&(i * 3)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn distributes_sequential_keys() {
+        // Cheap sanity check that sequential integers don't all collide in
+        // low bits after hashing.
+        let mut low_bits = FxHashSet::default();
+        for i in 0..64u64 {
+            low_bits.insert(hash_u64(i) & 0x3f);
+        }
+        assert!(low_bits.len() > 16, "poor dispersion: {}", low_bits.len());
+    }
+
+    #[test]
+    fn byte_writes_match_padding_rule() {
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3]);
+        let mut h2 = FxHasher::default();
+        h2.write_u64(u64::from_le_bytes([1, 2, 3, 0, 0, 0, 0, 0]));
+        assert_eq!(h1.finish(), h2.finish());
+    }
+}

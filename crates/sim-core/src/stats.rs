@@ -1,0 +1,349 @@
+//! Statistics collected during a simulation run: the execution-time
+//! breakdown of Figs. 9/11, the abort-cause taxonomy of Fig. 10, and the
+//! commit-rate counters of Fig. 8.
+
+use crate::types::{CoreId, Cycle};
+
+/// Execution-time categories, matching the paper's breakdown figures.
+///
+/// `Htm` and `Aborted` split speculative execution by its eventual outcome;
+/// `SwitchLock` is Fig. 11's extra category for transactions that finished
+/// in STL mode after a successful proactive switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Speculative transaction cycles that ended in a commit.
+    Htm,
+    /// Speculative transaction cycles that ended in an abort.
+    Aborted,
+    /// Lock-transaction cycles (fallback path / CGL critical sections /
+    /// TL-mode HTMLock transactions).
+    Lock,
+    /// Cycles of a transaction that committed in STL mode after a
+    /// successful proactive switch (Fig. 11's `switchLock`).
+    SwitchLock,
+    /// Non-transactional work and barrier waits.
+    NonTran,
+    /// Spinning on / waiting for the fallback (or CGL) lock.
+    WaitLock,
+    /// Abort processing and post-reject stalls (rollback).
+    Rollback,
+}
+
+impl Phase {
+    pub const ALL: [Phase; 7] = [
+        Phase::Htm,
+        Phase::Aborted,
+        Phase::Lock,
+        Phase::SwitchLock,
+        Phase::NonTran,
+        Phase::WaitLock,
+        Phase::Rollback,
+    ];
+
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Htm => 0,
+            Phase::Aborted => 1,
+            Phase::Lock => 2,
+            Phase::SwitchLock => 3,
+            Phase::NonTran => 4,
+            Phase::WaitLock => 5,
+            Phase::Rollback => 6,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Htm => "htm",
+            Phase::Aborted => "aborted",
+            Phase::Lock => "lock",
+            Phase::SwitchLock => "switchLock",
+            Phase::NonTran => "non-tran",
+            Phase::WaitLock => "waitlock",
+            Phase::Rollback => "rollback",
+        }
+    }
+}
+
+/// Why a transaction aborted — the six categories of Fig. 10.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AbortCause {
+    /// Conflict with another HTM transaction.
+    Mc,
+    /// Conflict with a lock transaction (HTMLock TL/STL mode).
+    Lock,
+    /// Conflict with the fallback path (the fallback-lock line itself:
+    /// lock-subscription aborts).
+    Mutex,
+    /// Conflict with a non-transactional access (excluding lock/mutex).
+    NonTran,
+    /// Cache overflow (capacity / associativity, including LLC
+    /// back-invalidation).
+    Of,
+    /// Exception (demand-paging fault inside the transaction).
+    Fault,
+}
+
+impl AbortCause {
+    pub const ALL: [AbortCause; 6] = [
+        AbortCause::Mc,
+        AbortCause::Lock,
+        AbortCause::Mutex,
+        AbortCause::NonTran,
+        AbortCause::Of,
+        AbortCause::Fault,
+    ];
+
+    pub fn index(self) -> usize {
+        match self {
+            AbortCause::Mc => 0,
+            AbortCause::Lock => 1,
+            AbortCause::Mutex => 2,
+            AbortCause::NonTran => 3,
+            AbortCause::Of => 4,
+            AbortCause::Fault => 5,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortCause::Mc => "mc",
+            AbortCause::Lock => "lock",
+            AbortCause::Mutex => "mutex",
+            AbortCause::NonTran => "non_tran",
+            AbortCause::Of => "of",
+            AbortCause::Fault => "fault",
+        }
+    }
+}
+
+/// Per-core phase accounting. The engine switches the current phase as the
+/// core moves through its program; speculative cycles park in a pending
+/// bucket until the transaction's fate (commit/abort) is known.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTracker {
+    bucket: [Cycle; 7],
+    /// Cycles of the in-flight transaction attempt, attributed on outcome.
+    pending_spec: Cycle,
+}
+
+impl PhaseTracker {
+    pub fn add(&mut self, phase: Phase, cycles: Cycle) {
+        self.bucket[phase.index()] += cycles;
+    }
+
+    /// Accumulate speculative cycles whose outcome is not yet known.
+    pub fn add_pending_spec(&mut self, cycles: Cycle) {
+        self.pending_spec += cycles;
+    }
+
+    /// Resolve the pending speculative cycles into `Htm` (committed) or
+    /// `Aborted`, or `SwitchLock` for an STL-mode finish.
+    pub fn resolve_spec(&mut self, into: Phase) {
+        debug_assert!(matches!(into, Phase::Htm | Phase::Aborted | Phase::SwitchLock));
+        self.bucket[into.index()] += self.pending_spec;
+        self.pending_spec = 0;
+    }
+
+    pub fn pending(&self) -> Cycle {
+        self.pending_spec
+    }
+
+    pub fn get(&self, phase: Phase) -> Cycle {
+        self.bucket[phase.index()]
+    }
+
+    pub fn total(&self) -> Cycle {
+        self.bucket.iter().sum::<Cycle>() + self.pending_spec
+    }
+}
+
+/// Aggregate statistics for one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Simulated cycles from parallel-region start to last thread exit.
+    pub cycles: Cycle,
+    /// Number of worker threads simulated.
+    pub threads: usize,
+    /// Speculative transaction attempts started (xbegin count).
+    pub tx_starts: u64,
+    /// Committed HTM transactions (speculative commits, incl. STL finishes).
+    pub commits: u64,
+    /// Commits that finished in STL mode after a proactive switch.
+    pub stl_commits: u64,
+    /// Critical sections executed on the fallback/CGL lock path.
+    pub lock_commits: u64,
+    /// Aborts by cause.
+    pub aborts: [u64; 6],
+    /// Requests rejected by the recovery mechanism (NACKs observed).
+    pub rejects: u64,
+    /// Requests rejected by the LLC overflow signatures.
+    pub sig_rejects: u64,
+    /// Wake-up messages delivered.
+    pub wakeups: u64,
+    /// Parked requests that hit the safety-net timeout (should be 0).
+    pub wakeup_timeouts: u64,
+    /// Successful proactive switches to STL mode.
+    pub switches_granted: u64,
+    /// Denied proactive switch attempts.
+    pub switches_denied: u64,
+    /// Transactions that fell back to the lock path.
+    pub fallbacks: u64,
+    /// NoC messages sent.
+    pub messages: u64,
+    /// Total NoC hop traversals.
+    pub hops: u64,
+    /// Sum over committed transactions of their read-set size (L1 lines).
+    pub rs_lines_sum: u64,
+    /// Sum over committed transactions of their write-set size (L1 lines).
+    pub ws_lines_sum: u64,
+    /// Sum over committed transactions of their duration in cycles
+    /// (xbegin to xend, final successful attempt only).
+    pub tx_cycles_sum: u64,
+    /// Summed per-core phase breakdown.
+    pub phases: [Cycle; 7],
+    /// Per-core totals (diagnostics).
+    pub per_core_cycles: Vec<Cycle>,
+}
+
+impl RunStats {
+    pub fn new(threads: usize) -> RunStats {
+        RunStats { threads, per_core_cycles: vec![0; threads], ..Default::default() }
+    }
+
+    pub fn record_abort(&mut self, cause: AbortCause) {
+        self.aborts[cause.index()] += 1;
+    }
+
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts.iter().sum()
+    }
+
+    /// Commit rate as defined in the paper's Fig. 8: committed speculative
+    /// attempts over all speculative attempts.
+    pub fn commit_rate(&self) -> f64 {
+        let attempts = self.commits + self.total_aborts();
+        if attempts == 0 {
+            1.0
+        } else {
+            self.commits as f64 / attempts as f64
+        }
+    }
+
+    pub fn phase(&self, p: Phase) -> Cycle {
+        self.phases[p.index()]
+    }
+
+    pub fn abort_count(&self, c: AbortCause) -> u64 {
+        self.aborts[c.index()]
+    }
+
+    /// Mean read-set size of committed transactions, in cache lines.
+    pub fn avg_read_set(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.rs_lines_sum as f64 / self.commits as f64
+        }
+    }
+
+    /// Mean write-set size of committed transactions, in cache lines.
+    pub fn avg_write_set(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.ws_lines_sum as f64 / self.commits as f64
+        }
+    }
+
+    /// Mean committed-transaction length in cycles.
+    pub fn avg_tx_len(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.tx_cycles_sum as f64 / self.commits as f64
+        }
+    }
+
+    /// Fraction of aborts attributed to `cause` (Fig. 10's y-axis).
+    pub fn abort_fraction(&self, cause: AbortCause) -> f64 {
+        let t = self.total_aborts();
+        if t == 0 {
+            0.0
+        } else {
+            self.aborts[cause.index()] as f64 / t as f64
+        }
+    }
+
+    pub fn merge_core(&mut self, core: CoreId, tracker: &PhaseTracker) {
+        for p in Phase::ALL {
+            self.phases[p.index()] += tracker.get(p);
+        }
+        if core < self.per_core_cycles.len() {
+            self.per_core_cycles[core] = tracker.total();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_indices_unique() {
+        let mut seen = [false; 7];
+        for p in Phase::ALL {
+            assert!(!seen[p.index()]);
+            seen[p.index()] = true;
+        }
+    }
+
+    #[test]
+    fn abort_cause_indices_unique() {
+        let mut seen = [false; 6];
+        for c in AbortCause::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+    }
+
+    #[test]
+    fn pending_spec_resolution() {
+        let mut t = PhaseTracker::default();
+        t.add_pending_spec(100);
+        assert_eq!(t.pending(), 100);
+        t.resolve_spec(Phase::Aborted);
+        assert_eq!(t.get(Phase::Aborted), 100);
+        assert_eq!(t.pending(), 0);
+        t.add_pending_spec(50);
+        t.resolve_spec(Phase::Htm);
+        assert_eq!(t.get(Phase::Htm), 50);
+        assert_eq!(t.total(), 150);
+    }
+
+    #[test]
+    fn commit_rate_math() {
+        let mut s = RunStats::new(2);
+        assert_eq!(s.commit_rate(), 1.0);
+        s.commits = 3;
+        s.record_abort(AbortCause::Mc);
+        assert!((s.commit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.abort_fraction(AbortCause::Mc) - 1.0).abs() < 1e-12);
+        assert_eq!(s.abort_fraction(AbortCause::Of), 0.0);
+    }
+
+    #[test]
+    fn merge_core_accumulates() {
+        let mut s = RunStats::new(2);
+        let mut t0 = PhaseTracker::default();
+        t0.add(Phase::NonTran, 10);
+        t0.add(Phase::Lock, 5);
+        let mut t1 = PhaseTracker::default();
+        t1.add(Phase::NonTran, 7);
+        s.merge_core(0, &t0);
+        s.merge_core(1, &t1);
+        assert_eq!(s.phase(Phase::NonTran), 17);
+        assert_eq!(s.phase(Phase::Lock), 5);
+        assert_eq!(s.per_core_cycles, vec![15, 7]);
+    }
+}

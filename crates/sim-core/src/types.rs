@@ -1,0 +1,124 @@
+//! Fundamental simulator types: cycles, core identifiers, and the
+//! word-granular address space used by guest programs.
+//!
+//! The simulated machine is word addressed: one [`Addr`] names one 64-bit
+//! word. A cache line holds [`WORDS_PER_LINE`] words (64 bytes, as in
+//! Table I of the paper), so the line number of an address is `addr >> 3`.
+
+/// Simulated time, in core clock cycles (2 GHz in the paper's Table I).
+pub type Cycle = u64;
+
+/// Number of 64-bit words per 64-byte cache line.
+pub const WORDS_PER_LINE: u64 = 8;
+
+/// Log2 of [`WORDS_PER_LINE`], used to derive line numbers from addresses.
+pub const LINE_SHIFT: u32 = 3;
+
+/// Identifier of a simulated core / tile (0..num_cores).
+pub type CoreId = usize;
+
+/// A word address in the simulated shared address space.
+///
+/// Guest programs and the transactional data-structure library hand these
+/// around like pointers; the coherence substrate only ever sees the derived
+/// [`LineAddr`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr(pub u64);
+
+/// A cache-line number (an [`Addr`] with the offset bits stripped).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LineAddr(pub u64);
+
+impl Addr {
+    /// The null address. Word 0 is reserved by every allocator so that a
+    /// zero word read from memory is never mistaken for a valid pointer.
+    pub const NULL: Addr = Addr(0);
+
+    /// Line containing this word.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// Word offset within the containing line (0..8).
+    #[inline]
+    pub fn offset_in_line(self) -> u64 {
+        self.0 & (WORDS_PER_LINE - 1)
+    }
+
+    /// Pointer arithmetic: `self + words`.
+    #[inline]
+    pub fn add(self, words: u64) -> Addr {
+        Addr(self.0 + words)
+    }
+
+    /// True for the reserved null word.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl LineAddr {
+    /// First word of the line.
+    #[inline]
+    pub fn base(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+}
+
+impl core::fmt::Debug for Addr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "w{:#x}", self.0)
+    }
+}
+
+impl core::fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_address() {
+        assert_eq!(Addr(0).line(), LineAddr(0));
+        assert_eq!(Addr(7).line(), LineAddr(0));
+        assert_eq!(Addr(8).line(), LineAddr(1));
+        assert_eq!(Addr(0x1234).line(), LineAddr(0x1234 >> 3));
+    }
+
+    #[test]
+    fn offset_within_line() {
+        assert_eq!(Addr(0).offset_in_line(), 0);
+        assert_eq!(Addr(7).offset_in_line(), 7);
+        assert_eq!(Addr(8).offset_in_line(), 0);
+        assert_eq!(Addr(13).offset_in_line(), 5);
+    }
+
+    #[test]
+    fn line_base_roundtrip() {
+        for w in [0u64, 1, 7, 8, 9, 1024, 0xdead] {
+            let a = Addr(w);
+            let base = a.line().base();
+            assert!(base.0 <= a.0 && a.0 < base.0 + WORDS_PER_LINE);
+            assert_eq!(base.offset_in_line(), 0);
+        }
+    }
+
+    #[test]
+    fn add_walks_words() {
+        let a = Addr(5);
+        assert_eq!(a.add(3), Addr(8));
+        assert_eq!(a.add(3).line(), LineAddr(1));
+    }
+
+    #[test]
+    fn null_is_reserved() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr(1).is_null());
+    }
+}

@@ -1,0 +1,282 @@
+//! kmeans — partition-based clustering (STAMP `kmeans`).
+//!
+//! Each thread assigns its chunk of points to the nearest center, then a
+//! small transaction folds the point into that cluster's accumulator
+//! (count + per-dimension sums). Iterations are separated by barriers;
+//! centers are recomputed from the accumulators between rounds.
+//!
+//! The paper's two configurations differ in contention: `kmeans+` (high)
+//! uses few clusters so the per-cluster accumulator lines are hammered;
+//! `kmeans` (low) uses many. Coordinates are integers, so accumulator
+//! sums are order-independent and the final memory image is an exact
+//! serializability oracle.
+
+use crate::Scale;
+use lockiller::flatmem::{FlatMem, SetupCtx};
+use lockiller::guest::GuestCtx;
+use lockiller::program::Program;
+use sim_core::rng::SimRng;
+use sim_core::types::Addr;
+
+/// Input parameters (STAMP's `-n` clusters / point-set size / rounds).
+#[derive(Clone, Copy, Debug)]
+pub struct KmeansParams {
+    pub points_per_thread: usize,
+    pub dims: usize,
+    pub clusters: usize,
+    pub rounds: usize,
+}
+
+impl KmeansParams {
+    pub fn for_scale(scale: Scale, threads: usize, high_contention: bool) -> KmeansParams {
+        let (points_per_thread, dims) = match scale {
+            Scale::Tiny => (8, 2),
+            Scale::Small => (24, 4),
+            Scale::Full => (64, 4),
+        };
+        let clusters = if high_contention { 3 } else { 24 };
+        let clusters = clusters.min(points_per_thread * threads / 2).max(2);
+        let rounds = match scale {
+            Scale::Tiny => 1,
+            Scale::Small => 2,
+            Scale::Full => 3,
+        };
+        KmeansParams { points_per_thread, dims, clusters, rounds }
+    }
+}
+
+pub struct Kmeans {
+    threads: usize,
+    npoints: usize,
+    dims: usize,
+    clusters: usize,
+    rounds: usize,
+    points: Vec<Vec<i64>>,
+    /// Point coordinates in simulated memory (read-only during a round).
+    points_base: Addr,
+    /// Current centers: clusters x dims.
+    centers: Addr,
+    /// Accumulators: per cluster [count, sum0, sum1, ...] padded to lines.
+    accum: Addr,
+    accum_stride: u64,
+}
+
+impl Kmeans {
+    pub fn new(scale: Scale, threads: usize, high_contention: bool) -> Kmeans {
+        // STAMP: high contention = fewer clusters (more accumulator
+        // collisions); low contention = many clusters. Initial centers
+        // are the first `clusters` points, so clamp to the point count.
+        Kmeans::with_params(KmeansParams::for_scale(scale, threads, high_contention), threads)
+    }
+
+    pub fn with_params(p: KmeansParams, threads: usize) -> Kmeans {
+        assert!(p.clusters >= 2 && p.clusters <= p.points_per_thread * threads);
+        Kmeans {
+            threads,
+            npoints: p.points_per_thread * threads,
+            dims: p.dims,
+            clusters: p.clusters,
+            rounds: p.rounds,
+            points: Vec::new(),
+            points_base: Addr::NULL,
+            centers: Addr::NULL,
+            accum: Addr::NULL,
+            accum_stride: 0,
+        }
+    }
+
+    fn point_addr(&self, i: usize) -> Addr {
+        self.points_base.add((i * self.dims) as u64)
+    }
+
+    fn center_addr(&self, c: usize, d: usize) -> Addr {
+        self.centers.add((c * self.dims + d) as u64)
+    }
+
+    fn accum_addr(&self, c: usize) -> Addr {
+        self.accum.add(c as u64 * self.accum_stride)
+    }
+}
+
+impl Program for Kmeans {
+    fn name(&self) -> &str {
+        "kmeans"
+    }
+
+    fn setup(&mut self, s: &mut SetupCtx, threads: usize) {
+        assert_eq!(threads, self.threads);
+        let mut rng = SimRng::new(0x6b6d_6561_6e73);
+        self.points = (0..self.npoints)
+            .map(|_| (0..self.dims).map(|_| rng.range(0, 1000) as i64).collect())
+            .collect();
+        self.points_base = s.alloc((self.npoints * self.dims) as u64);
+        for (i, p) in self.points.iter().enumerate() {
+            for (d, &v) in p.iter().enumerate() {
+                s.write(self.point_addr(i).add(d as u64), v as u64);
+            }
+        }
+        self.centers = s.alloc((self.clusters * self.dims) as u64);
+        for c in 0..self.clusters {
+            // Initial centers: the first `clusters` points.
+            for d in 0..self.dims {
+                s.write(self.center_addr(c, d), self.points[c][d] as u64);
+            }
+        }
+        // One accumulator per cluster, line-padded so clusters do not
+        // false-share (STAMP pads likewise).
+        self.accum_stride = ((1 + self.dims as u64) + 7) & !7;
+        self.accum = s.alloc(self.clusters as u64 * self.accum_stride);
+        for c in 0..self.clusters {
+            for w in 0..(1 + self.dims as u64) {
+                s.write(self.accum_addr(c).add(w), 0);
+            }
+        }
+    }
+
+    fn run(&self, ctx: &mut GuestCtx) {
+        let per = self.npoints / self.threads;
+        let lo = ctx.tid * per;
+        let hi = lo + per;
+        for _round in 0..self.rounds {
+            for i in lo..hi {
+                // Assignment: read the point and every center (stable
+                // within a round, so non-transactional — as in STAMP).
+                let mut coords = Vec::with_capacity(self.dims);
+                for d in 0..self.dims {
+                    coords.push(ctx.load(self.point_addr(i).add(d as u64)) as i64);
+                }
+                let mut best = 0usize;
+                let mut best_d = i64::MAX;
+                for c in 0..self.clusters {
+                    let mut dist = 0i64;
+                    for (d, &x) in coords.iter().enumerate() {
+                        let cv = ctx.load(self.center_addr(c, d)) as i64;
+                        let diff = x - cv;
+                        dist += diff * diff;
+                    }
+                    ctx.compute(4);
+                    if dist < best_d {
+                        best_d = dist;
+                        best = c;
+                    }
+                }
+                // The transaction: fold the point into the accumulator.
+                let acc = self.accum_addr(best);
+                let dims = self.dims;
+                ctx.critical(|tx| {
+                    let n = tx.load(acc)?;
+                    tx.store(acc, n + 1)?;
+                    for (d, &x) in coords.iter().enumerate().take(dims) {
+                        let cell = acc.add(1 + d as u64);
+                        let sum = tx.load(cell)? as i64;
+                        tx.store(cell, (sum + x) as u64)?;
+                    }
+                    Ok(())
+                });
+            }
+            ctx.barrier();
+            // Center recomputation: thread t owns clusters t, t+T, ...
+            let mut c = ctx.tid;
+            while c < self.clusters {
+                let acc = self.accum_addr(c);
+                let n = ctx.load(acc) as i64;
+                if n > 0 {
+                    for d in 0..self.dims {
+                        let sum = ctx.load(acc.add(1 + d as u64)) as i64;
+                        ctx.store(self.center_addr(c, d), (sum / n) as u64);
+                    }
+                }
+                // Reset accumulator for the next round.
+                for w in 0..(1 + self.dims as u64) {
+                    ctx.store(acc.add(w), 0);
+                }
+                c += self.threads;
+            }
+            ctx.barrier();
+        }
+    }
+
+    fn validate(&self, mem: &FlatMem) -> Result<(), String> {
+        // After the final round the accumulators were reset; recompute the
+        // expected centers by running the same algorithm sequentially.
+        let mut centers: Vec<Vec<i64>> =
+            (0..self.clusters).map(|c| self.points[c].clone()).collect();
+        for _ in 0..self.rounds {
+            let mut acc = vec![vec![0i64; self.dims + 1]; self.clusters];
+            for p in &self.points {
+                let mut best = 0;
+                let mut best_d = i64::MAX;
+                for (c, center) in centers.iter().enumerate() {
+                    let dist: i64 =
+                        p.iter().zip(center).map(|(a, b)| (a - b) * (a - b)).sum();
+                    if dist < best_d {
+                        best_d = dist;
+                        best = c;
+                    }
+                }
+                acc[best][0] += 1;
+                for d in 0..self.dims {
+                    acc[best][d + 1] += p[d];
+                }
+            }
+            for (c, a) in acc.iter().enumerate() {
+                if a[0] > 0 {
+                    for d in 0..self.dims {
+                        centers[c][d] = a[d + 1] / a[0];
+                    }
+                }
+            }
+        }
+        for c in 0..self.clusters {
+            for d in 0..self.dims {
+                let got = mem.read(self.center_addr(c, d)) as i64;
+                if got != centers[c][d] {
+                    return Err(format!(
+                        "center[{c}][{d}] = {got}, expected {}",
+                        centers[c][d]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockiller::runner::Runner;
+    use lockiller::system::SystemKind;
+    use sim_core::config::SystemConfig;
+
+    #[test]
+    fn kmeans_high_correct_on_cgl_and_htm() {
+        for kind in [SystemKind::Cgl, SystemKind::Baseline, SystemKind::LockillerTm] {
+            let mut w = Kmeans::new(Scale::Tiny, 2, true);
+            let stats = Runner::new(kind)
+                .threads(2)
+                .config(SystemConfig::testing(2))
+                .run(&mut w);
+            assert!(stats.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn kmeans_low_has_less_contention_than_high() {
+        let run = |high| {
+            let mut w = Kmeans::new(Scale::Small, 4, high);
+            Runner::new(SystemKind::Baseline)
+                .threads(4)
+                .config(SystemConfig::testing(4))
+                .run(&mut w)
+        };
+        let hi = run(true);
+        let lo = run(false);
+        assert!(
+            hi.total_aborts() >= lo.total_aborts(),
+            "kmeans+ should conflict at least as much as kmeans ({} vs {})",
+            hi.total_aborts(),
+            lo.total_aborts()
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Sorted singly-linked list (STAMP `lib/list.c`): the workhorse of
+//! genome's segment handling and the hashtable's buckets.
+//!
+//! Node layout: `[key, data, next]`. The list header is a single word
+//! holding the first-node pointer (null = empty). Keys are unique;
+//! inserting an existing key returns `false`.
+
+use crate::alloc::TmAlloc;
+use lockiller::flatmem::SetupCtx;
+use lockiller::guest::{Abort, TxCtx};
+use sim_core::types::Addr;
+
+const KEY: u64 = 0;
+const DATA: u64 = 1;
+const NEXT: u64 = 2;
+const NODE_WORDS: u64 = 3;
+
+/// Handle to a transactional sorted list.
+#[derive(Clone, Copy, Debug)]
+pub struct List {
+    head: Addr,
+}
+
+impl List {
+    /// Allocate an empty list during setup.
+    pub fn setup(s: &mut SetupCtx) -> List {
+        let head = s.alloc(8);
+        s.write(head, 0);
+        List { head }
+    }
+
+    /// Create an empty list inside a transaction (nodes and header from
+    /// the transactional allocator).
+    pub fn create(tx: &mut TxCtx, alloc: &TmAlloc) -> Result<List, Abort> {
+        let head = alloc.alloc(tx, 1)?;
+        tx.store(head, 0)?;
+        Ok(List { head })
+    }
+
+    /// Construct a handle from a raw header address (e.g., a hashtable
+    /// bucket slot).
+    pub fn at(head: Addr) -> List {
+        List { head }
+    }
+
+    /// The header cell address (for untimed validation walks).
+    pub fn head_addr(&self) -> Addr {
+        self.head
+    }
+
+    /// Insert `key` with `data`; returns false if the key already exists.
+    pub fn insert(&self, tx: &mut TxCtx, alloc: &TmAlloc, key: u64, data: u64) -> Result<bool, Abort> {
+        let (prev, cur) = self.locate(tx, key)?;
+        if let Some(cur) = cur {
+            if tx.load(cur.add(KEY))? == key {
+                return Ok(false);
+            }
+        }
+        let node = alloc.alloc(tx, NODE_WORDS)?;
+        tx.store(node.add(KEY), key)?;
+        tx.store(node.add(DATA), data)?;
+        tx.store(node.add(NEXT), cur.map_or(0, |c| c.0))?;
+        match prev {
+            None => tx.store(self.head, node.0)?,
+            Some(p) => tx.store(p.add(NEXT), node.0)?,
+        }
+        Ok(true)
+    }
+
+    /// Remove `key`; returns its data if present. The node is abandoned
+    /// (STAMP's allocator frees lazily; ours leaks within the arena).
+    pub fn remove(&self, tx: &mut TxCtx, key: u64) -> Result<Option<u64>, Abort> {
+        let (prev, cur) = self.locate(tx, key)?;
+        let Some(cur) = cur else { return Ok(None) };
+        if tx.load(cur.add(KEY))? != key {
+            return Ok(None);
+        }
+        let next = tx.load(cur.add(NEXT))?;
+        match prev {
+            None => tx.store(self.head, next)?,
+            Some(p) => tx.store(p.add(NEXT), next)?,
+        }
+        Ok(Some(tx.load(cur.add(DATA))?))
+    }
+
+    /// Look up `key`.
+    pub fn find(&self, tx: &mut TxCtx, key: u64) -> Result<Option<u64>, Abort> {
+        let (_, cur) = self.locate(tx, key)?;
+        if let Some(cur) = cur {
+            if tx.load(cur.add(KEY))? == key {
+                return Ok(Some(tx.load(cur.add(DATA))?));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Update the data of an existing key; returns false if absent.
+    pub fn update(&self, tx: &mut TxCtx, key: u64, data: u64) -> Result<bool, Abort> {
+        let (_, cur) = self.locate(tx, key)?;
+        if let Some(cur) = cur {
+            if tx.load(cur.add(KEY))? == key {
+                tx.store(cur.add(DATA), data)?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Number of nodes (walks the list; O(n) reads join the read set).
+    pub fn len(&self, tx: &mut TxCtx) -> Result<u64, Abort> {
+        let mut n = 0;
+        let mut cur = tx.load(self.head)?;
+        while cur != 0 {
+            n += 1;
+            cur = tx.load(Addr(cur).add(NEXT))?;
+        }
+        Ok(n)
+    }
+
+    pub fn is_empty(&self, tx: &mut TxCtx) -> Result<bool, Abort> {
+        Ok(tx.load(self.head)? == 0)
+    }
+
+    /// Collect `(key, data)` pairs in order.
+    pub fn to_vec(&self, tx: &mut TxCtx) -> Result<Vec<(u64, u64)>, Abort> {
+        let mut out = Vec::new();
+        let mut cur = tx.load(self.head)?;
+        while cur != 0 {
+            let c = Addr(cur);
+            out.push((tx.load(c.add(KEY))?, tx.load(c.add(DATA))?));
+            cur = tx.load(c.add(NEXT))?;
+        }
+        Ok(out)
+    }
+
+    /// Find the first node with key >= `key` plus its predecessor.
+    fn locate(&self, tx: &mut TxCtx, key: u64) -> Result<(Option<Addr>, Option<Addr>), Abort> {
+        let mut prev: Option<Addr> = None;
+        let mut cur = tx.load(self.head)?;
+        while cur != 0 {
+            let c = Addr(cur);
+            let k = tx.load(c.add(KEY))?;
+            if k >= key {
+                return Ok((prev, Some(c)));
+            }
+            prev = Some(c);
+            cur = tx.load(c.add(NEXT))?;
+        }
+        Ok((prev, None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_tx;
+    use std::sync::Mutex;
+
+    fn with_list(
+        body: impl Fn(&mut TxCtx, &List, &TmAlloc) -> Result<(), Abort> + Send + Sync,
+    ) {
+        let handles: Mutex<Option<(List, TmAlloc)>> = Mutex::new(None);
+        run_tx(
+            |s| {
+                let alloc = TmAlloc::setup(s, 1, 65536);
+                let list = List::setup(s);
+                *handles.lock().unwrap() = Some((list, alloc));
+            },
+            |tx| {
+                let (list, alloc) = handles.lock().unwrap().unwrap();
+                body(tx, &list, &alloc)
+            },
+        );
+    }
+
+    #[test]
+    fn insert_find_remove() {
+        with_list(|tx, list, alloc| {
+            assert!(list.is_empty(tx)?);
+            assert!(list.insert(tx, alloc, 5, 50)?);
+            assert!(list.insert(tx, alloc, 3, 30)?);
+            assert!(list.insert(tx, alloc, 9, 90)?);
+            assert!(!list.insert(tx, alloc, 5, 55)?, "duplicate insert must fail");
+            assert_eq!(list.find(tx, 3)?, Some(30));
+            assert_eq!(list.find(tx, 5)?, Some(50));
+            assert_eq!(list.find(tx, 4)?, None);
+            assert_eq!(list.len(tx)?, 3);
+            assert_eq!(list.remove(tx, 3)?, Some(30));
+            assert_eq!(list.remove(tx, 3)?, None);
+            assert_eq!(list.len(tx)?, 2);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn stays_sorted() {
+        with_list(|tx, list, alloc| {
+            for k in [7u64, 1, 9, 4, 2, 8] {
+                list.insert(tx, alloc, k, k * 10)?;
+            }
+            let v = list.to_vec(tx)?;
+            let keys: Vec<u64> = v.iter().map(|(k, _)| *k).collect();
+            assert_eq!(keys, vec![1, 2, 4, 7, 8, 9]);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn update_existing() {
+        with_list(|tx, list, alloc| {
+            list.insert(tx, alloc, 1, 10)?;
+            assert!(list.update(tx, 1, 99)?);
+            assert!(!list.update(tx, 2, 0)?);
+            assert_eq!(list.find(tx, 1)?, Some(99));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn remove_head_and_tail() {
+        with_list(|tx, list, alloc| {
+            for k in [1u64, 2, 3] {
+                list.insert(tx, alloc, k, k)?;
+            }
+            assert_eq!(list.remove(tx, 1)?, Some(1));
+            assert_eq!(list.remove(tx, 3)?, Some(3));
+            assert_eq!(list.to_vec(tx)?, vec![(2, 2)]);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,158 @@
+//! Transactional FIFO queue (STAMP `lib/queue.c`): intruder's packet and
+//! task queues.
+//!
+//! Linked-list FIFO; header layout: `[head, tail]`, node layout
+//! `[value, next]`. Push appends at the tail, pop takes from the head, so
+//! uncontended producers and consumers touch different lines.
+
+use crate::alloc::TmAlloc;
+use lockiller::flatmem::SetupCtx;
+use lockiller::guest::{Abort, TxCtx};
+use sim_core::types::Addr;
+
+const HEAD: u64 = 0;
+const TAIL: u64 = 1;
+const VAL: u64 = 0;
+const NEXT: u64 = 1;
+const NODE_WORDS: u64 = 2;
+
+/// Handle to a transactional FIFO queue.
+#[derive(Clone, Copy, Debug)]
+pub struct Queue {
+    hdr: Addr,
+}
+
+impl Queue {
+    pub fn setup(s: &mut SetupCtx) -> Queue {
+        let hdr = s.alloc(8);
+        s.write(hdr.add(HEAD), 0);
+        s.write(hdr.add(TAIL), 0);
+        Queue { hdr }
+    }
+
+    /// Seed the queue with values during (untimed) setup.
+    pub fn setup_push(&self, s: &mut SetupCtx, value: u64) {
+        let node = s.alloc(NODE_WORDS);
+        s.write(node.add(VAL), value);
+        s.write(node.add(NEXT), 0);
+        let tail = s.read(self.hdr.add(TAIL));
+        if tail == 0 {
+            s.write(self.hdr.add(HEAD), node.0);
+        } else {
+            s.write(Addr(tail).add(NEXT), node.0);
+        }
+        s.write(self.hdr.add(TAIL), node.0);
+    }
+
+    pub fn push(&self, tx: &mut TxCtx, alloc: &TmAlloc, value: u64) -> Result<(), Abort> {
+        let node = alloc.alloc(tx, NODE_WORDS)?;
+        tx.store(node.add(VAL), value)?;
+        tx.store(node.add(NEXT), 0)?;
+        let tail = tx.load(self.hdr.add(TAIL))?;
+        if tail == 0 {
+            tx.store(self.hdr.add(HEAD), node.0)?;
+        } else {
+            tx.store(Addr(tail).add(NEXT), node.0)?;
+        }
+        tx.store(self.hdr.add(TAIL), node.0)?;
+        Ok(())
+    }
+
+    pub fn pop(&self, tx: &mut TxCtx) -> Result<Option<u64>, Abort> {
+        let head = tx.load(self.hdr.add(HEAD))?;
+        if head == 0 {
+            return Ok(None);
+        }
+        let node = Addr(head);
+        let next = tx.load(node.add(NEXT))?;
+        tx.store(self.hdr.add(HEAD), next)?;
+        if next == 0 {
+            tx.store(self.hdr.add(TAIL), 0)?;
+        }
+        Ok(Some(tx.load(node.add(VAL))?))
+    }
+
+    pub fn is_empty(&self, tx: &mut TxCtx) -> Result<bool, Abort> {
+        Ok(tx.load(self.hdr.add(HEAD))? == 0)
+    }
+
+    pub fn len(&self, tx: &mut TxCtx) -> Result<u64, Abort> {
+        let mut n = 0;
+        let mut cur = tx.load(self.hdr.add(HEAD))?;
+        while cur != 0 {
+            n += 1;
+            cur = tx.load(Addr(cur).add(NEXT))?;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_tx;
+    use std::sync::Mutex;
+
+    fn with_queue(
+        seed: &'static [u64],
+        body: impl Fn(&mut TxCtx, &Queue, &TmAlloc) -> Result<(), Abort> + Send + Sync,
+    ) {
+        let handles: Mutex<Option<(Queue, TmAlloc)>> = Mutex::new(None);
+        let handles = &handles;
+        run_tx(
+            move |s| {
+                let alloc = TmAlloc::setup(s, 1, 65536);
+                let q = Queue::setup(s);
+                for &v in seed {
+                    q.setup_push(s, v);
+                }
+                *handles.lock().unwrap() = Some((q, alloc));
+            },
+            |tx| {
+                let (q, alloc) = handles.lock().unwrap().unwrap();
+                body(tx, &q, &alloc)
+            },
+        );
+    }
+
+    #[test]
+    fn fifo_order() {
+        with_queue(&[], |tx, q, alloc| {
+            assert!(q.is_empty(tx)?);
+            for v in [10u64, 20, 30] {
+                q.push(tx, alloc, v)?;
+            }
+            assert_eq!(q.len(tx)?, 3);
+            assert_eq!(q.pop(tx)?, Some(10));
+            assert_eq!(q.pop(tx)?, Some(20));
+            q.push(tx, alloc, 40)?;
+            assert_eq!(q.pop(tx)?, Some(30));
+            assert_eq!(q.pop(tx)?, Some(40));
+            assert_eq!(q.pop(tx)?, None);
+            assert!(q.is_empty(tx)?);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn setup_seeding() {
+        with_queue(&[1, 2, 3], |tx, q, _| {
+            assert_eq!(q.pop(tx)?, Some(1));
+            assert_eq!(q.pop(tx)?, Some(2));
+            assert_eq!(q.pop(tx)?, Some(3));
+            assert_eq!(q.pop(tx)?, None);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn drain_and_refill() {
+        with_queue(&[5], |tx, q, alloc| {
+            assert_eq!(q.pop(tx)?, Some(5));
+            assert!(q.is_empty(tx)?);
+            q.push(tx, alloc, 6)?;
+            assert_eq!(q.pop(tx)?, Some(6));
+            Ok(())
+        });
+    }
+}

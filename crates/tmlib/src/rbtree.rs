@@ -1,0 +1,537 @@
+//! Transactional red-black tree — STAMP's `lib/rbtree.c` proper.
+//!
+//! [`crate::TMap`] (a treap) is the default ordered map in the workload
+//! ports because its deterministic shape makes cross-system memory
+//! digests comparable; this module provides the real thing for fidelity
+//! studies and as a drop-in alternative. Same interface, same
+//! transactional conventions: every operation takes a [`TxCtx`] and
+//! aborts propagate via `?`.
+//!
+//! Node layout: `[key, value, color, parent, left, right]` (6 words);
+//! color 0 = red, 1 = black. The null pointer (0) acts as the black nil
+//! sentinel.
+
+use crate::alloc::TmAlloc;
+use lockiller::flatmem::SetupCtx;
+use lockiller::guest::{Abort, TxCtx};
+use sim_core::types::Addr;
+
+const KEY: u64 = 0;
+const VAL: u64 = 1;
+const COLOR: u64 = 2;
+const PARENT: u64 = 3;
+const LEFT: u64 = 4;
+const RIGHT: u64 = 5;
+const NODE_WORDS: u64 = 6;
+
+const RED: u64 = 0;
+const BLACK: u64 = 1;
+
+/// Handle to a transactional red-black tree (unique keys).
+#[derive(Clone, Copy, Debug)]
+pub struct RbTree {
+    /// Root pointer cell.
+    root: Addr,
+}
+
+impl RbTree {
+    pub fn setup(s: &mut SetupCtx) -> RbTree {
+        let root = s.alloc(8);
+        s.write(root, 0);
+        RbTree { root }
+    }
+
+    // -------------- small transactional helpers --------------
+
+    fn color(&self, tx: &mut TxCtx, n: u64) -> Result<u64, Abort> {
+        if n == 0 {
+            Ok(BLACK) // nil is black
+        } else {
+            tx.load(Addr(n).add(COLOR))
+        }
+    }
+
+    fn set_color(&self, tx: &mut TxCtx, n: u64, c: u64) -> Result<(), Abort> {
+        debug_assert_ne!(n, 0);
+        tx.store(Addr(n).add(COLOR), c)
+    }
+
+    fn parent(&self, tx: &mut TxCtx, n: u64) -> Result<u64, Abort> {
+        tx.load(Addr(n).add(PARENT))
+    }
+
+    fn child(&self, tx: &mut TxCtx, n: u64, dir: u64) -> Result<u64, Abort> {
+        tx.load(Addr(n).add(dir))
+    }
+
+    /// Replace `old`'s position under its parent (or the root) with `new`.
+    fn replace_child(&self, tx: &mut TxCtx, parent: u64, old: u64, new: u64) -> Result<(), Abort> {
+        if parent == 0 {
+            tx.store(self.root, new)?;
+        } else if tx.load(Addr(parent).add(LEFT))? == old {
+            tx.store(Addr(parent).add(LEFT), new)?;
+        } else {
+            tx.store(Addr(parent).add(RIGHT), new)?;
+        }
+        if new != 0 {
+            tx.store(Addr(new).add(PARENT), parent)?;
+        }
+        Ok(())
+    }
+
+    /// Rotate `n` down in direction `dir` (LEFT = left-rotate brings the
+    /// right child up).
+    fn rotate(&self, tx: &mut TxCtx, n: u64, dir: u64) -> Result<(), Abort> {
+        let other = if dir == LEFT { RIGHT } else { LEFT };
+        let up = self.child(tx, n, other)?;
+        debug_assert_ne!(up, 0, "rotation requires a child to promote");
+        let moved = self.child(tx, up, dir)?;
+        tx.store(Addr(n).add(other), moved)?;
+        if moved != 0 {
+            tx.store(Addr(moved).add(PARENT), n)?;
+        }
+        let p = self.parent(tx, n)?;
+        self.replace_child(tx, p, n, up)?;
+        tx.store(Addr(up).add(dir), n)?;
+        tx.store(Addr(n).add(PARENT), up)?;
+        Ok(())
+    }
+
+    // -------------- queries --------------
+
+    pub fn find(&self, tx: &mut TxCtx, key: u64) -> Result<Option<u64>, Abort> {
+        let mut cur = tx.load(self.root)?;
+        while cur != 0 {
+            let k = tx.load(Addr(cur).add(KEY))?;
+            if k == key {
+                return Ok(Some(tx.load(Addr(cur).add(VAL))?));
+            }
+            cur = self.child(tx, cur, if key < k { LEFT } else { RIGHT })?;
+        }
+        Ok(None)
+    }
+
+    pub fn contains(&self, tx: &mut TxCtx, key: u64) -> Result<bool, Abort> {
+        Ok(self.find(tx, key)?.is_some())
+    }
+
+    pub fn update(&self, tx: &mut TxCtx, key: u64, value: u64) -> Result<bool, Abort> {
+        let mut cur = tx.load(self.root)?;
+        while cur != 0 {
+            let k = tx.load(Addr(cur).add(KEY))?;
+            if k == key {
+                tx.store(Addr(cur).add(VAL), value)?;
+                return Ok(true);
+            }
+            cur = self.child(tx, cur, if key < k { LEFT } else { RIGHT })?;
+        }
+        Ok(false)
+    }
+
+    // -------------- insert --------------
+
+    /// Insert; false if the key already exists.
+    pub fn insert(&self, tx: &mut TxCtx, alloc: &TmAlloc, key: u64, value: u64) -> Result<bool, Abort> {
+        // Standard BST descent.
+        let mut parent = 0u64;
+        let mut dir = LEFT;
+        let mut cur = tx.load(self.root)?;
+        while cur != 0 {
+            let k = tx.load(Addr(cur).add(KEY))?;
+            if k == key {
+                return Ok(false);
+            }
+            parent = cur;
+            dir = if key < k { LEFT } else { RIGHT };
+            cur = self.child(tx, cur, dir)?;
+        }
+        let n = alloc.alloc(tx, NODE_WORDS)?;
+        tx.store(n.add(KEY), key)?;
+        tx.store(n.add(VAL), value)?;
+        tx.store(n.add(COLOR), RED)?;
+        tx.store(n.add(PARENT), parent)?;
+        tx.store(n.add(LEFT), 0)?;
+        tx.store(n.add(RIGHT), 0)?;
+        if parent == 0 {
+            tx.store(self.root, n.0)?;
+        } else {
+            tx.store(Addr(parent).add(dir), n.0)?;
+        }
+        self.insert_fixup(tx, n.0)?;
+        Ok(true)
+    }
+
+    fn insert_fixup(&self, tx: &mut TxCtx, mut n: u64) -> Result<(), Abort> {
+        loop {
+            let p = self.parent(tx, n)?;
+            if p == 0 || self.color(tx, p)? == BLACK {
+                break;
+            }
+            let g = self.parent(tx, p)?;
+            debug_assert_ne!(g, 0, "red parent must have a grandparent");
+            let p_is_left = self.child(tx, g, LEFT)? == p;
+            let uncle = self.child(tx, g, if p_is_left { RIGHT } else { LEFT })?;
+            if self.color(tx, uncle)? == RED {
+                // Case 1: recolor and ascend.
+                self.set_color(tx, p, BLACK)?;
+                self.set_color(tx, uncle, BLACK)?;
+                self.set_color(tx, g, RED)?;
+                n = g;
+            } else {
+                // Cases 2/3: rotate.
+                let n_is_left = self.child(tx, p, LEFT)? == n;
+                if p_is_left != n_is_left {
+                    // Case 2: inner child — rotate parent outward first.
+                    self.rotate(tx, p, if p_is_left { LEFT } else { RIGHT })?;
+                    n = p;
+                }
+                let p2 = self.parent(tx, n)?;
+                let g2 = self.parent(tx, p2)?;
+                self.set_color(tx, p2, BLACK)?;
+                self.set_color(tx, g2, RED)?;
+                self.rotate(tx, g2, if p_is_left { RIGHT } else { LEFT })?;
+                break;
+            }
+        }
+        let root = tx.load(self.root)?;
+        if root != 0 {
+            self.set_color(tx, root, BLACK)?;
+        }
+        Ok(())
+    }
+
+    // -------------- delete --------------
+
+    /// Remove `key`; returns its value if present.
+    pub fn remove(&self, tx: &mut TxCtx, key: u64) -> Result<Option<u64>, Abort> {
+        // Find the node.
+        let mut z = tx.load(self.root)?;
+        while z != 0 {
+            let k = tx.load(Addr(z).add(KEY))?;
+            if k == key {
+                break;
+            }
+            z = self.child(tx, z, if key < k { LEFT } else { RIGHT })?;
+        }
+        if z == 0 {
+            return Ok(None);
+        }
+        let value = tx.load(Addr(z).add(VAL))?;
+
+        // If z has two children, swap in its in-order successor's
+        // key/value and delete the successor node instead.
+        let zl = self.child(tx, z, LEFT)?;
+        let zr = self.child(tx, z, RIGHT)?;
+        let target = if zl != 0 && zr != 0 {
+            let mut s = zr;
+            loop {
+                let l = self.child(tx, s, LEFT)?;
+                if l == 0 {
+                    break;
+                }
+                s = l;
+            }
+            let sk = tx.load(Addr(s).add(KEY))?;
+            let sv = tx.load(Addr(s).add(VAL))?;
+            tx.store(Addr(z).add(KEY), sk)?;
+            tx.store(Addr(z).add(VAL), sv)?;
+            s
+        } else {
+            z
+        };
+
+        // `target` has at most one child.
+        let tl = self.child(tx, target, LEFT)?;
+        let tr = self.child(tx, target, RIGHT)?;
+        let child = if tl != 0 { tl } else { tr };
+        let t_color = self.color(tx, target)?;
+        let t_parent = self.parent(tx, target)?;
+        self.replace_child(tx, t_parent, target, child)?;
+
+        if t_color == BLACK {
+            if self.color(tx, child)? == RED {
+                self.set_color(tx, child, BLACK)?;
+            } else {
+                // Double-black fixup: `child` may be nil, so track its
+                // parent explicitly.
+                self.delete_fixup(tx, child, t_parent)?;
+            }
+        }
+        Ok(Some(value))
+    }
+
+    fn delete_fixup(&self, tx: &mut TxCtx, mut n: u64, mut parent: u64) -> Result<(), Abort> {
+        while parent != 0 && self.color(tx, n)? == BLACK {
+            let n_is_left = self.child(tx, parent, LEFT)? == n;
+            let (sib_dir, n_dir) = if n_is_left { (RIGHT, LEFT) } else { (LEFT, RIGHT) };
+            let mut sib = self.child(tx, parent, sib_dir)?;
+            debug_assert_ne!(sib, 0, "double-black node must have a sibling");
+            if self.color(tx, sib)? == RED {
+                // Case 1: red sibling — rotate to get a black one.
+                self.set_color(tx, sib, BLACK)?;
+                self.set_color(tx, parent, RED)?;
+                self.rotate(tx, parent, n_dir)?;
+                sib = self.child(tx, parent, sib_dir)?;
+            }
+            let sl = self.child(tx, sib, LEFT)?;
+            let sr = self.child(tx, sib, RIGHT)?;
+            if self.color(tx, sl)? == BLACK && self.color(tx, sr)? == BLACK {
+                // Case 2: recolor sibling, ascend.
+                self.set_color(tx, sib, RED)?;
+                n = parent;
+                parent = self.parent(tx, n)?;
+            } else {
+                let (inner, outer) = if n_is_left { (sl, sr) } else { (sr, sl) };
+                if self.color(tx, outer)? == BLACK {
+                    // Case 3: inner red — rotate sibling.
+                    if inner != 0 {
+                        self.set_color(tx, inner, BLACK)?;
+                    }
+                    self.set_color(tx, sib, RED)?;
+                    self.rotate(tx, sib, sib_dir)?;
+                    sib = self.child(tx, parent, sib_dir)?;
+                }
+                // Case 4: outer red — final rotation.
+                let pc = self.color(tx, parent)?;
+                self.set_color(tx, sib, pc)?;
+                self.set_color(tx, parent, BLACK)?;
+                let outer2 = self.child(tx, sib, sib_dir)?;
+                if outer2 != 0 {
+                    self.set_color(tx, outer2, BLACK)?;
+                }
+                self.rotate(tx, parent, n_dir)?;
+                n = tx.load(self.root)?;
+                parent = 0;
+            }
+        }
+        if n != 0 {
+            self.set_color(tx, n, BLACK)?;
+        }
+        Ok(())
+    }
+
+    pub fn len(&self, tx: &mut TxCtx) -> Result<u64, Abort> {
+        let mut n = 0;
+        let mut stack = vec![tx.load(self.root)?];
+        while let Some(cur) = stack.pop() {
+            if cur == 0 {
+                continue;
+            }
+            n += 1;
+            stack.push(self.child(tx, cur, LEFT)?);
+            stack.push(self.child(tx, cur, RIGHT)?);
+        }
+        Ok(n)
+    }
+
+    // -------------- untimed validation helpers --------------
+
+    /// In-order snapshot (untimed).
+    pub fn snapshot(&self, mem: &lockiller::flatmem::FlatMem) -> Vec<(u64, u64)> {
+        fn walk(mem: &lockiller::flatmem::FlatMem, cur: u64, out: &mut Vec<(u64, u64)>) {
+            if cur == 0 {
+                return;
+            }
+            walk(mem, mem.read(Addr(cur).add(LEFT)), out);
+            out.push((mem.read(Addr(cur).add(KEY)), mem.read(Addr(cur).add(VAL))));
+            walk(mem, mem.read(Addr(cur).add(RIGHT)), out);
+        }
+        let mut out = Vec::new();
+        walk(mem, mem.read(self.root), &mut out);
+        out
+    }
+
+    /// Check the red-black invariants on the final memory image:
+    /// root black, no red node with a red child, equal black height on
+    /// every path, parent pointers consistent, keys in BST order.
+    pub fn check_invariants(&self, mem: &lockiller::flatmem::FlatMem) -> Result<(), String> {
+        fn bh(
+            mem: &lockiller::flatmem::FlatMem,
+            n: u64,
+            parent: u64,
+            lo: Option<u64>,
+            hi: Option<u64>,
+        ) -> Result<u32, String> {
+            if n == 0 {
+                return Ok(1);
+            }
+            let a = Addr(n);
+            let k = mem.read(a.add(KEY));
+            if let Some(lo) = lo {
+                if k <= lo {
+                    return Err(format!("BST order violated at key {k}"));
+                }
+            }
+            if let Some(hi) = hi {
+                if k >= hi {
+                    return Err(format!("BST order violated at key {k}"));
+                }
+            }
+            if mem.read(a.add(PARENT)) != parent {
+                return Err(format!("parent pointer wrong at key {k}"));
+            }
+            let c = mem.read(a.add(COLOR));
+            let l = mem.read(a.add(LEFT));
+            let r = mem.read(a.add(RIGHT));
+            if c == RED {
+                for ch in [l, r] {
+                    if ch != 0 && mem.read(Addr(ch).add(COLOR)) == RED {
+                        return Err(format!("red-red violation at key {k}"));
+                    }
+                }
+            }
+            let hl = bh(mem, l, n, lo, Some(k))?;
+            let hr = bh(mem, r, n, Some(k), hi)?;
+            if hl != hr {
+                return Err(format!("black height mismatch at key {k}: {hl} vs {hr}"));
+            }
+            Ok(hl + if c == BLACK { 1 } else { 0 })
+        }
+        let root = mem.read(self.root);
+        if root != 0 && mem.read(Addr(root).add(COLOR)) != BLACK {
+            return Err("root is not black".into());
+        }
+        bh(mem, root, 0, None, None).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_tx;
+    use std::sync::Mutex;
+
+    fn with_tree(
+        body: impl Fn(&mut TxCtx, &RbTree, &TmAlloc) -> Result<(), Abort> + Send + Sync,
+    ) -> (RbTree, lockiller::flatmem::FlatMem) {
+        let handles: Mutex<Option<(RbTree, TmAlloc)>> = Mutex::new(None);
+        let mem = run_tx(
+            |s| {
+                let alloc = TmAlloc::setup(s, 1, 1 << 18);
+                let t = RbTree::setup(s);
+                *handles.lock().unwrap() = Some((t, alloc));
+            },
+            |tx| {
+                let (t, alloc) = handles.lock().unwrap().unwrap();
+                body(tx, &t, &alloc)
+            },
+        );
+        (handles.into_inner().unwrap().unwrap().0, mem)
+    }
+
+    #[test]
+    fn insert_find_and_invariants() {
+        let (t, mem) = with_tree(|tx, t, alloc| {
+            for k in [50u64, 20, 80, 10, 30, 70, 90, 5, 15, 25, 35] {
+                assert!(t.insert(tx, alloc, k, k * 2)?);
+            }
+            assert!(!t.insert(tx, alloc, 50, 0)?);
+            for k in [50u64, 20, 80, 10, 30, 70, 90] {
+                assert_eq!(t.find(tx, k)?, Some(k * 2));
+            }
+            assert_eq!(t.find(tx, 55)?, None);
+            Ok(())
+        });
+        t.check_invariants(&mem).expect("red-black invariants");
+        let keys: Vec<u64> = t.snapshot(&mem).iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![5, 10, 15, 20, 25, 30, 35, 50, 70, 80, 90]);
+    }
+
+    #[test]
+    fn ascending_insert_stays_balanced() {
+        let (t, mem) = with_tree(|tx, t, alloc| {
+            for k in 0..64u64 {
+                t.insert(tx, alloc, k, k)?;
+            }
+            Ok(())
+        });
+        t.check_invariants(&mem).expect("invariants after ascending inserts");
+        assert_eq!(t.snapshot(&mem).len(), 64);
+    }
+
+    #[test]
+    fn remove_keeps_invariants() {
+        let (t, mem) = with_tree(|tx, t, alloc| {
+            for k in 0..40u64 {
+                t.insert(tx, alloc, k * 3, k)?;
+            }
+            // Remove a mix: leaves, single-child, two-child, root-ish.
+            for k in [0u64, 21, 60, 117, 39, 57, 3] {
+                assert_eq!(t.remove(tx, k)?, Some(k / 3), "remove {k}");
+                assert_eq!(t.remove(tx, k)?, None);
+            }
+            assert_eq!(t.len(tx)?, 33);
+            Ok(())
+        });
+        t.check_invariants(&mem).expect("invariants after removals");
+    }
+
+    #[test]
+    fn update_in_place() {
+        let (t, mem) = with_tree(|tx, t, alloc| {
+            t.insert(tx, alloc, 7, 1)?;
+            assert!(t.update(tx, 7, 99)?);
+            assert!(!t.update(tx, 8, 0)?);
+            assert_eq!(t.find(tx, 7)?, Some(99));
+            Ok(())
+        });
+        t.check_invariants(&mem).unwrap();
+    }
+
+    #[test]
+    fn drain_completely() {
+        let (t, mem) = with_tree(|tx, t, alloc| {
+            for k in [5u64, 3, 8, 1, 4, 7, 9, 2, 6] {
+                t.insert(tx, alloc, k, k)?;
+            }
+            for k in 1..=9u64 {
+                assert_eq!(t.remove(tx, k)?, Some(k));
+            }
+            assert_eq!(t.len(tx)?, 0);
+            Ok(())
+        });
+        assert!(t.snapshot(&mem).is_empty());
+        t.check_invariants(&mem).unwrap();
+    }
+
+    #[test]
+    fn random_workout_against_btreemap() {
+        use std::collections::BTreeMap;
+        let mut rng = sim_core::rng::SimRng::new(2024);
+        let ops: Vec<(u8, u64)> =
+            (0..400).map(|_| (rng.below(3) as u8, rng.below(80))).collect();
+        let ops2 = ops.clone();
+        let results: Mutex<Vec<Option<u64>>> = Mutex::new(Vec::new());
+        let results_ref = &results;
+        let (t, mem) = with_tree(move |tx, t, alloc| {
+            let mut out = Vec::new();
+            for &(op, k) in &ops2 {
+                match op {
+                    0 => {
+                        t.insert(tx, alloc, k, k + 7)?;
+                    }
+                    1 => out.push(t.remove(tx, k)?),
+                    _ => out.push(t.find(tx, k)?),
+                }
+            }
+            *results_ref.lock().unwrap() = out;
+            Ok(())
+        });
+        t.check_invariants(&mem).expect("invariants after random workout");
+        let mut oracle = BTreeMap::new();
+        let mut want = Vec::new();
+        for &(op, k) in &ops {
+            match op {
+                0 => {
+                    oracle.entry(k).or_insert(k + 7);
+                }
+                1 => want.push(oracle.remove(&k)),
+                _ => want.push(oracle.get(&k).copied()),
+            }
+        }
+        assert_eq!(*results.lock().unwrap(), want);
+        let snap: Vec<(u64, u64)> = t.snapshot(&mem);
+        let oracle_v: Vec<(u64, u64)> = oracle.into_iter().collect();
+        assert_eq!(snap, oracle_v);
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: run one STAMP workload on the full LockillerTM system and
+//! on coarse-grained locking, and compare simulated execution time.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lockillertm::lockiller::{Runner, SystemKind};
+use lockillertm::stamp::{Scale, Workload, WorkloadKind};
+
+fn main() {
+    let workload = WorkloadKind::VacationHigh;
+    let threads = 4;
+
+    println!("workload: {} / {threads} threads / Table-I hardware\n", workload.name());
+    println!(
+        "{:<18} {:>12} {:>9} {:>8} {:>8} {:>12}",
+        "system", "cycles", "commits", "aborts", "rejects", "commit rate"
+    );
+    let mut cgl_cycles = 0u64;
+    for kind in [
+        SystemKind::Cgl,
+        SystemKind::Baseline,
+        SystemKind::LockillerRwi,
+        SystemKind::LockillerTm,
+    ] {
+        let mut prog = Workload::with_scale(workload, threads, Scale::Small);
+        let stats = Runner::new(kind).threads(threads).run(&mut prog);
+        if kind == SystemKind::Cgl {
+            cgl_cycles = stats.cycles;
+        }
+        println!(
+            "{:<18} {:>12} {:>9} {:>8} {:>8} {:>11.1}%  ({:.2}x vs CGL)",
+            kind.name(),
+            stats.cycles,
+            stats.commits + stats.lock_commits,
+            stats.total_aborts(),
+            stats.rejects,
+            stats.commit_rate() * 100.0,
+            cgl_cycles as f64 / stats.cycles as f64,
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # LockillerTM
+//!
+//! A full reproduction of *"LockillerTM: Enhancing Performance Lower Bounds
+//! in Best-Effort Hardware Transactional Memory"* (Wan, Chao, Li, Han —
+//! IPPS 2024) as a Rust library, including the deterministic CMP simulator
+//! the mechanisms are evaluated on and the STAMP workload ports the paper
+//! measures.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! - [`sim_core`] — discrete-event substrate, Table-I configuration, stats
+//! - [`noc`] — 4x8 mesh network-on-chip timing model
+//! - [`coherence`] — MESI directory protocol with HTM extensions
+//!   (recovery/NACK, overflow signatures, HLA arbitration)
+//! - [`lockiller`] — the paper's contribution: transaction runtime, the
+//!   Table-II systems, and the guest-program harness
+//! - [`tmlib`] — transactional data structures on simulated memory
+//! - [`stamp`] — STAMP benchmark ports
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lockillertm::lockiller::{Runner, SystemKind};
+//! use lockillertm::sim_core::config::SystemConfig;
+//! use lockillertm::stamp::{Scale, Workload, WorkloadKind};
+//!
+//! let mut workload = Workload::with_scale(WorkloadKind::KmeansHigh, 2, Scale::Tiny);
+//! let stats = Runner::new(SystemKind::LockillerTm)
+//!     .threads(2)
+//!     .config(SystemConfig::testing(2))
+//!     .run(&mut workload);
+//! println!("simulated cycles: {}", stats.cycles);
+//! assert!(stats.commits > 0);
+//! ```
+
+pub use coherence;
+pub use lockiller;
+pub use noc;
+pub use sim_core;
+pub use stamp;
+pub use tmlib;
