@@ -17,7 +17,7 @@ fn bench_noc(c: &mut Criterion) {
         b.iter(|| {
             t += 10;
             mesh.send(t, 0, 31, 5)
-        })
+        });
     });
     g.bench_function("send_local", |b| {
         let mut mesh = Mesh::new(4, 8, 1);
@@ -25,7 +25,7 @@ fn bench_noc(c: &mut Criterion) {
         b.iter(|| {
             t += 10;
             mesh.send(t, 5, 5, 1)
-        })
+        });
     });
     g.bench_function("route_hops", |b| {
         b.iter(|| {
@@ -36,7 +36,7 @@ fn bench_noc(c: &mut Criterion) {
                 }
             }
             acc
-        })
+        });
     });
     g.finish();
 }
@@ -49,10 +49,10 @@ fn bench_signature(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             s.add(LineAddr(i));
-            if i % 4096 == 0 {
+            if i.is_multiple_of(4096) {
                 s.clear();
             }
-        })
+        });
     });
     g.bench_function("test_miss", |b| {
         let mut s = coherence::Signature::new(1024, 3);
@@ -63,7 +63,7 @@ fn bench_signature(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             s.test(LineAddr(i))
-        })
+        });
     });
     g.finish();
 }
@@ -82,7 +82,7 @@ fn bench_event_queue(c: &mut Criterion) {
                 n += 1;
             }
             n
-        })
+        });
     });
     g.finish();
 }
@@ -94,7 +94,7 @@ fn bench_fxhash(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             hash_u64(i)
-        })
+        });
     });
     g.bench_function("map_insert_lookup_1k", |b| {
         b.iter(|| {
@@ -102,8 +102,10 @@ fn bench_fxhash(c: &mut Criterion) {
             for i in 0..1000u64 {
                 m.insert(i * 7, i);
             }
-            (0..1000u64).map(|i| m.get(&(i * 7)).copied().unwrap_or(0)).sum::<u64>()
-        })
+            (0..1000u64)
+                .map(|i| m.get(&(i * 7)).copied().unwrap_or(0))
+                .sum::<u64>()
+        });
     });
     g.finish();
 }
@@ -112,14 +114,21 @@ fn bench_rng(c: &mut Criterion) {
     let mut g = c.benchmark_group("rng");
     g.bench_function("next_u64", |b| {
         let mut r = SimRng::new(42);
-        b.iter(|| r.next_u64())
+        b.iter(|| r.next_u64());
     });
     g.bench_function("below", |b| {
         let mut r = SimRng::new(42);
-        b.iter(|| r.below(1000))
+        b.iter(|| r.below(1000));
     });
     g.finish();
 }
 
-criterion_group!(components, bench_noc, bench_signature, bench_event_queue, bench_fxhash, bench_rng);
+criterion_group!(
+    components,
+    bench_noc,
+    bench_signature,
+    bench_event_queue,
+    bench_fxhash,
+    bench_rng
+);
 criterion_main!(components);

@@ -25,7 +25,7 @@ fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("table01_02_config");
     g.bench_function("table1_config", |b| b.iter(SystemConfig::table1));
     g.bench_function("table2_policies", |b| {
-        b.iter(|| SystemKind::ALL.map(|s| s.policy().max_retries))
+        b.iter(|| SystemKind::ALL.map(|s| s.policy().max_retries));
     });
     g.finish();
 }
@@ -36,10 +36,10 @@ fn bench_fig01(c: &mut Criterion) {
     g.sample_size(10);
     for w in [WorkloadKind::Genome, WorkloadKind::Yada] {
         g.bench_with_input(BenchmarkId::new("baseline", w.name()), &w, |b, &w| {
-            b.iter(|| run_point(SystemKind::Baseline, w, 2))
+            b.iter(|| run_point(SystemKind::Baseline, w, 2));
         });
         g.bench_with_input(BenchmarkId::new("cgl", w.name()), &w, |b, &w| {
-            b.iter(|| run_point(SystemKind::Cgl, w, 2))
+            b.iter(|| run_point(SystemKind::Cgl, w, 2));
         });
     }
     g.finish();
@@ -49,7 +49,11 @@ fn bench_fig01(c: &mut Criterion) {
 fn bench_fig07(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig07_speedup_grid");
     g.sample_size(10);
-    for sys in [SystemKind::Baseline, SystemKind::LockillerRwi, SystemKind::LockillerTm] {
+    for sys in [
+        SystemKind::Baseline,
+        SystemKind::LockillerRwi,
+        SystemKind::LockillerTm,
+    ] {
         g.bench_with_input(
             BenchmarkId::new("intruder_4t", sys.name()),
             &sys,
@@ -77,10 +81,18 @@ fn bench_fig08(c: &mut Criterion) {
 fn bench_fig09(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig09_breakdown32");
     g.sample_size(10);
-    for sys in [SystemKind::Baseline, SystemKind::LockillerRwi, SystemKind::LockillerRwil] {
-        g.bench_with_input(BenchmarkId::new("vacation_4t", sys.name()), &sys, |b, &sys| {
-            b.iter(|| run_point(sys, WorkloadKind::VacationHigh, 4))
-        });
+    for sys in [
+        SystemKind::Baseline,
+        SystemKind::LockillerRwi,
+        SystemKind::LockillerRwil,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("vacation_4t", sys.name()),
+            &sys,
+            |b, &sys| {
+                b.iter(|| run_point(sys, WorkloadKind::VacationHigh, 4));
+            },
+        );
     }
     g.finish();
 }
@@ -89,9 +101,13 @@ fn bench_fig09(c: &mut Criterion) {
 fn bench_fig10_11(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10_11_abort_causes");
     g.sample_size(10);
-    for sys in [SystemKind::Baseline, SystemKind::LockillerRwil, SystemKind::LockillerTm] {
+    for sys in [
+        SystemKind::Baseline,
+        SystemKind::LockillerRwil,
+        SystemKind::LockillerTm,
+    ] {
         g.bench_with_input(BenchmarkId::new("yada_2t", sys.name()), &sys, |b, &sys| {
-            b.iter(|| run_point(sys, WorkloadKind::Yada, 2))
+            b.iter(|| run_point(sys, WorkloadKind::Yada, 2));
         });
     }
     g.finish();
@@ -102,9 +118,13 @@ fn bench_fig12(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig12_avg_speedup");
     g.sample_size(10);
     for sys in [SystemKind::LosaTmSafu, SystemKind::LockillerTm] {
-        g.bench_with_input(BenchmarkId::new("genome_4t", sys.name()), &sys, |b, &sys| {
-            b.iter(|| run_point(sys, WorkloadKind::Genome, 4))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("genome_4t", sys.name()),
+            &sys,
+            |b, &sys| {
+                b.iter(|| run_point(sys, WorkloadKind::Genome, 4));
+            },
+        );
     }
     g.finish();
 }
@@ -119,12 +139,20 @@ fn bench_fig13(c: &mut Criterion) {
         cfg
     };
     for sys in [SystemKind::Baseline, SystemKind::LockillerTm] {
-        g.bench_with_input(BenchmarkId::new("labyrinth_small_l1", sys.name()), &sys, |b, &sys| {
-            b.iter(|| {
-                let mut prog = Workload::with_scale(WorkloadKind::Labyrinth, 2, Scale::Tiny);
-                Runner::new(sys).threads(2).config(tiny_l1()).run(&mut prog).cycles
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("labyrinth_small_l1", sys.name()),
+            &sys,
+            |b, &sys| {
+                b.iter(|| {
+                    let mut prog = Workload::with_scale(WorkloadKind::Labyrinth, 2, Scale::Tiny);
+                    Runner::new(sys)
+                        .threads(2)
+                        .config(tiny_l1())
+                        .run(&mut prog)
+                        .cycles
+                });
+            },
+        );
     }
     g.finish();
 }

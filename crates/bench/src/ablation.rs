@@ -38,8 +38,22 @@ pub fn ablation_retries(scale: Scale) -> String {
     let threads = 8;
     let mut rows = Vec::new();
     for budget in [1u32, 2, 4, 8, 16, 32] {
-        let base = cycles_with(SystemKind::Baseline, w, threads, scale, |_| {}, Some(budget));
-        let full = cycles_with(SystemKind::LockillerTm, w, threads, scale, |_| {}, Some(budget));
+        let base = cycles_with(
+            SystemKind::Baseline,
+            w,
+            threads,
+            scale,
+            |_| {},
+            Some(budget),
+        );
+        let full = cycles_with(
+            SystemKind::LockillerTm,
+            w,
+            threads,
+            scale,
+            |_| {},
+            Some(budget),
+        );
         rows.push(vec![
             budget.to_string(),
             base.to_string(),
@@ -50,7 +64,10 @@ pub fn ablation_retries(scale: Scale) -> String {
     let out = format!(
         "ABLATION: HTM retry budget ({} @{threads} threads)\n{}",
         w.name(),
-        render(&["retries", "Baseline cycles", "LockillerTM cycles", "gain"], &rows)
+        render(
+            &["retries", "Baseline cycles", "LockillerTM cycles", "gain"],
+            &rows
+        )
     );
     println!("{out}");
     out
@@ -65,7 +82,11 @@ pub fn ablation_priority(scale: Scale) -> String {
         ("progression (LosaTM)", SystemKind::LosaTmSafu),
         ("insts-based (RWI)", SystemKind::LockillerRwi),
     ];
-    let workloads = [WorkloadKind::KmeansHigh, WorkloadKind::Intruder, WorkloadKind::VacationHigh];
+    let workloads = [
+        WorkloadKind::KmeansHigh,
+        WorkloadKind::Intruder,
+        WorkloadKind::VacationHigh,
+    ];
     let mut rows = Vec::new();
     for (label, sys) in systems {
         let mut row = vec![label.to_string()];
@@ -116,7 +137,10 @@ pub fn ablation_signature(scale: Scale) -> String {
         let mut cfg = SystemConfig::small_cache(); // overflow-heavy regime
         cfg.mem.signature_bits = bits;
         let mut prog = Workload::with_scale(WorkloadKind::Labyrinth, 8, scale);
-        let s = Runner::new(SystemKind::LockillerTm).threads(8).config(cfg).run(&mut prog);
+        let s = Runner::new(SystemKind::LockillerTm)
+            .threads(8)
+            .config(cfg)
+            .run(&mut prog);
         rows.push(vec![
             bits.to_string(),
             s.cycles.to_string(),
@@ -126,7 +150,10 @@ pub fn ablation_signature(scale: Scale) -> String {
     }
     let out = format!(
         "ABLATION: overflow-signature size (labyrinth, small cache, 8 threads)\n{}",
-        render(&["sig bits", "cycles", "sig rejects", "nack rejects"], &rows)
+        render(
+            &["sig bits", "cycles", "sig rejects", "nack rejects"],
+            &rows
+        )
     );
     println!("{out}");
     out

@@ -35,7 +35,7 @@ fn main() {
             }
             !a.starts_with("--")
         })
-        .map(|s| s.as_str())
+        .map(std::string::String::as_str)
         .collect();
     let what = if what.is_empty() { vec!["all"] } else { what };
 

@@ -20,8 +20,8 @@ fn usage() -> ! {
          \x20                  [--retries N] [--seed N] [--timeline]\n\
          systems:   {}\n\
          workloads: {}",
-        SystemKind::ALL.map(|s| s.name()).join(" "),
-        WorkloadKind::ALL.map(|w| w.name()).join(" ")
+        SystemKind::ALL.map(lockiller::SystemKind::name).join(" "),
+        WorkloadKind::ALL.map(stamp::WorkloadKind::name).join(" ")
     );
     std::process::exit(2);
 }
@@ -66,7 +66,10 @@ fn main() {
             "--seed" => seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--timeline" => timeline = true,
             "--help" | "-h" => usage(),
-            _ => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
         }
         i += 1;
     }
@@ -96,7 +99,10 @@ fn main() {
     };
 
     println!("cycles                {}", stats.cycles);
-    println!("speculative commits   {} ({} after STL switch)", stats.commits, stats.stl_commits);
+    println!(
+        "speculative commits   {} ({} after STL switch)",
+        stats.commits, stats.stl_commits
+    );
     println!("lock-path sections    {}", stats.lock_commits);
     println!("commit rate           {:.1}%", stats.commit_rate() * 100.0);
     println!("aborts                {}", stats.total_aborts());
@@ -105,14 +111,20 @@ fn main() {
             println!("  {:<10} {}", c.name(), stats.abort_count(c));
         }
     }
-    println!("recovery rejects      {} (+{} by signature)", stats.rejects, stats.sig_rejects);
+    println!(
+        "recovery rejects      {} (+{} by signature)",
+        stats.rejects, stats.sig_rejects
+    );
     println!("wake-ups              {}", stats.wakeups);
     println!("fallbacks             {}", stats.fallbacks);
     println!(
         "switches              {} granted / {} denied",
         stats.switches_granted, stats.switches_denied
     );
-    println!("NoC                   {} messages, {} hops", stats.messages, stats.hops);
+    println!(
+        "NoC                   {} messages, {} hops",
+        stats.messages, stats.hops
+    );
     println!(
         "avg committed tx      {:.0} cycles, {:.1} read lines, {:.1} written lines",
         stats.avg_tx_len(),

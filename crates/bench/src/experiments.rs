@@ -28,7 +28,10 @@ pub fn table1() -> String {
     let c = ConfigPoint::Typical.config();
     let rows = vec![
         vec!["Number of Cores".into(), format!("{}", c.num_cores)],
-        vec!["Core Detail".into(), "In-order, single-issue, 1 op/cycle".into()],
+        vec![
+            "Core Detail".into(),
+            "In-order, single-issue, 1 op/cycle".into(),
+        ],
         vec!["Cache Line Size".into(), "64 bytes".into()],
         vec![
             "L1 D cache".into(),
@@ -48,7 +51,10 @@ pub fn table1() -> String {
                 c.mem.llc_hit
             ),
         ],
-        vec!["Memory".into(), format!("{}-cycle latency", c.mem.mem_latency)],
+        vec![
+            "Memory".into(),
+            format!("{}-cycle latency", c.mem.mem_latency),
+        ],
         vec!["Coherence protocol".into(), "MESI, directory-based".into()],
         vec![
             "Topology and Routing".into(),
@@ -56,14 +62,20 @@ pub fn table1() -> String {
         ],
         vec![
             "Flit size / message size".into(),
-            format!("16 bytes / {} flits (data), {} flit (control)", c.noc.data_flits, c.noc.control_flits),
+            format!(
+                "16 bytes / {} flits (data), {} flit (control)",
+                c.noc.data_flits, c.noc.control_flits
+            ),
         ],
         vec![
             "Link latency/bandwidth".into(),
             format!("{} cycle / 1 flit per cycle", c.noc.link_latency),
         ],
     ];
-    let out = format!("TABLE I. System Model Parameters\n{}", render(&["Component", "Value"], &rows));
+    let out = format!(
+        "TABLE I. System Model Parameters\n{}",
+        render(&["Component", "Value"], &rows)
+    );
     println!("{out}");
     out
 }
@@ -80,7 +92,10 @@ pub fn table2() -> String {
             } else {
                 feats.push("best-effort HTM".to_string());
                 if p.recovery {
-                    feats.push(format!("recovery ({:?} prio, {:?})", p.priority, p.reject_action));
+                    feats.push(format!(
+                        "recovery ({:?} prio, {:?})",
+                        p.priority, p.reject_action
+                    ));
                 }
                 if p.htmlock {
                     feats.push("HTMLock".to_string());
@@ -92,7 +107,10 @@ pub fn table2() -> String {
             vec![s.name().to_string(), feats.join(" + ")]
         })
         .collect();
-    let out = format!("TABLE II. Evaluated Systems\n{}", render(&["System", "Mechanisms"], &rows));
+    let out = format!(
+        "TABLE II. Evaluated Systems\n{}",
+        render(&["System", "Mechanisms"], &rows)
+    );
     println!("{out}");
     out
 }
@@ -116,8 +134,11 @@ pub fn fig1(lab: &mut Lab) -> String {
 
 /// Fig. 7: per-workload speedup vs CGL for every system and thread count.
 pub fn fig7(lab: &mut Lab, quick: bool) -> String {
-    let systems: Vec<SystemKind> =
-        SystemKind::ALL.iter().copied().filter(|s| *s != SystemKind::Cgl).collect();
+    let systems: Vec<SystemKind> = SystemKind::ALL
+        .iter()
+        .copied()
+        .filter(|s| *s != SystemKind::Cgl)
+        .collect();
     let mut out = String::from("FIG 7. Speedup vs CGL (typical cache)\n");
     for &w in &WorkloadKind::ALL {
         let mut rows = Vec::new();
@@ -160,12 +181,7 @@ pub fn fig8(lab: &mut Lab, quick: bool) -> String {
     out
 }
 
-fn breakdown_figure(
-    lab: &mut Lab,
-    title: &str,
-    systems: &[SystemKind],
-    threads: usize,
-) -> String {
+fn breakdown_figure(lab: &mut Lab, title: &str, systems: &[SystemKind], threads: usize) -> String {
     let phases = Phase::ALL;
     let mut out = format!("{title}\n");
     for &w in &WorkloadKind::ALL {
@@ -175,7 +191,11 @@ fn breakdown_figure(
             let total: u64 = phases.iter().map(|p| s.phase(*p)).sum();
             let mut row = vec![sys.name().to_string()];
             for p in phases {
-                let frac = if total == 0 { 0.0 } else { s.phase(p) as f64 / total as f64 };
+                let frac = if total == 0 {
+                    0.0
+                } else {
+                    s.phase(p) as f64 / total as f64
+                };
                 row.push(pct(frac));
             }
             row.push(pct(s.commit_rate()));
@@ -196,14 +216,22 @@ pub fn fig9(lab: &mut Lab, quick: bool) -> String {
     breakdown_figure(
         lab,
         &format!("FIG 9. Execution-time breakdown + commit rate ({threads} threads)"),
-        &[SystemKind::Baseline, SystemKind::LockillerRwi, SystemKind::LockillerRwil],
+        &[
+            SystemKind::Baseline,
+            SystemKind::LockillerRwi,
+            SystemKind::LockillerRwil,
+        ],
         threads,
     )
 }
 
 /// Fig. 10: abort-cause percentages at 2 threads.
 pub fn fig10(lab: &mut Lab) -> String {
-    let systems = [SystemKind::Baseline, SystemKind::LockillerRwil, SystemKind::LockillerTm];
+    let systems = [
+        SystemKind::Baseline,
+        SystemKind::LockillerRwil,
+        SystemKind::LockillerTm,
+    ];
     let mut out = String::from("FIG 10. Abort causes at 2 threads (fraction of all aborts)\n");
     for &w in &WorkloadKind::ALL {
         let mut rows = Vec::new();
@@ -230,15 +258,22 @@ pub fn fig11(lab: &mut Lab) -> String {
     breakdown_figure(
         lab,
         "FIG 11. Execution-time breakdown + commit rate (2 threads)",
-        &[SystemKind::Baseline, SystemKind::LockillerRwil, SystemKind::LockillerTm],
+        &[
+            SystemKind::Baseline,
+            SystemKind::LockillerRwil,
+            SystemKind::LockillerTm,
+        ],
         2,
     )
 }
 
 /// Fig. 12: average speedup of every system across thread counts.
 pub fn fig12(lab: &mut Lab, quick: bool) -> String {
-    let systems: Vec<SystemKind> =
-        SystemKind::ALL.iter().copied().filter(|s| *s != SystemKind::Cgl).collect();
+    let systems: Vec<SystemKind> = SystemKind::ALL
+        .iter()
+        .copied()
+        .filter(|s| *s != SystemKind::Cgl)
+        .collect();
     let mut rows = Vec::new();
     for &t in thread_list(quick) {
         let mut row = vec![format!("{t}")];
@@ -259,7 +294,11 @@ pub fn fig12(lab: &mut Lab, quick: bool) -> String {
 
 /// Fig. 13: cache-size sensitivity.
 pub fn fig13(lab: &mut Lab, quick: bool) -> String {
-    let systems = [SystemKind::Baseline, SystemKind::LosaTmSafu, SystemKind::LockillerTm];
+    let systems = [
+        SystemKind::Baseline,
+        SystemKind::LosaTmSafu,
+        SystemKind::LockillerTm,
+    ];
     let mut out = String::from("FIG 13. Average speedup vs CGL under cache sensitivity\n");
     for cfg in [ConfigPoint::SmallCache, ConfigPoint::LargeCache] {
         let mut rows = Vec::new();
@@ -286,7 +325,10 @@ pub fn plots(lab: &mut Lab, quick: bool, dir: &std::path::Path) -> std::io::Resu
     let mut written = Vec::new();
 
     // Fig 1: baseline vs CGL bars per workload.
-    let names = vec![("Baseline HTM".to_string(), system_color(SystemKind::Baseline).to_string())];
+    let names = vec![(
+        "Baseline HTM".to_string(),
+        system_color(SystemKind::Baseline).to_string(),
+    )];
     let groups: Vec<BarGroup> = WorkloadKind::ALL
         .iter()
         .map(|&w| BarGroup {
@@ -392,7 +434,15 @@ pub fn characterize(lab: &mut Lab) -> String {
         "CHARACTERIZATION (Baseline @{threads} threads, typical cache)
 {}",
         render(
-            &["workload", "tx cycles", "rd lines", "wr lines", "commits", "abort rate", "fallbacks"],
+            &[
+                "workload",
+                "tx cycles",
+                "rd lines",
+                "wr lines",
+                "commits",
+                "abort rate",
+                "fallbacks"
+            ],
             &rows
         )
     );
@@ -409,9 +459,15 @@ pub fn headline(lab: &mut Lab, quick: bool) -> String {
     let mut over_losa: Vec<f64> = Vec::new();
     for &t in t_all {
         for w in WorkloadKind::ALL {
-            let full = lab.run(SystemKind::LockillerTm, w, t, ConfigPoint::Typical).cycles as f64;
-            let base = lab.run(SystemKind::Baseline, w, t, ConfigPoint::Typical).cycles as f64;
-            let losa = lab.run(SystemKind::LosaTmSafu, w, t, ConfigPoint::Typical).cycles as f64;
+            let full = lab
+                .run(SystemKind::LockillerTm, w, t, ConfigPoint::Typical)
+                .cycles as f64;
+            let base = lab
+                .run(SystemKind::Baseline, w, t, ConfigPoint::Typical)
+                .cycles as f64;
+            let losa = lab
+                .run(SystemKind::LosaTmSafu, w, t, ConfigPoint::Typical)
+                .cycles as f64;
             over_base.push(base / full);
             over_losa.push(losa / full);
         }
@@ -421,12 +477,30 @@ pub fn headline(lab: &mut Lab, quick: bool) -> String {
     let mut max_base: f64 = 0.0;
     let mut max_losa: f64 = 0.0;
     for w in WorkloadKind::ALL {
-        let full =
-            lab.run(SystemKind::LockillerTm, w, max_threads, ConfigPoint::SmallCache).cycles as f64;
-        let base =
-            lab.run(SystemKind::Baseline, w, max_threads, ConfigPoint::SmallCache).cycles as f64;
-        let losa =
-            lab.run(SystemKind::LosaTmSafu, w, max_threads, ConfigPoint::SmallCache).cycles as f64;
+        let full = lab
+            .run(
+                SystemKind::LockillerTm,
+                w,
+                max_threads,
+                ConfigPoint::SmallCache,
+            )
+            .cycles as f64;
+        let base = lab
+            .run(
+                SystemKind::Baseline,
+                w,
+                max_threads,
+                ConfigPoint::SmallCache,
+            )
+            .cycles as f64;
+        let losa = lab
+            .run(
+                SystemKind::LosaTmSafu,
+                w,
+                max_threads,
+                ConfigPoint::SmallCache,
+            )
+            .cycles as f64;
         max_base = max_base.max(base / full);
         max_losa = max_losa.max(losa / full);
     }

@@ -50,7 +50,12 @@ pub struct Lab {
 
 impl Lab {
     pub fn new(scale: Scale) -> Lab {
-        Lab { scale, seed: 0xC0FFEE, cache: HashMap::new(), verbose: false }
+        Lab {
+            scale,
+            seed: 0xC0FFEE,
+            cache: HashMap::new(),
+            verbose: false,
+        }
     }
 
     pub fn scale(&self) -> Scale {
@@ -103,12 +108,7 @@ impl Lab {
     }
 
     /// Geometric mean of speedups over all nine workloads.
-    pub fn avg_speedup(
-        &mut self,
-        system: SystemKind,
-        threads: usize,
-        cfg: ConfigPoint,
-    ) -> f64 {
+    pub fn avg_speedup(&mut self, system: SystemKind, threads: usize, cfg: ConfigPoint) -> f64 {
         let mut logsum = 0.0;
         for w in WorkloadKind::ALL {
             logsum += self.speedup(system, w, threads, cfg).ln();
@@ -171,9 +171,19 @@ mod tests {
     #[test]
     fn lab_memoizes_points() {
         let mut lab = Lab::new(Scale::Tiny);
-        let a = lab.run(SystemKind::Cgl, WorkloadKind::Ssca2, 2, ConfigPoint::Typical);
+        let a = lab.run(
+            SystemKind::Cgl,
+            WorkloadKind::Ssca2,
+            2,
+            ConfigPoint::Typical,
+        );
         assert_eq!(lab.runs_cached(), 1);
-        let b = lab.run(SystemKind::Cgl, WorkloadKind::Ssca2, 2, ConfigPoint::Typical);
+        let b = lab.run(
+            SystemKind::Cgl,
+            WorkloadKind::Ssca2,
+            2,
+            ConfigPoint::Typical,
+        );
         assert_eq!(lab.runs_cached(), 1, "second call must hit the cache");
         assert_eq!(a.cycles, b.cycles);
     }
@@ -181,14 +191,24 @@ mod tests {
     #[test]
     fn speedup_is_cgl_relative() {
         let mut lab = Lab::new(Scale::Tiny);
-        let s = lab.speedup(SystemKind::Cgl, WorkloadKind::Ssca2, 2, ConfigPoint::Typical);
+        let s = lab.speedup(
+            SystemKind::Cgl,
+            WorkloadKind::Ssca2,
+            2,
+            ConfigPoint::Typical,
+        );
         assert!((s - 1.0).abs() < 1e-12, "CGL vs CGL must be 1.0");
     }
 
     #[test]
     fn csv_has_header_and_rows() {
         let mut lab = Lab::new(Scale::Tiny);
-        lab.run(SystemKind::Baseline, WorkloadKind::Ssca2, 2, ConfigPoint::Typical);
+        lab.run(
+            SystemKind::Baseline,
+            WorkloadKind::Ssca2,
+            2,
+            ConfigPoint::Typical,
+        );
         let csv = lab.dump_csv();
         assert!(csv.starts_with("system,workload"));
         assert_eq!(csv.lines().count(), 2);

@@ -22,8 +22,9 @@ const INK_2: &str = "#52514e";
 const GRID: &str = "#e7e6e2";
 
 /// Fixed categorical slots (validated order; see DESIGN.md tooling note).
-const SLOTS: [&str; 8] =
-    ["#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948", "#e87ba4", "#eb6834"];
+const SLOTS: [&str; 8] = [
+    "#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948", "#e87ba4", "#eb6834",
+];
 
 /// Color follows the entity: each evaluated system owns a slot.
 pub fn system_color(kind: SystemKind) -> &'static str {
@@ -41,7 +42,9 @@ pub fn system_color(kind: SystemKind) -> &'static str {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// One series of a line chart.
@@ -130,7 +133,11 @@ pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) 
         }
     }
     let label_y = |idx: usize| -> f64 {
-        label_ys.iter().find(|(i, _)| *i == idx).map(|(_, y)| *y).unwrap_or(0.0)
+        label_ys
+            .iter()
+            .find(|(i, _)| *i == idx)
+            .map(|(_, y)| *y)
+            .unwrap_or(0.0)
     };
 
     // Series: 2px lines, 8px (r=4) markers, direct end labels.
@@ -335,12 +342,24 @@ mod tests {
     #[test]
     fn bars_have_gap_and_baseline_anchor() {
         let names = vec![
-            ("Baseline".to_string(), system_color(SystemKind::Baseline).to_string()),
-            ("LockillerTM".to_string(), system_color(SystemKind::LockillerTm).to_string()),
+            (
+                "Baseline".to_string(),
+                system_color(SystemKind::Baseline).to_string(),
+            ),
+            (
+                "LockillerTM".to_string(),
+                system_color(SystemKind::LockillerTm).to_string(),
+            ),
         ];
         let groups = vec![
-            BarGroup { label: "genome".into(), values: vec![1.8, 1.9] },
-            BarGroup { label: "yada".into(), values: vec![0.5, 1.2] },
+            BarGroup {
+                label: "genome".into(),
+                values: vec![1.8, 1.9],
+            },
+            BarGroup {
+                label: "yada".into(),
+                values: vec![0.5, 1.2],
+            },
         ];
         let svg = grouped_bars("Fig 1", "speedup", &names, &groups);
         assert!(svg.contains("CGL = 1.0"), "parity reference line missing");
@@ -366,7 +385,11 @@ mod tests {
             "a < b & c",
             "x",
             "y",
-            &[Series { name: "s<1>".into(), color: "#2a78d6".into(), points: vec![(1.0, 1.0), (2.0, 2.0)] }],
+            &[Series {
+                name: "s<1>".into(),
+                color: "#2a78d6".into(),
+                points: vec![(1.0, 1.0), (2.0, 2.0)],
+            }],
         );
         assert!(svg.contains("a &lt; b &amp; c"));
         assert!(!svg.contains("s<1>"));

@@ -25,7 +25,13 @@ pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
         }
         out.push('\n');
     };
-    line(&mut out, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &header
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>(),
+    );
     let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
     out.push_str(&"-".repeat(total));
     out.push('\n');

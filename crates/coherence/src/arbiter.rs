@@ -59,7 +59,10 @@ impl HlaArbiter {
             (Some(_), false) => {
                 // The holder may still be registered only because its
                 // HlaRel is in flight; park the entrant until it lands.
-                assert!(self.queued_tl.is_none(), "second queued TL implies a lock bug");
+                assert!(
+                    self.queued_tl.is_none(),
+                    "second queued TL implies a lock bug"
+                );
                 self.queued_tl = Some(core);
                 HlaDecision::Queued
             }

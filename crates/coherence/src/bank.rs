@@ -220,14 +220,14 @@ impl Bank {
     /// Remove an entry if it has fully returned to idle/invalid, keeping
     /// the map from growing without bound over a long run.
     pub fn gc_entry(&mut self, line: LineAddr) {
-        if self.dir.get(&line).is_some_and(|e| e.idle_and_invalid()) {
+        if self.dir.get(&line).is_some_and(DirEntry::idle_and_invalid) {
             self.dir.remove(&line);
         }
     }
 
     /// Is a request for this line currently in flight?
     pub fn is_busy(&self, line: LineAddr) -> bool {
-        self.dir.get(&line).is_some_and(|e| e.busy())
+        self.dir.get(&line).is_some_and(DirEntry::busy)
     }
 }
 
@@ -309,7 +309,14 @@ mod tests {
         let line = LineAddr(5);
         assert!(!b.is_busy(line));
         b.entry(line).pending = Some(Pending {
-            req: ReqInfo { core: 0, kind: ReqKind::GetS, line, prio: 0, mode: ReqMode::NonTx, attempt: 0 },
+            req: ReqInfo {
+                core: 0,
+                kind: ReqKind::GetS,
+                line,
+                prio: 0,
+                mode: ReqMode::NonTx,
+                attempt: 0,
+            },
             waiting: CoreSet::single(1),
             rejected: CoreSet::empty(),
             invalidated: CoreSet::empty(),

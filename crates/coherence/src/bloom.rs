@@ -22,9 +22,17 @@ pub struct Signature {
 impl Signature {
     /// `nbits` must be a power of two; `hashes` >= 1.
     pub fn new(nbits: usize, hashes: usize) -> Signature {
-        assert!(nbits.is_power_of_two() && nbits >= 64, "signature bits must be a power of two >= 64");
+        assert!(
+            nbits.is_power_of_two() && nbits >= 64,
+            "signature bits must be a power of two >= 64"
+        );
         assert!(hashes >= 1);
-        Signature { bits: vec![0; nbits / 64], nbits, hashes, inserted: 0 }
+        Signature {
+            bits: vec![0; nbits / 64],
+            nbits,
+            hashes,
+            inserted: 0,
+        }
     }
 
     fn positions(&self, line: LineAddr) -> impl Iterator<Item = usize> + '_ {
@@ -44,7 +52,8 @@ impl Signature {
     }
 
     pub fn test(&self, line: LineAddr) -> bool {
-        self.positions(line).all(|p| self.bits[p / 64] & (1u64 << (p % 64)) != 0)
+        self.positions(line)
+            .all(|p| self.bits[p / 64] & (1u64 << (p % 64)) != 0)
     }
 
     pub fn clear(&mut self) {

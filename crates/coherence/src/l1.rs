@@ -60,7 +60,12 @@ pub struct L1LineSnapshot {
 
 impl From<&L1Line> for L1LineSnapshot {
     fn from(l: &L1Line) -> Self {
-        L1LineSnapshot { line: l.line, state: l.state, r: l.r, w: l.w }
+        L1LineSnapshot {
+            line: l.line,
+            state: l.state,
+            r: l.r,
+            w: l.w,
+        }
     }
 }
 
@@ -90,7 +95,10 @@ impl L1 {
     }
 
     pub fn lookup(&self, line: LineAddr) -> Option<&L1Line> {
-        self.sets[self.set_of(line)].iter().flatten().find(|l| l.line == line)
+        self.sets[self.set_of(line)]
+            .iter()
+            .flatten()
+            .find(|l| l.line == line)
     }
 
     pub fn lookup_mut(&mut self, line: LineAddr) -> Option<&mut L1Line> {
@@ -131,7 +139,7 @@ impl L1 {
             set.iter().flatten().all(|l| l.line != line),
             "victim_for on already-resident line"
         );
-        if set.iter().any(|w| w.is_none()) {
+        if set.iter().any(std::option::Option::is_none) {
             return Victim::Free;
         }
         // LRU among non-transactional lines.
@@ -144,7 +152,11 @@ impl L1 {
             return Victim::Evict(v.into());
         }
         // All ways transactional: overflow; report the LRU tx line.
-        let v = set.iter().flatten().min_by_key(|l| l.lru).expect("set cannot be empty here");
+        let v = set
+            .iter()
+            .flatten()
+            .min_by_key(|l| l.lru)
+            .expect("set cannot be empty here");
         Victim::Overflow(v.into())
     }
 
@@ -158,7 +170,13 @@ impl L1 {
             .iter_mut()
             .find(|w| w.is_none())
             .expect("install with no free way");
-        *slot = Some(L1Line { line, state, r, w, lru: clock });
+        *slot = Some(L1Line {
+            line,
+            state,
+            r,
+            w,
+            lru: clock,
+        });
         if r || w {
             self.tx_lines.insert(line);
         }

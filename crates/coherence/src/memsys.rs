@@ -57,6 +57,28 @@ pub enum OverflowKind {
     HtmCapacity,
 }
 
+/// Protocol-level events recorded in checked mode (`CheckCfg::enabled`)
+/// for the `tmcheck` invariant checkers. Distinct from [`CoreNotice`]:
+/// these are observations, not control flow — dropping them changes
+/// nothing about the simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtoEvent {
+    /// `from` (a probed owner) NACKed `to`'s request for `line` under the
+    /// recovery mechanism.
+    NackSent {
+        from: CoreId,
+        to: CoreId,
+        line: LineAddr,
+    },
+    /// `from` sent a wake-up to previously rejected core `to` (commit,
+    /// abort, or hlend drained its wake list / the signature waiters).
+    WakeSent { from: CoreId, to: CoreId },
+}
+
+/// Scheduled network messages and core notices drained by the engine
+/// after each call into the memory system.
+pub type Outputs = (Vec<(Cycle, NetMsg)>, Vec<(Cycle, CoreNotice)>);
+
 /// Asynchronous notifications to the per-core controllers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CoreNotice {
@@ -130,6 +152,7 @@ pub struct MemSystem {
     mutex_line: Option<LineAddr>,
     out_msgs: Vec<(Cycle, NetMsg)>,
     notices: Vec<(Cycle, CoreNotice)>,
+    proto_events: Vec<(Cycle, ProtoEvent)>,
     pub stats: MemStats,
 }
 
@@ -162,6 +185,7 @@ impl MemSystem {
             mutex_line: None,
             out_msgs: Vec::new(),
             notices: Vec::new(),
+            proto_events: Vec::new(),
             stats: MemStats::default(),
             cfg,
         }
@@ -176,8 +200,11 @@ impl MemSystem {
     }
 
     fn send(&mut self, now: Cycle, from: usize, to: usize, msg: NetMsg) {
-        let flits =
-            if msg.is_data() { self.cfg.noc.data_flits } else { self.cfg.noc.control_flits };
+        let flits = if msg.is_data() {
+            self.cfg.noc.data_flits
+        } else {
+            self.cfg.noc.control_flits
+        };
         let at = self.mesh.send(now, from, to, flits);
         self.out_msgs.push((at, msg));
     }
@@ -186,9 +213,24 @@ impl MemSystem {
         self.notices.push((at, n));
     }
 
+    fn proto_event(&mut self, at: Cycle, ev: ProtoEvent) {
+        if self.cfg.check.enabled {
+            self.proto_events.push((at, ev));
+        }
+    }
+
     /// Drain scheduled messages and notices accumulated by the last call.
-    pub fn take_outputs(&mut self) -> (Vec<(Cycle, NetMsg)>, Vec<(Cycle, CoreNotice)>) {
-        (std::mem::take(&mut self.out_msgs), std::mem::take(&mut self.notices))
+    pub fn take_outputs(&mut self) -> Outputs {
+        (
+            std::mem::take(&mut self.out_msgs),
+            std::mem::take(&mut self.notices),
+        )
+    }
+
+    /// Drain checked-mode protocol observations (empty unless
+    /// `cfg.check.enabled`).
+    pub fn take_proto_events(&mut self) -> Vec<(Cycle, ProtoEvent)> {
+        std::mem::take(&mut self.proto_events)
     }
 
     pub fn noc_stats(&self) -> &noc::NocStats {
@@ -279,7 +321,10 @@ impl MemSystem {
     /// reject, explicit xabort, fault, capacity abort, failed switch).
     pub fn abort_locally(&mut self, now: Cycle, core: CoreId) {
         debug_assert!(self.meta[core].mode.is_tx());
-        debug_assert!(!self.meta[core].mode.is_lock(), "lock transactions cannot abort");
+        debug_assert!(
+            !self.meta[core].mode.is_lock(),
+            "lock transactions cannot abort"
+        );
         self.l1s[core].abort_tx();
         self.meta[core].mode = TxMode::None;
         self.meta[core].attempt += 1;
@@ -313,7 +358,11 @@ impl MemSystem {
         }
         let waiters = std::mem::take(&mut self.sig_waiters);
         for w in waiters {
+            if self.cfg.check.fault.drop_wakeups {
+                continue;
+            }
             self.stats.wakeups_sent += 1;
+            self.proto_event(now, ProtoEvent::WakeSent { from: core, to: w });
             self.send(now, core, w, NetMsg::Wakeup { to: w });
         }
         self.drain_wake_list(now, core);
@@ -351,7 +400,11 @@ impl MemSystem {
     fn drain_wake_list(&mut self, now: Cycle, core: CoreId) {
         let list = std::mem::take(&mut self.meta[core].wake_list);
         for w in list {
+            if self.cfg.check.fault.drop_wakeups {
+                continue;
+            }
             self.stats.wakeups_sent += 1;
+            self.proto_event(now, ProtoEvent::WakeSent { from: core, to: w });
             self.send(now, core, w, NetMsg::Wakeup { to: w });
         }
     }
@@ -363,11 +416,23 @@ impl MemSystem {
     /// Perform a load/store for `core` on the line containing the access.
     /// Word-level value handling lives in the engine; the protocol works
     /// at line granularity.
-    pub fn access(&mut self, now: Cycle, core: CoreId, line: LineAddr, kind: AccessKind) -> AccessResult {
+    pub fn access(
+        &mut self,
+        now: Cycle,
+        core: CoreId,
+        line: LineAddr,
+        kind: AccessKind,
+    ) -> AccessResult {
         if std::env::var_os("MS_TRACE").is_some() {
-            eprintln!("  ms[{now}] access c{core} {line:?} {kind:?} mode={:?}", self.meta[core].mode);
+            eprintln!(
+                "  ms[{now}] access c{core} {line:?} {kind:?} mode={:?}",
+                self.meta[core].mode
+            );
         }
-        debug_assert!(self.meta[core].pending.is_none(), "second outstanding access");
+        debug_assert!(
+            self.meta[core].pending.is_none(),
+            "second outstanding access"
+        );
         let mode = self.meta[core].mode;
         let is_tx = mode.is_tx();
         let hit_at = now + self.cfg.mem.l1_hit;
@@ -445,7 +510,11 @@ impl MemSystem {
                         now,
                         core,
                         home,
-                        NetMsg::SigAdd { line: v.line, read: v.r, write: v.w },
+                        NetMsg::SigAdd {
+                            line: v.line,
+                            read: v.r,
+                            write: v.w,
+                        },
                     );
                     self.evict_line(now, core, v.line, v.state);
                     Ok(())
@@ -519,7 +588,7 @@ impl MemSystem {
         match msg {
             NetMsg::Req(req) => self.bank_req(now, req),
             NetMsg::PutM { core, line } | NetMsg::PutClean { core, line } => {
-                self.bank_put(now, core, line)
+                self.bank_put(now, core, line);
             }
             NetMsg::SpecWb { .. } => { /* timing-only */ }
             NetMsg::SigAdd { line, read, write } => {
@@ -532,14 +601,30 @@ impl MemSystem {
             }
             NetMsg::FwdGetS { to, .. } | NetMsg::Inv { to, .. } => self.l1_probe(now, to, msg),
             NetMsg::ProbeRsp { from, req, rsp } => self.bank_probe_rsp(now, from, req, rsp),
-            NetMsg::Grant { to, line, state, with_data, attempt } => {
-                self.l1_grant(now, to, line, state, with_data, attempt)
+            NetMsg::Grant {
+                to,
+                line,
+                state,
+                with_data,
+                attempt,
+            } => {
+                self.l1_grant(now, to, line, state, with_data, attempt);
             }
-            NetMsg::DirectData { to, line, state, attempt } => {
-                self.l1_grant(now, to, line, state, true, attempt)
+            NetMsg::DirectData {
+                to,
+                line,
+                state,
+                attempt,
+            } => {
+                self.l1_grant(now, to, line, state, true, attempt);
             }
-            NetMsg::RspReject { to, line, by_sig, attempt } => {
-                self.l1_reject(now, to, line, by_sig, attempt)
+            NetMsg::RspReject {
+                to,
+                line,
+                by_sig,
+                attempt,
+            } => {
+                self.l1_reject(now, to, line, by_sig, attempt);
             }
             NetMsg::Unblock { core, line } => self.bank_unblock(now, core, line),
             NetMsg::Wakeup { to } => self.notice(now, CoreNotice::Wakeup { core: to }),
@@ -547,21 +632,45 @@ impl MemSystem {
                 let decision = self.arbiter.request(core, stl);
                 match decision {
                     HlaDecision::Granted => {
-                        self.send(now + 2, 0, core, NetMsg::HlaRsp { to: core, granted: true })
+                        self.send(
+                            now + 2,
+                            0,
+                            core,
+                            NetMsg::HlaRsp {
+                                to: core,
+                                granted: true,
+                            },
+                        );
                     }
                     HlaDecision::Denied => {
-                        self.send(now + 2, 0, core, NetMsg::HlaRsp { to: core, granted: false })
+                        self.send(
+                            now + 2,
+                            0,
+                            core,
+                            NetMsg::HlaRsp {
+                                to: core,
+                                granted: false,
+                            },
+                        );
                     }
                     HlaDecision::Queued => { /* grant sent at release */ }
                 }
             }
             NetMsg::HlaRel { core } => {
                 if let Some(tl) = self.arbiter.release(core) {
-                    self.send(now + 2, 0, tl, NetMsg::HlaRsp { to: tl, granted: true });
+                    self.send(
+                        now + 2,
+                        0,
+                        tl,
+                        NetMsg::HlaRsp {
+                            to: tl,
+                            granted: true,
+                        },
+                    );
                 }
             }
             NetMsg::HlaRsp { to, granted } => {
-                self.notice(now, CoreNotice::HlaResult { core: to, granted })
+                self.notice(now, CoreNotice::HlaResult { core: to, granted });
             }
         }
     }
@@ -576,7 +685,10 @@ impl MemSystem {
     /// before the home finishes the exchange).
     fn expect_unblock(&mut self, at: Cycle, b: usize, line: LineAddr, core: CoreId) {
         if std::env::var_os("MS_TRACE").is_some() {
-            eprintln!("  ms[{at}] expect_unblock bank{b} {line:?} core{core} early={:?}", self.banks[b].entry(line).early_unblock);
+            eprintln!(
+                "  ms[{at}] expect_unblock bank{b} {line:?} core{core} early={:?}",
+                self.banks[b].entry(line).early_unblock
+            );
         }
         let entry = self.banks[b].entry(line);
         if entry.early_unblock.take() == Some(core) {
@@ -593,16 +705,28 @@ impl MemSystem {
     }
 
     /// Send a grant and block the entry until the requester's unblock.
-    fn send_grant(&mut self, at: Cycle, b: usize, req: &ReqInfo, state: GrantState, with_data: bool) {
+    fn send_grant(
+        &mut self,
+        at: Cycle,
+        b: usize,
+        req: &ReqInfo,
+        state: GrantState,
+        with_data: bool,
+    ) {
         let line = req.line;
         self.expect_unblock(at, b, line, req.core);
-        self.send(at, b, req.core, NetMsg::Grant {
-            to: req.core,
-            line,
-            state,
-            with_data,
-            attempt: req.attempt,
-        });
+        self.send(
+            at,
+            b,
+            req.core,
+            NetMsg::Grant {
+                to: req.core,
+                line,
+                state,
+                with_data,
+                attempt: req.attempt,
+            },
+        );
     }
 
     fn bank_req(&mut self, now: Cycle, req: ReqInfo) {
@@ -650,12 +774,17 @@ impl MemSystem {
                     self.sig_waiters.push(req.core);
                 }
                 let at = now + self.cfg.mem.llc_hit;
-                self.send(at, b, req.core, NetMsg::RspReject {
-                    to: req.core,
-                    line,
-                    by_sig: true,
-                    attempt: req.attempt,
-                });
+                self.send(
+                    at,
+                    b,
+                    req.core,
+                    NetMsg::RspReject {
+                        to: req.core,
+                        line,
+                        by_sig: true,
+                        attempt: req.attempt,
+                    },
+                );
                 return false;
             }
         }
@@ -702,7 +831,16 @@ impl MemSystem {
                         true
                     } else {
                         for c in others.iter() {
-                            self.send(t, b, c, NetMsg::Inv { to: c, req, back_inval: false });
+                            self.send(
+                                t,
+                                b,
+                                c,
+                                NetMsg::Inv {
+                                    to: c,
+                                    req,
+                                    back_inval: false,
+                                },
+                            );
                         }
                         self.banks[b].entry(line).pending = Some(Pending {
                             req,
@@ -731,7 +869,11 @@ impl MemSystem {
             Some(DirState::Owned(owner)) => {
                 let probe = match req.kind {
                     ReqKind::GetS => NetMsg::FwdGetS { to: owner, req },
-                    ReqKind::GetM => NetMsg::Inv { to: owner, req, back_inval: false },
+                    ReqKind::GetM => NetMsg::Inv {
+                        to: owner,
+                        req,
+                        back_inval: false,
+                    },
                 };
                 self.send(t, b, owner, probe);
                 self.banks[b].entry(line).pending = Some(Pending {
@@ -768,7 +910,16 @@ impl MemSystem {
                 mode: ReqMode::NonTx,
                 attempt: 0,
             };
-            self.send(now, b, c, NetMsg::Inv { to: c, req, back_inval: true });
+            self.send(
+                now,
+                b,
+                c,
+                NetMsg::Inv {
+                    to: c,
+                    req,
+                    back_inval: true,
+                },
+            );
         }
         self.banks[b].gc_entry(line);
     }
@@ -794,7 +945,11 @@ impl MemSystem {
             }
             Some(DirState::Shared(mut s)) if s.contains(core) => {
                 s.remove(core);
-                entry.state = if s.is_empty() { None } else { Some(DirState::Shared(s)) };
+                entry.state = if s.is_empty() {
+                    None
+                } else {
+                    Some(DirState::Shared(s))
+                };
             }
             _ => { /* stale Put from a core already probed out: drop */ }
         }
@@ -810,7 +965,11 @@ impl MemSystem {
             // Direct-response race: the requester confirmed before the
             // owner's ack reached us. Remember it for expect_unblock.
             if std::env::var_os("MS_TRACE").is_some() {
-                eprintln!("  ms[{now}] EARLY unblock {line:?} core{core} wait={:?} pending={}", entry.unblock_wait, entry.pending.is_some());
+                eprintln!(
+                    "  ms[{now}] EARLY unblock {line:?} core{core} wait={:?} pending={}",
+                    entry.unblock_wait,
+                    entry.pending.is_some()
+                );
             }
             debug_assert!(
                 self.cfg.mem.direct_rsp && entry.pending.is_some(),
@@ -859,7 +1018,11 @@ impl MemSystem {
     /// All probe responses are in: grant or reject, restore state, and
     /// serve the next queued request.
     fn finalize_pending(&mut self, now: Cycle, b: usize, line: LineAddr) {
-        let p = self.banks[b].entry(line).pending.take().expect("finalize without pending");
+        let p = self.banks[b]
+            .entry(line)
+            .pending
+            .take()
+            .expect("finalize without pending");
         let req = p.req;
 
         if !p.rejected.is_empty() {
@@ -886,12 +1049,17 @@ impl MemSystem {
             self.banks[b].entry(line).state = restored;
             self.stats.rejects += 1;
             if !self.cfg.mem.direct_rsp {
-                self.send(now, b, req.core, NetMsg::RspReject {
-                    to: req.core,
-                    line,
-                    by_sig: false,
-                    attempt: req.attempt,
-                });
+                self.send(
+                    now,
+                    b,
+                    req.core,
+                    NetMsg::RspReject {
+                        to: req.core,
+                        line,
+                        by_sig: false,
+                        attempt: req.attempt,
+                    },
+                );
             }
         } else {
             match req.kind {
@@ -907,8 +1075,9 @@ impl MemSystem {
                     // means the copy is gone even when `had_line` was
                     // false, and the requester must be served from the
                     // LLC with an exclusive grant.
-                    let owner_kept =
-                        prior_owner.map(|o| p.downgraded.contains(o)).unwrap_or(false);
+                    let owner_kept = prior_owner
+                        .map(|o| p.downgraded.contains(o))
+                        .unwrap_or(false);
                     if owner_kept {
                         let mut s = CoreSet::empty();
                         s.insert(prior_owner.unwrap());
@@ -954,7 +1123,9 @@ impl MemSystem {
 
     fn l1_probe(&mut self, now: Cycle, core: CoreId, msg: NetMsg) {
         let (req, is_inv, back_inval) = match msg {
-            NetMsg::Inv { req, back_inval, .. } => (req, true, back_inval),
+            NetMsg::Inv {
+                req, back_inval, ..
+            } => (req, true, back_inval),
             NetMsg::FwdGetS { req, .. } => (req, false, false),
             _ => unreachable!("l1_probe on non-probe"),
         };
@@ -968,16 +1139,28 @@ impl MemSystem {
 
         let Some(l) = self.l1s[core].lookup(line) else {
             if !back_inval {
-                self.send(now, core, home, NetMsg::ProbeRsp {
-                    from: core,
-                    req,
-                    rsp: L1Rsp::InvAck { had_line: false, aborted: false },
-                });
+                self.send(
+                    now,
+                    core,
+                    home,
+                    NetMsg::ProbeRsp {
+                        from: core,
+                        req,
+                        rsp: L1Rsp::InvAck {
+                            had_line: false,
+                            aborted: false,
+                        },
+                    },
+                );
             }
             return;
         };
         let (r, w, state) = (l.r, l.w, l.state);
-        let conflict = if is_inv { r || w } else { w };
+        // Checker-validation mutation: pretend transactional bits are
+        // invisible to the protocol, so conflicting requests are served as
+        // plain coherence traffic and both transactions run to commit.
+        let blind = self.cfg.check.fault.ignore_conflicts;
+        let conflict = (if is_inv { r || w } else { w }) && !blind;
         let mode = self.meta[core].mode;
 
         if back_inval {
@@ -986,7 +1169,16 @@ impl MemSystem {
                     // Lock-transaction line forced out: tracking moves to
                     // the signatures, the transaction survives.
                     self.stats.spills += 1;
-                    self.send(now, core, home, NetMsg::SigAdd { line, read: r, write: w });
+                    self.send(
+                        now,
+                        core,
+                        home,
+                        NetMsg::SigAdd {
+                            line,
+                            read: r,
+                            write: w,
+                        },
+                    );
                 } else {
                     debug_assert_eq!(mode, TxMode::Htm);
                     self.abort_from_protocol(now, core, AbortCause::Of);
@@ -999,11 +1191,19 @@ impl MemSystem {
         if !conflict {
             if is_inv {
                 self.l1s[core].remove(line);
-                self.send(now, core, home, NetMsg::ProbeRsp {
-                    from: core,
-                    req,
-                    rsp: L1Rsp::InvAck { had_line: true, aborted: false },
-                });
+                self.send(
+                    now,
+                    core,
+                    home,
+                    NetMsg::ProbeRsp {
+                        from: core,
+                        req,
+                        rsp: L1Rsp::InvAck {
+                            had_line: true,
+                            aborted: false,
+                        },
+                    },
+                );
             } else {
                 // Downgrade M/E -> S (R bit, if any, survives: readers
                 // sharing a line is not a conflict).
@@ -1012,18 +1212,28 @@ impl MemSystem {
                 if self.cfg.mem.direct_rsp {
                     // Direct topology: push the data straight to the
                     // requester; the home gets a control ack in parallel.
-                    self.send(now, core, req.core, NetMsg::DirectData {
-                        to: req.core,
-                        line,
-                        state: GrantState::Shared,
-                        attempt: req.attempt,
-                    });
+                    self.send(
+                        now,
+                        core,
+                        req.core,
+                        NetMsg::DirectData {
+                            to: req.core,
+                            line,
+                            state: GrantState::Shared,
+                            attempt: req.attempt,
+                        },
+                    );
                 }
-                self.send(now, core, home, NetMsg::ProbeRsp {
-                    from: core,
-                    req,
-                    rsp: L1Rsp::DowngradeAck { dirty: was_m },
-                });
+                self.send(
+                    now,
+                    core,
+                    home,
+                    NetMsg::ProbeRsp {
+                        from: core,
+                        req,
+                        rsp: L1Rsp::DowngradeAck { dirty: was_m },
+                    },
+                );
             }
             return;
         }
@@ -1033,6 +1243,27 @@ impl MemSystem {
         let winner = arbitrate(&self.cfg.policy, &req, mode, self.meta[core].prio, core);
         match winner {
             Winner::Victim => {
+                if self.cfg.check.fault.drop_nack {
+                    // Checker-validation mutation: the arbitration loser
+                    // "forgets" to report the conflict — it keeps its line
+                    // and speculative state but acknowledges the probe as
+                    // if it held nothing, so the directory grants the
+                    // requester an exclusive copy alongside this one.
+                    self.send(
+                        now,
+                        core,
+                        home,
+                        NetMsg::ProbeRsp {
+                            from: core,
+                            req,
+                            rsp: L1Rsp::InvAck {
+                                had_line: false,
+                                aborted: false,
+                            },
+                        },
+                    );
+                    return;
+                }
                 // The wake-up table is only built when the system uses
                 // wait-for-wakeup rejects (the paper notes wake-up support
                 // is optional hardware; RAI/RRI omit it).
@@ -1041,22 +1272,40 @@ impl MemSystem {
                 {
                     self.meta[core].wake_list.push(req.core);
                 }
+                self.proto_event(
+                    now,
+                    ProtoEvent::NackSent {
+                        from: core,
+                        to: req.core,
+                        line,
+                    },
+                );
                 if self.cfg.mem.direct_rsp {
                     // §III-A: the reject travels straight to the
                     // requester; the home still learns via the probe
                     // response so it can restore the directory state.
-                    self.send(now, core, req.core, NetMsg::RspReject {
-                        to: req.core,
-                        line,
-                        by_sig: false,
-                        attempt: req.attempt,
-                    });
+                    self.send(
+                        now,
+                        core,
+                        req.core,
+                        NetMsg::RspReject {
+                            to: req.core,
+                            line,
+                            by_sig: false,
+                            attempt: req.attempt,
+                        },
+                    );
                 }
-                self.send(now, core, home, NetMsg::ProbeRsp {
-                    from: core,
-                    req,
-                    rsp: L1Rsp::Reject,
-                });
+                self.send(
+                    now,
+                    core,
+                    home,
+                    NetMsg::ProbeRsp {
+                        from: core,
+                        req,
+                        rsp: L1Rsp::Reject,
+                    },
+                );
             }
             Winner::Requester => {
                 let cause = self.classify_conflict(&req);
@@ -1069,11 +1318,19 @@ impl MemSystem {
                     debug_assert!(is_inv, "FwdGetS conflicts require W, which abort drops");
                     self.l1s[core].remove(line);
                 }
-                self.send(now, core, home, NetMsg::ProbeRsp {
-                    from: core,
-                    req,
-                    rsp: L1Rsp::InvAck { had_line: still_there, aborted: true },
-                });
+                self.send(
+                    now,
+                    core,
+                    home,
+                    NetMsg::ProbeRsp {
+                        from: core,
+                        req,
+                        rsp: L1Rsp::InvAck {
+                            had_line: still_there,
+                            aborted: true,
+                        },
+                    },
+                );
             }
         }
     }
@@ -1104,7 +1361,15 @@ impl MemSystem {
         self.notice(now, CoreNotice::TxAborted { core, cause });
     }
 
-    fn l1_grant(&mut self, now: Cycle, core: CoreId, line: LineAddr, state: GrantState, with_data: bool, attempt: u64) {
+    fn l1_grant(
+        &mut self,
+        now: Cycle,
+        core: CoreId,
+        line: LineAddr,
+        state: GrantState,
+        with_data: bool,
+        attempt: u64,
+    ) {
         // Confirm receipt so the directory can move to the stable state
         // (Fig. 3's unblock message).
         let home = self.home_bank(line);
@@ -1138,7 +1403,10 @@ impl MemSystem {
             } else if mesi == Mesi::Modified {
                 self.l1s[core].lookup_mut(line).unwrap().state = Mesi::Modified;
             }
-            if pending.map(|p| p.line == line && attempt == p.attempt).unwrap_or(false) {
+            if pending
+                .map(|p| p.line == line && attempt == p.attempt)
+                .unwrap_or(false)
+            {
                 self.meta[core].pending = None;
             }
             return;
@@ -1180,9 +1448,6 @@ impl MemSystem {
         use sim_core::fxhash::FxHashMap;
         let mut holders: FxHashMap<LineAddr, Vec<(CoreId, Mesi)>> = FxHashMap::default();
         for (c, l1) in self.l1s.iter().enumerate() {
-            for set in 0..self.cfg.mem.l1.sets {
-                let _ = set;
-            }
             l1.for_each_line(|line| {
                 holders.entry(line.line).or_default().push((c, line.state));
             });
@@ -1203,7 +1468,10 @@ impl MemSystem {
             .map(|p| p.line == line && p.attempt == current && attempt == current)
             .unwrap_or(false);
         if !fresh {
-            if pending.map(|p| p.line == line && attempt == p.attempt).unwrap_or(false) {
+            if pending
+                .map(|p| p.line == line && attempt == p.attempt)
+                .unwrap_or(false)
+            {
                 self.meta[core].pending = None;
             }
             return;

@@ -106,27 +106,55 @@ pub enum NetMsg {
     SpecWb { core: CoreId, line: LineAddr },
     /// L1 -> home bank: add an evicted lock-transaction line to the LLC
     /// overflow signatures.
-    SigAdd { line: LineAddr, read: bool, write: bool },
+    SigAdd {
+        line: LineAddr,
+        read: bool,
+        write: bool,
+    },
 
     /// Home bank -> L1: probe. `back_inval` marks inclusive-LLC eviction
     /// probes, which cannot be rejected.
     FwdGetS { to: CoreId, req: ReqInfo },
-    Inv { to: CoreId, req: ReqInfo, back_inval: bool },
+    Inv {
+        to: CoreId,
+        req: ReqInfo,
+        back_inval: bool,
+    },
 
     /// L1 -> home bank: probe response for `req`.
-    ProbeRsp { from: CoreId, req: ReqInfo, rsp: L1Rsp },
+    ProbeRsp {
+        from: CoreId,
+        req: ReqInfo,
+        rsp: L1Rsp,
+    },
 
     /// Home bank -> requesting L1: grant with data (data message) or a
     /// dataless upgrade ack (control message).
-    Grant { to: CoreId, line: LineAddr, state: GrantState, with_data: bool, attempt: u64 },
+    Grant {
+        to: CoreId,
+        line: LineAddr,
+        state: GrantState,
+        with_data: bool,
+        attempt: u64,
+    },
     /// Home bank -> requesting L1: request rejected (by a victim's NACK or
     /// by the LLC overflow signatures).
-    RspReject { to: CoreId, line: LineAddr, by_sig: bool, attempt: u64 },
+    RspReject {
+        to: CoreId,
+        line: LineAddr,
+        by_sig: bool,
+        attempt: u64,
+    },
 
     /// Owner -> requester (direct-response topologies only): the data
     /// response travels L1-to-L1 while the owner acknowledges the home
     /// bank in parallel. Functions as a `Grant` at the requester.
-    DirectData { to: CoreId, line: LineAddr, state: GrantState, attempt: u64 },
+    DirectData {
+        to: CoreId,
+        line: LineAddr,
+        state: GrantState,
+        attempt: u64,
+    },
 
     /// Requester -> home bank: grant received; the directory may move to
     /// the stable state and serve the next queued request (Fig. 3).
@@ -152,9 +180,15 @@ impl NetMsg {
             self,
             NetMsg::PutM { .. }
                 | NetMsg::SpecWb { .. }
-                | NetMsg::Grant { with_data: true, .. }
+                | NetMsg::Grant {
+                    with_data: true,
+                    ..
+                }
                 | NetMsg::DirectData { .. }
-                | NetMsg::ProbeRsp { rsp: L1Rsp::DowngradeAck { dirty: true }, .. }
+                | NetMsg::ProbeRsp {
+                    rsp: L1Rsp::DowngradeAck { dirty: true },
+                    ..
+                }
         )
     }
 }
@@ -186,7 +220,10 @@ pub fn arbitrate(
     victim_prio: Prio,
     victim_core: CoreId,
 ) -> Winner {
-    debug_assert!(victim_mode.is_tx(), "arbitration requires a transactional victim");
+    debug_assert!(
+        victim_mode.is_tx(),
+        "arbitration requires a transactional victim"
+    );
     if victim_mode.is_lock() {
         return Winner::Victim;
     }
@@ -214,53 +251,108 @@ mod tests {
     use super::*;
 
     fn req(core: CoreId, prio: Prio, mode: ReqMode) -> ReqInfo {
-        ReqInfo { core, kind: ReqKind::GetM, line: LineAddr(1), prio, mode, attempt: 0 }
+        ReqInfo {
+            core,
+            kind: ReqKind::GetM,
+            line: LineAddr(1),
+            prio,
+            mode,
+            attempt: 0,
+        }
     }
 
     fn recovery_policy() -> PolicyConfig {
-        PolicyConfig { recovery: true, ..PolicyConfig::default() }
+        PolicyConfig {
+            recovery: true,
+            ..PolicyConfig::default()
+        }
     }
 
     #[test]
     fn baseline_requester_always_wins() {
         let p = PolicyConfig::default();
-        assert_eq!(arbitrate(&p, &req(1, 0, ReqMode::Htm), TxMode::Htm, 1_000_000, 0), Winner::Requester);
+        assert_eq!(
+            arbitrate(&p, &req(1, 0, ReqMode::Htm), TxMode::Htm, 1_000_000, 0),
+            Winner::Requester
+        );
     }
 
     #[test]
     fn lock_victim_always_wins() {
         let p = PolicyConfig::default();
-        assert_eq!(arbitrate(&p, &req(1, PRIO_LOCK, ReqMode::Htm), TxMode::LockTl, PRIO_LOCK, 0), Winner::Victim);
+        assert_eq!(
+            arbitrate(
+                &p,
+                &req(1, PRIO_LOCK, ReqMode::Htm),
+                TxMode::LockTl,
+                PRIO_LOCK,
+                0
+            ),
+            Winner::Victim
+        );
         let p = recovery_policy();
-        assert_eq!(arbitrate(&p, &req(1, 99, ReqMode::NonTx), TxMode::LockStl, PRIO_LOCK, 0), Winner::Victim);
+        assert_eq!(
+            arbitrate(
+                &p,
+                &req(1, 99, ReqMode::NonTx),
+                TxMode::LockStl,
+                PRIO_LOCK,
+                0
+            ),
+            Winner::Victim
+        );
     }
 
     #[test]
     fn non_tx_requester_beats_htm_victim() {
         let p = recovery_policy();
-        assert_eq!(arbitrate(&p, &req(1, 0, ReqMode::NonTx), TxMode::Htm, 1_000_000, 0), Winner::Requester);
-        assert_eq!(arbitrate(&p, &req(1, 0, ReqMode::Fallback), TxMode::Htm, 1_000_000, 0), Winner::Requester);
+        assert_eq!(
+            arbitrate(&p, &req(1, 0, ReqMode::NonTx), TxMode::Htm, 1_000_000, 0),
+            Winner::Requester
+        );
+        assert_eq!(
+            arbitrate(&p, &req(1, 0, ReqMode::Fallback), TxMode::Htm, 1_000_000, 0),
+            Winner::Requester
+        );
     }
 
     #[test]
     fn recovery_compares_priorities() {
         let p = recovery_policy();
-        assert_eq!(arbitrate(&p, &req(1, 10, ReqMode::Htm), TxMode::Htm, 5, 0), Winner::Requester);
-        assert_eq!(arbitrate(&p, &req(1, 5, ReqMode::Htm), TxMode::Htm, 10, 0), Winner::Victim);
+        assert_eq!(
+            arbitrate(&p, &req(1, 10, ReqMode::Htm), TxMode::Htm, 5, 0),
+            Winner::Requester
+        );
+        assert_eq!(
+            arbitrate(&p, &req(1, 5, ReqMode::Htm), TxMode::Htm, 10, 0),
+            Winner::Victim
+        );
     }
 
     #[test]
     fn ties_break_to_smaller_core_id() {
         let p = recovery_policy();
-        assert_eq!(arbitrate(&p, &req(0, 7, ReqMode::Htm), TxMode::Htm, 7, 1), Winner::Requester);
-        assert_eq!(arbitrate(&p, &req(1, 7, ReqMode::Htm), TxMode::Htm, 7, 0), Winner::Victim);
+        assert_eq!(
+            arbitrate(&p, &req(0, 7, ReqMode::Htm), TxMode::Htm, 7, 1),
+            Winner::Requester
+        );
+        assert_eq!(
+            arbitrate(&p, &req(1, 7, ReqMode::Htm), TxMode::Htm, 7, 0),
+            Winner::Victim
+        );
     }
 
     #[test]
     fn lock_requester_beats_htm_victim_under_recovery() {
         let p = recovery_policy();
         assert_eq!(
-            arbitrate(&p, &req(1, PRIO_LOCK, ReqMode::LockTx), TxMode::Htm, 1_000_000, 0),
+            arbitrate(
+                &p,
+                &req(1, PRIO_LOCK, ReqMode::LockTx),
+                TxMode::Htm,
+                1_000_000,
+                0
+            ),
             Winner::Requester
         );
     }
@@ -277,16 +369,34 @@ mod tests {
                 }
                 let a_vs_b = arbitrate(&p, &req(ca, pa, ReqMode::Htm), TxMode::Htm, pb, cb);
                 let b_vs_a = arbitrate(&p, &req(cb, pb, ReqMode::Htm), TxMode::Htm, pa, ca);
-                assert_ne!(a_vs_b, b_vs_a, "both sides won/lost: pa={pa} pb={pb} ca={ca} cb={cb}");
+                assert_ne!(
+                    a_vs_b, b_vs_a,
+                    "both sides won/lost: pa={pa} pb={pb} ca={ca} cb={cb}"
+                );
             }
         }
     }
 
     #[test]
     fn data_message_classification() {
-        assert!(NetMsg::PutM { core: 0, line: LineAddr(1) }.is_data());
-        assert!(!NetMsg::PutClean { core: 0, line: LineAddr(1) }.is_data());
-        assert!(NetMsg::Grant { to: 0, line: LineAddr(1), state: GrantState::Shared, with_data: true, attempt: 0 }.is_data());
+        assert!(NetMsg::PutM {
+            core: 0,
+            line: LineAddr(1)
+        }
+        .is_data());
+        assert!(!NetMsg::PutClean {
+            core: 0,
+            line: LineAddr(1)
+        }
+        .is_data());
+        assert!(NetMsg::Grant {
+            to: 0,
+            line: LineAddr(1),
+            state: GrantState::Shared,
+            with_data: true,
+            attempt: 0
+        }
+        .is_data());
         assert!(!NetMsg::Wakeup { to: 3 }.is_data());
     }
 }

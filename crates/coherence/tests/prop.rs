@@ -32,7 +32,11 @@ fn random_access_run(ops: &[(u8, u8, u8)], recovery: bool) {
             continue; // single outstanding request per core
         }
         let line = LineAddr(16 + (line % 8) as u64);
-        let kind = if write % 2 == 0 { AccessKind::Load } else { AccessKind::Store };
+        let kind = if write % 2 == 0 {
+            AccessKind::Load
+        } else {
+            AccessKind::Store
+        };
         let t = q.now();
         match ms.access(t, core, line, kind) {
             AccessResult::Done { .. } => {}
@@ -83,8 +87,10 @@ fn random_tx_run(ops: &[(u8, u8, u8, u8)]) {
     let mut blocked = [false; 4];
     let mut prio = [0u64; 4];
 
-    let mut pump = |ms: &mut MemSystem, q: &mut EventQueue<coherence::msg::NetMsg>,
-                    in_tx: &mut [bool; 4], blocked: &mut [bool; 4]| {
+    let pump = |ms: &mut MemSystem,
+                q: &mut EventQueue<coherence::msg::NetMsg>,
+                in_tx: &mut [bool; 4],
+                blocked: &mut [bool; 4]| {
         loop {
             let (msgs, notices) = ms.take_outputs();
             for (at, m) in msgs {
@@ -102,8 +108,8 @@ fn random_tx_run(ops: &[(u8, u8, u8, u8)]) {
                         in_tx[core] = false;
                         blocked[core] = false;
                     }
-                    coherence::memsys::CoreNotice::Wakeup { .. } => {}
-                    coherence::memsys::CoreNotice::HlaResult { .. } => {}
+                    coherence::memsys::CoreNotice::Wakeup { .. }
+                    | coherence::memsys::CoreNotice::HlaResult { .. } => {}
                 }
             }
             match q.pop() {
@@ -141,7 +147,11 @@ fn random_tx_run(ops: &[(u8, u8, u8, u8)]) {
             }
             _ => {
                 let l = LineAddr(32 + (line % 10) as u64);
-                let kind = if val % 2 == 0 { AccessKind::Load } else { AccessKind::Store };
+                let kind = if val % 2 == 0 {
+                    AccessKind::Load
+                } else {
+                    AccessKind::Store
+                };
                 prio[core] += 1;
                 ms.set_prio(core, prio[core]);
                 match ms.access(t, core, l, kind) {
@@ -157,8 +167,8 @@ fn random_tx_run(ops: &[(u8, u8, u8, u8)]) {
         }
         pump(&mut ms, &mut q, &mut in_tx, &mut blocked);
         ms.check_swmr().expect("SWMR violated");
-        for c in 0..4usize {
-            if !in_tx[c] && ms.core_mode(c) == TxMode::None {
+        for (c, &tx) in in_tx.iter().enumerate() {
+            if !tx && ms.core_mode(c) == TxMode::None {
                 assert_eq!(ms.tx_footprint(c), 0, "core {c}: tx bits leaked outside tx");
             }
         }

@@ -19,7 +19,11 @@ struct Pump {
 
 impl Pump {
     fn new(cfg: SystemConfig) -> Pump {
-        Pump { ms: MemSystem::new(cfg), q: EventQueue::new(), notices: Vec::new() }
+        Pump {
+            ms: MemSystem::new(cfg),
+            q: EventQueue::new(),
+            notices: Vec::new(),
+        }
     }
 
     fn drain(&mut self) {
@@ -31,12 +35,17 @@ impl Pump {
     }
 
     /// Run until no messages remain. Returns collected notices.
+    ///
+    /// Every quiescent point must satisfy single-writer/multiple-reader,
+    /// so each settle runs the same checker the engine uses in checked
+    /// mode — every protocol test here asserts SWMR for free.
     fn settle(&mut self) -> Vec<CoreNotice> {
         self.drain();
         while let Some((at, msg)) = self.q.pop() {
             self.ms.handle_msg(at, msg);
             self.drain();
         }
+        self.ms.check_swmr().expect("SWMR violated at quiescence");
         self.notices.drain(..).map(|(_, n)| n).collect()
     }
 
@@ -121,7 +130,10 @@ fn writer_invalidates_readers() {
     assert_eq!(n, vec![CoreNotice::AccessDone { core: 2 }]);
     // Core 0's copy is gone: its next load misses (goes pending).
     let t = p.now();
-    assert_eq!(p.ms.access(t, 0, LineAddr(100), AccessKind::Load), AccessResult::Pending);
+    assert_eq!(
+        p.ms.access(t, 0, LineAddr(100), AccessKind::Load),
+        AccessResult::Pending
+    );
     let n = p.settle();
     assert_eq!(n, vec![CoreNotice::AccessDone { core: 0 }]);
 }
@@ -135,7 +147,10 @@ fn upgrade_from_shared() {
     assert_eq!(n, vec![CoreNotice::AccessDone { core: 0 }]);
     // Core 1 lost its copy.
     let t = p.now();
-    assert_eq!(p.ms.access(t, 1, LineAddr(100), AccessKind::Load), AccessResult::Pending);
+    assert_eq!(
+        p.ms.access(t, 1, LineAddr(100), AccessKind::Load),
+        AccessResult::Pending
+    );
     p.settle();
 }
 
@@ -148,7 +163,10 @@ fn requester_win_aborts_victim_tx() {
     assert_eq!(p.ms.tx_footprint(0), 1);
     // Core 1 (non-tx) loads it: baseline requester-win aborts core 0.
     let n = p.access(1, 100, AccessKind::Load);
-    assert!(n.contains(&CoreNotice::TxAborted { core: 0, cause: AbortCause::NonTran }));
+    assert!(n.contains(&CoreNotice::TxAborted {
+        core: 0,
+        cause: AbortCause::NonTran
+    }));
     assert!(n.contains(&CoreNotice::AccessDone { core: 1 }));
     assert_eq!(p.ms.core_mode(0), TxMode::None);
     assert_eq!(p.ms.tx_footprint(0), 0);
@@ -161,7 +179,10 @@ fn htm_vs_htm_conflict_classified_mc() {
     p.access(0, 100, AccessKind::Store);
     p.ms.begin_htm(1, 0);
     let n = p.access(1, 100, AccessKind::Load);
-    assert!(n.contains(&CoreNotice::TxAborted { core: 0, cause: AbortCause::Mc }));
+    assert!(n.contains(&CoreNotice::TxAborted {
+        core: 0,
+        cause: AbortCause::Mc
+    }));
 }
 
 #[test]
@@ -172,7 +193,11 @@ fn read_read_is_not_a_conflict() {
     p.ms.begin_htm(1, 0);
     let n = p.access(1, 100, AccessKind::Load);
     assert_eq!(n, vec![CoreNotice::AccessDone { core: 1 }]);
-    assert_eq!(p.ms.core_mode(0), TxMode::Htm, "reader must not abort reader");
+    assert_eq!(
+        p.ms.core_mode(0),
+        TxMode::Htm,
+        "reader must not abort reader"
+    );
 }
 
 #[test]
@@ -184,9 +209,18 @@ fn recovery_rejects_lower_priority_requester() {
     p.ms.begin_htm(1, 0);
     p.ms.set_prio(1, 5); // requester lower
     let t = p.now();
-    assert_eq!(p.ms.access(t, 1, LineAddr(100), AccessKind::Load), AccessResult::Pending);
+    assert_eq!(
+        p.ms.access(t, 1, LineAddr(100), AccessKind::Load),
+        AccessResult::Pending
+    );
     let n = p.settle();
-    assert_eq!(n, vec![CoreNotice::AccessRejected { core: 1, by_sig: false }]);
+    assert_eq!(
+        n,
+        vec![CoreNotice::AccessRejected {
+            core: 1,
+            by_sig: false
+        }]
+    );
     // Victim survives with its write set intact.
     assert_eq!(p.ms.core_mode(0), TxMode::Htm);
     assert_eq!(p.ms.tx_footprint(0), 1);
@@ -202,7 +236,10 @@ fn recovery_lets_higher_priority_requester_win() {
     p.ms.begin_htm(1, 0);
     p.ms.set_prio(1, 100);
     let n = p.access(1, 100, AccessKind::Load);
-    assert!(n.contains(&CoreNotice::TxAborted { core: 0, cause: AbortCause::Mc }));
+    assert!(n.contains(&CoreNotice::TxAborted {
+        core: 0,
+        cause: AbortCause::Mc
+    }));
     assert!(n.contains(&CoreNotice::AccessDone { core: 1 }));
 }
 
@@ -258,9 +295,18 @@ fn lock_transaction_rejects_htm_requests() {
     p.ms.begin_htm(1, 0);
     p.ms.set_prio(1, u64::MAX - 1);
     let t = p.now();
-    assert_eq!(p.ms.access(t, 1, LineAddr(100), AccessKind::Load), AccessResult::Pending);
+    assert_eq!(
+        p.ms.access(t, 1, LineAddr(100), AccessKind::Load),
+        AccessResult::Pending
+    );
     let n = p.settle();
-    assert_eq!(n, vec![CoreNotice::AccessRejected { core: 1, by_sig: false }]);
+    assert_eq!(
+        n,
+        vec![CoreNotice::AccessRejected {
+            core: 1,
+            by_sig: false
+        }]
+    );
     assert_eq!(p.ms.core_mode(0), TxMode::LockTl);
 }
 
@@ -272,7 +318,10 @@ fn lock_transaction_aborts_htm_victims() {
     p.access(0, 100, AccessKind::Store);
     p.ms.enter_lock(1, false);
     let n = p.access(1, 100, AccessKind::Store);
-    assert!(n.contains(&CoreNotice::TxAborted { core: 0, cause: AbortCause::Lock }));
+    assert!(n.contains(&CoreNotice::TxAborted {
+        core: 0,
+        cause: AbortCause::Lock
+    }));
 }
 
 #[test]
@@ -299,9 +348,12 @@ fn mutex_line_classification() {
     p.ms.set_mutex_line(LineAddr(7));
     p.ms.begin_htm(0, 0);
     p.access(0, 7, AccessKind::Load); // subscribe to the fallback lock
-    // Non-tx CAS on the lock line by core 1 (acquiring the lock).
+                                      // Non-tx CAS on the lock line by core 1 (acquiring the lock).
     let n = p.access(1, 7, AccessKind::Store);
-    assert!(n.contains(&CoreNotice::TxAborted { core: 0, cause: AbortCause::Mutex }));
+    assert!(n.contains(&CoreNotice::TxAborted {
+        core: 0,
+        cause: AbortCause::Mutex
+    }));
 }
 
 #[test]
@@ -338,9 +390,18 @@ fn lock_mode_spills_to_signature_and_rejects() {
     // An HTM transaction touching the spilled line is signature-rejected.
     p.ms.begin_htm(1, 0);
     let t = p.now();
-    assert_eq!(p.ms.access(t, 1, LineAddr(100), AccessKind::Load), AccessResult::Pending);
+    assert_eq!(
+        p.ms.access(t, 1, LineAddr(100), AccessKind::Load),
+        AccessResult::Pending
+    );
     let n = p.settle();
-    assert_eq!(n, vec![CoreNotice::AccessRejected { core: 1, by_sig: true }]);
+    assert_eq!(
+        n,
+        vec![CoreNotice::AccessRejected {
+            core: 1,
+            by_sig: true
+        }]
+    );
     assert_eq!(p.ms.stats.sig_rejects, 1);
     // hlend clears signatures and wakes the waiter.
     let t = p.now();
@@ -357,14 +418,26 @@ fn hla_grant_and_release_flow() {
     let t = p.now();
     p.ms.hla_request(t, 1, true);
     let n = p.settle();
-    assert_eq!(n, vec![CoreNotice::HlaResult { core: 1, granted: true }]);
+    assert_eq!(
+        n,
+        vec![CoreNotice::HlaResult {
+            core: 1,
+            granted: true
+        }]
+    );
     p.ms.enter_lock(1, true);
     p.ms.finish_hla(p.q.now(), 1, true);
     // A second STL applicant is denied.
     let t = p.now();
     p.ms.hla_request(t, 2, true);
     let n = p.settle();
-    assert_eq!(n, vec![CoreNotice::HlaResult { core: 2, granted: false }]);
+    assert_eq!(
+        n,
+        vec![CoreNotice::HlaResult {
+            core: 2,
+            granted: false
+        }]
+    );
     p.ms.finish_hla(p.q.now(), 2, false);
     // Release; a new applicant succeeds.
     let t = p.now();
@@ -373,7 +446,13 @@ fn hla_grant_and_release_flow() {
     let t = p.now();
     p.ms.hla_request(t, 3, true);
     let n = p.settle();
-    assert_eq!(n, vec![CoreNotice::HlaResult { core: 3, granted: true }]);
+    assert_eq!(
+        n,
+        vec![CoreNotice::HlaResult {
+            core: 3,
+            granted: true
+        }]
+    );
 }
 
 #[test]
@@ -393,7 +472,10 @@ fn tl_queued_behind_stl_granted_on_release() {
     let t = p.now();
     p.ms.exit_lock(t, 1);
     let n = p.settle();
-    assert!(n.contains(&CoreNotice::HlaResult { core: 2, granted: true }));
+    assert!(n.contains(&CoreNotice::HlaResult {
+        core: 2,
+        granted: true
+    }));
 }
 
 #[test]
@@ -413,14 +495,25 @@ fn applying_hla_blocks_probes_until_finish() {
     let n = p.settle();
     // HLA grant arrives; probe was deferred, so no abort of core 0 yet
     // until finish_hla replays it.
-    assert!(n.contains(&CoreNotice::HlaResult { core: 0, granted: true }));
-    assert!(!n.iter().any(|x| matches!(x, CoreNotice::TxAborted { core: 0, .. })));
+    assert!(n.contains(&CoreNotice::HlaResult {
+        core: 0,
+        granted: true
+    }));
+    assert!(!n
+        .iter()
+        .any(|x| matches!(x, CoreNotice::TxAborted { core: 0, .. })));
     // Switch succeeds: now in STL mode, max priority; replayed probe is
     // rejected rather than aborting.
     p.ms.enter_lock(0, true);
     p.ms.finish_hla(p.q.now(), 0, true);
     let n = p.settle();
-    assert_eq!(n, vec![CoreNotice::AccessRejected { core: 1, by_sig: false }]);
+    assert_eq!(
+        n,
+        vec![CoreNotice::AccessRejected {
+            core: 1,
+            by_sig: false
+        }]
+    );
     assert_eq!(p.ms.core_mode(0), TxMode::LockStl);
 }
 
@@ -449,7 +542,10 @@ fn abort_invalidates_spec_lines_but_keeps_read_lines() {
     p.ms.abort_locally(t, 0);
     // Spec write gone: miss. Read line kept: hit.
     let t = p.now();
-    assert_eq!(p.ms.access(t, 0, LineAddr(100), AccessKind::Load), AccessResult::Pending);
+    assert_eq!(
+        p.ms.access(t, 0, LineAddr(100), AccessKind::Load),
+        AccessResult::Pending
+    );
     p.settle();
     let t = p.now();
     match p.ms.access(t, 0, LineAddr(200), AccessKind::Load) {
@@ -466,10 +562,13 @@ fn llc_back_invalidation_aborts_tx() {
     let mut p = Pump::new(c);
     p.ms.begin_htm(0, 0);
     p.access(0, 100, AccessKind::Store); // home bank 0
-    // Another line homed at bank 0 evicts line 100's LLC tag.
+                                         // Another line homed at bank 0 evicts line 100's LLC tag.
     let n = p.access(1, 102, AccessKind::Load);
     assert!(
-        n.contains(&CoreNotice::TxAborted { core: 0, cause: AbortCause::Of }),
+        n.contains(&CoreNotice::TxAborted {
+            core: 0,
+            cause: AbortCause::Of
+        }),
         "expected back-invalidation abort, got {n:?}"
     );
 }
@@ -530,9 +629,18 @@ fn direct_reject_reaches_requester() {
     p.ms.begin_htm(1, 0);
     p.ms.set_prio(1, 5);
     let t = p.now();
-    assert_eq!(p.ms.access(t, 1, LineAddr(100), AccessKind::Load), AccessResult::Pending);
+    assert_eq!(
+        p.ms.access(t, 1, LineAddr(100), AccessKind::Load),
+        AccessResult::Pending
+    );
     let n = p.settle();
-    assert_eq!(n, vec![CoreNotice::AccessRejected { core: 1, by_sig: false }]);
+    assert_eq!(
+        n,
+        vec![CoreNotice::AccessRejected {
+            core: 1,
+            by_sig: false
+        }]
+    );
     // Victim intact; commit wakes and retry succeeds (full loop).
     let t = p.now();
     p.ms.commit_htm(t, 0);
@@ -556,7 +664,10 @@ fn direct_mode_is_deterministic_and_faster_on_sharing() {
     };
     let via_home = run(false);
     let direct = run(true);
-    assert!(direct <= via_home, "direct responses must not add latency ({direct} vs {via_home})");
+    assert!(
+        direct <= via_home,
+        "direct responses must not add latency ({direct} vs {via_home})"
+    );
 }
 
 #[test]
@@ -593,7 +704,7 @@ fn eviction_crossing_probe_resolves() {
     c.mem.l1 = sim_core::config::CacheGeometry { sets: 1, ways: 2 };
     let mut p = Pump::new(c);
     p.access(0, 100, AccessKind::Store); // set 0 (line 100 % 1)
-    // Fill the set so the next access evicts line 100.
+                                         // Fill the set so the next access evicts line 100.
     p.access(0, 101, AccessKind::Store);
     let t = p.now();
     // This miss evicts LRU (line 100): PutM goes into flight...
@@ -666,13 +777,21 @@ fn wakeup_list_deduplicates_requesters() {
         let t = p.now();
         p.ms.access(t, 1, LineAddr(100), AccessKind::Load);
         let n = p.settle();
-        assert_eq!(n, vec![CoreNotice::AccessRejected { core: 1, by_sig: false }]);
+        assert_eq!(
+            n,
+            vec![CoreNotice::AccessRejected {
+                core: 1,
+                by_sig: false
+            }]
+        );
     }
     let t = p.now();
     p.ms.commit_htm(t, 0);
     let n = p.settle();
     assert_eq!(
-        n.iter().filter(|x| matches!(x, CoreNotice::Wakeup { core: 1 })).count(),
+        n.iter()
+            .filter(|x| matches!(x, CoreNotice::Wakeup { core: 1 }))
+            .count(),
         1,
         "exactly one wake-up expected: {n:?}"
     );

@@ -1,0 +1,232 @@
+//! A small, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace's benches link against this shim instead (the `criterion`
+//! dependency is a renamed path dependency on this package). It covers
+//! exactly the API subset `crates/bench` uses: [`Criterion`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkGroup::sample_size`],
+//! [`Bencher::iter`], [`BenchmarkId::new`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark is calibrated to a
+//! short wall-clock window, timed once, and reported as mean ns/iter on
+//! stdout. There are no statistics, plots, or saved baselines.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+//! [`criterion_group!`]: crate::criterion_group
+//! [`criterion_main!`]: crate::criterion_main
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target measurement window per benchmark. Short on purpose: these
+/// benches exist to flag gross regressions, not to resolve noise.
+const TARGET: Duration = Duration::from_millis(200);
+
+/// Entry point handed to every registered benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named set of benchmarks, reported under a common prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by wall
+    /// clock, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark; `f` drives the [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&self.name, &id.into_benchmark_id());
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&self.name, &id.into_benchmark_id());
+        self
+    }
+
+    /// End the group. (No deferred reporting in the shim.)
+    pub fn finish(self) {}
+}
+
+/// Times a closure: calibrates an iteration count to roughly [`TARGET`],
+/// then measures one batch.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until it takes a measurable slice of
+        // the target window.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET / 8 || n >= 1 << 40 {
+                let per = elapsed.as_nanos() as f64 / n as f64;
+                let target = (TARGET.as_nanos() as f64 / per.max(1.0)) as u64;
+                n = target.clamp(1, 1 << 40);
+                break;
+            }
+            n = n.saturating_mul(4);
+        }
+        let start = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(f());
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / n as f64;
+        self.iters = n;
+    }
+
+    fn report(&self, group: &str, id: &BenchmarkId) {
+        println!(
+            "bench {group}/{id} ... {:>12.1} ns/iter ({} iters)",
+            self.ns_per_iter, self.iters
+        );
+    }
+}
+
+/// A benchmark name, optionally parameterised (`name/param`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    param: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            param: Some(param.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.param {
+            Some(p) => write!(f, "{}/{}", self.name, p),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// Anything `bench_function`/`bench_with_input` accept as an id.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+            param: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self,
+            param: None,
+        }
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench_fn:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($bench_fn(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups. Extra CLI arguments (which
+/// `cargo bench` forwards) are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10);
+        let mut x = 0u64;
+        g.bench_function("add", |b| b.iter(|| x = x.wrapping_add(1)));
+        g.bench_with_input(BenchmarkId::new("mul", 3u32), &3u64, |b, &k| {
+            b.iter(|| x.wrapping_mul(k));
+        });
+        g.finish();
+        assert!(x > 0);
+    }
+
+    #[test]
+    fn id_formats_with_param() {
+        assert_eq!(
+            BenchmarkId::new("point", "genome").to_string(),
+            "point/genome"
+        );
+    }
+}

@@ -52,7 +52,11 @@ fn main() {
     for kind in SystemKind::ALL {
         for threads in [1usize, 2, 4] {
             eprintln!(">>> {} t={threads}", kind.name());
-            let mut p = C { addr: Addr::NULL, n: 25, threads: threads as u64 };
+            let mut p = C {
+                addr: Addr::NULL,
+                n: 25,
+                threads: threads as u64,
+            };
             let s = Runner::new(kind)
                 .threads(threads)
                 .config(SystemConfig::testing(threads.max(2)))

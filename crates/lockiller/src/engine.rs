@@ -56,6 +56,11 @@ struct Ctl {
     /// hlend).
     in_tx: bool,
     is_stl: bool,
+    /// Per-attempt transaction id stamped on checked-mode access events
+    /// (0 = not inside any atomic section). Every speculative attempt,
+    /// TL/STL lock transaction, and fallback critical section gets a
+    /// fresh id; retries of the same static transaction get new ids.
+    cur_txn: u64,
     tx_insts: u64,
     tx_refs: u64,
     tx_begin_at: Cycle,
@@ -95,6 +100,7 @@ impl Ctl {
             last_attr: 0,
             in_tx: false,
             is_stl: false,
+            cur_txn: 0,
             tx_insts: 0,
             tx_refs: 0,
             tx_begin_at: 0,
@@ -128,6 +134,7 @@ pub struct Engine {
     threads: usize,
     done_count: usize,
     seq: u64,
+    txn_counter: u64,
     stats: RunStats,
     end_time: Cycle,
     pub trace: Trace,
@@ -156,6 +163,7 @@ impl Engine {
             threads,
             done_count: 0,
             seq: 0,
+            txn_counter: 0,
             stats: RunStats::new(threads),
             end_time: 0,
             trace: Trace::default(),
@@ -164,7 +172,12 @@ impl Engine {
     }
 
     /// Attach the engine side of a guest's channel pair.
-    pub fn register(&mut self, core: CoreId, to_guest: Sender<GuestResp>, from_guest: Receiver<GuestOp>) {
+    pub fn register(
+        &mut self,
+        core: CoreId,
+        to_guest: Sender<GuestResp>,
+        from_guest: Receiver<GuestOp>,
+    ) {
         self.ctl[core].to_guest = Some(to_guest);
         self.ctl[core].from_guest = Some(from_guest);
     }
@@ -172,6 +185,15 @@ impl Engine {
     fn next_seq(&mut self) -> u64 {
         self.seq += 1;
         self.seq
+    }
+
+    /// Stamp a fresh atomic-section id on `core` (checked mode only —
+    /// ids are only consumed by access events, which are gated).
+    fn begin_txn(&mut self, core: CoreId) {
+        if self.cfg.check.enabled {
+            self.txn_counter += 1;
+            self.ctl[core].cur_txn = self.txn_counter;
+        }
     }
 
     // ---------------- phase accounting ----------------
@@ -233,6 +255,19 @@ impl Engine {
         for (at, n) in notices {
             self.q.schedule_at(at, Ev::Notice(n));
         }
+        if self.cfg.check.enabled {
+            for (at, ev) in self.ms.take_proto_events() {
+                let (from, kind) = match ev {
+                    coherence::memsys::ProtoEvent::NackSent { from, to, line } => {
+                        (from, TraceKind::NackSent { to, line })
+                    }
+                    coherence::memsys::ProtoEvent::WakeSent { from, to } => {
+                        (from, TraceKind::WakeSent { to })
+                    }
+                };
+                self.trace.record(at, from, kind);
+            }
+        }
     }
 
     // ---------------- main loop ----------------
@@ -257,9 +292,20 @@ impl Engine {
                     panic!("at cycle {t} before {ev:?}: {e}");
                 }
             }
+            // Live SWMR surface for checked mode: record the first
+            // violation instead of panicking, so the checker can report
+            // it with the rest of the run's evidence.
+            if self.cfg.check.enabled && self.stats.swmr_violation.is_none() {
+                if let Err(e) = self.ms.check_swmr() {
+                    self.stats.swmr_violation = Some(format!("at cycle {t}: {e}"));
+                }
+            }
             match ev {
                 Ev::Recv(c) => {
-                    let rx = self.ctl[c].from_guest.as_ref().expect("core not registered");
+                    let rx = self.ctl[c]
+                        .from_guest
+                        .as_ref()
+                        .expect("core not registered");
                     let op = if let Ok(secs) = std::env::var("LOCKILLER_WALL_TIMEOUT") {
                         let dur = std::time::Duration::from_secs(secs.parse().unwrap_or(30));
                         match rx.recv_timeout(dur) {
@@ -298,6 +344,9 @@ impl Engine {
                 Ev::ParkTimeout(c, seq) => {
                     if self.ctl[c].parked == Some(seq) {
                         self.stats.wakeup_timeouts += 1;
+                        if self.cfg.check.enabled {
+                            self.trace.record(t, c, TraceKind::WakeTimeout);
+                        }
                         self.ctl[c].parked = None;
                         self.reissue(t, c);
                     }
@@ -376,7 +425,14 @@ impl Engine {
     }
 
     fn handle_op(&mut self, t: Cycle, core: CoreId, op: GuestOp) {
-        self.trace(t, core, &format!("op {op:?} in_tx={} doomed={:?}", self.ctl[core].in_tx, self.ctl[core].doomed));
+        self.trace(
+            t,
+            core,
+            &format!(
+                "op {op:?} in_tx={} doomed={:?}",
+                self.ctl[core].in_tx, self.ctl[core].doomed
+            ),
+        );
         // A protocol abort that arrived between ops is delivered on the
         // next transactional interaction. If the memory subsystem has
         // already aborted us but its notice has not landed yet, defer the
@@ -404,6 +460,7 @@ impl Engine {
             }
             GuestOp::TxBegin => {
                 self.trace.record(t, core, TraceKind::TxBegin);
+                self.begin_txn(core);
                 self.stats.tx_starts += 1;
                 self.ms.begin_htm(core, 0);
                 let c = &mut self.ctl[core];
@@ -442,6 +499,7 @@ impl Engine {
                 self.trace.record(t, core, TraceKind::Commit);
                 self.stats.commits += 1;
                 self.ctl[core].in_tx = false;
+                self.ctl[core].cur_txn = 0;
                 self.ctl[core].resolve = Some(Phase::Htm);
                 self.ctl[core].phase_after = Some(Phase::NonTran);
                 self.schedule_respond(core, t + self.cfg.commit_penalty, GuestResp::Done);
@@ -460,6 +518,7 @@ impl Engine {
                 } else {
                     self.ms.enter_lock(core, false);
                     self.trace.record(t, core, TraceKind::HlBegin);
+                    self.begin_txn(core);
                     self.stats.fallbacks += 1;
                     self.set_phase(core, t, Phase::Lock);
                     self.schedule_respond(core, t + 2, GuestResp::Done);
@@ -487,6 +546,7 @@ impl Engine {
                     self.stats.lock_commits += 1;
                     self.ctl[core].phase_after = Some(Phase::NonTran);
                 }
+                self.ctl[core].cur_txn = 0;
                 self.schedule_respond(core, t + 2, GuestResp::Done);
             }
             GuestOp::SpinBegin => {
@@ -500,12 +560,17 @@ impl Engine {
             GuestOp::FallbackBegin => {
                 self.ms.set_fallback(core, true);
                 self.trace.record(t, core, TraceKind::Fallback);
+                self.begin_txn(core);
                 self.stats.fallbacks += 1;
                 self.set_phase(core, t, Phase::Lock);
                 self.schedule_respond(core, t, GuestResp::Done);
             }
             GuestOp::FallbackEnd => {
                 self.ms.set_fallback(core, false);
+                if self.cfg.check.enabled {
+                    self.trace.record(t, core, TraceKind::FallbackEnd);
+                }
+                self.ctl[core].cur_txn = 0;
                 self.stats.lock_commits += 1;
                 self.set_phase(core, t, Phase::NonTran);
                 self.schedule_respond(core, t, GuestResp::Done);
@@ -545,7 +610,10 @@ impl Engine {
                 // Anyone blocked on a barrier with us gone would hang; a
                 // well-formed workload exits only after its last barrier.
                 let live = self.threads - self.done_count;
-                if live > 0 && !self.barrier_waiting.is_empty() && self.barrier_waiting.len() == live {
+                if live > 0
+                    && !self.barrier_waiting.is_empty()
+                    && self.barrier_waiting.len() == live
+                {
                     let waiters = std::mem::take(&mut self.barrier_waiting);
                     for w in waiters {
                         self.schedule_respond(w, t + 1, GuestResp::Done);
@@ -560,8 +628,7 @@ impl Engine {
     fn start_access(&mut self, t: Cycle, core: CoreId, op: GuestOp, reissue: bool) {
         let (addr, kind) = match op {
             GuestOp::Load(a) => (a, AccessKind::Load),
-            GuestOp::Store(a, _) => (a, AccessKind::Store),
-            GuestOp::Cas(a, ..) => (a, AccessKind::Store),
+            GuestOp::Store(a, _) | GuestOp::Cas(a, ..) => (a, AccessKind::Store),
             _ => unreachable!(),
         };
         if !reissue && self.ctl[core].in_tx {
@@ -619,12 +686,38 @@ impl Engine {
                 _ => None,
             };
             if a.map(|a| a.0 == watch).unwrap_or(false) {
-                eprintln!("[{t}] WATCH c{core} {op:?} htm={htm} mode={:?} flat={}", self.ms.core_mode(core), self.mem.read(Addr(watch)));
+                eprintln!(
+                    "[{t}] WATCH c{core} {op:?} htm={htm} mode={:?} flat={}",
+                    self.ms.core_mode(core),
+                    self.mem.read(Addr(watch))
+                );
             }
         }
+        // Checked mode records access events at the instant the value
+        // resolves: trace-vector order therefore matches flat-memory /
+        // write-buffer visibility order exactly, which is what the
+        // serializability checker keys its edges on.
+        let checked = self.cfg.check.enabled;
+        let txn = self.ctl[core].cur_txn;
+        let prio = self.ms.prio_of(core);
         let resp = match op {
             GuestOp::Load(a) => {
-                let v = if htm { self.bufs[core].read(&self.mem, a) } else { self.mem.read(a) };
+                let v = if htm {
+                    self.bufs[core].read(&self.mem, a)
+                } else {
+                    self.mem.read(a)
+                };
+                if checked {
+                    self.trace.record(
+                        t,
+                        core,
+                        TraceKind::Read {
+                            line: a.line(),
+                            txn,
+                            prio,
+                        },
+                    );
+                }
                 GuestResp::Value(v)
             }
             GuestOp::Store(a, v) => {
@@ -633,15 +726,52 @@ impl Engine {
                 } else {
                     self.mem.write(a, v);
                 }
+                if checked {
+                    self.trace.record(
+                        t,
+                        core,
+                        TraceKind::Write {
+                            line: a.line(),
+                            txn,
+                            buffered: htm,
+                        },
+                    );
+                }
                 GuestResp::Done
             }
             GuestOp::Cas(a, expected, new) => {
-                let cur = if htm { self.bufs[core].read(&self.mem, a) } else { self.mem.read(a) };
+                let cur = if htm {
+                    self.bufs[core].read(&self.mem, a)
+                } else {
+                    self.mem.read(a)
+                };
+                if checked {
+                    self.trace.record(
+                        t,
+                        core,
+                        TraceKind::Read {
+                            line: a.line(),
+                            txn,
+                            prio,
+                        },
+                    );
+                }
                 if cur == expected {
                     if htm {
                         self.bufs[core].write(a, new);
                     } else {
                         self.mem.write(a, new);
+                    }
+                    if checked {
+                        self.trace.record(
+                            t,
+                            core,
+                            TraceKind::Write {
+                                line: a.line(),
+                                txn,
+                                buffered: htm,
+                            },
+                        );
                     }
                 }
                 GuestResp::Value(cur)
@@ -670,7 +800,10 @@ impl Engine {
     /// Common abort delivery (memory-subsystem side already cleaned up).
     fn deliver_abort(&mut self, t: Cycle, core: CoreId, cause: AbortCause) {
         if std::env::var_os("LOCKILLER_WATCH").is_some() {
-            eprintln!("[{t}] ABORT c{core} {cause:?} buf={}", self.bufs[core].len());
+            eprintln!(
+                "[{t}] ABORT c{core} {cause:?} buf={}",
+                self.bufs[core].len()
+            );
         }
         self.bufs[core].discard();
         self.attr(core, t);
@@ -679,6 +812,7 @@ impl Engine {
         c.spec = false;
         c.in_tx = false;
         c.is_stl = false;
+        c.cur_txn = 0;
         debug_assert!(!c.switch_pending, "abort cannot race an applyingHLA switch");
         c.cur_op = None;
         c.deferred_op = None;
@@ -706,7 +840,7 @@ impl Engine {
             }
             CoreNotice::AccessRejected { core, by_sig } => {
                 self.trace.record(t, core, TraceKind::Rejected { by_sig });
-                self.handle_reject(t, core, by_sig)
+                self.handle_reject(t, core, by_sig);
             }
             CoreNotice::TxAborted { core, cause } => {
                 // Protocol-side abort (probe loss / back-invalidation).
@@ -741,13 +875,17 @@ impl Engine {
             }
             CoreNotice::HlaResult { core, granted } => {
                 if self.ctl[core].tl_pending {
-                    assert!(granted, "TL authorization is granted or queued, never denied");
+                    assert!(
+                        granted,
+                        "TL authorization is granted or queued, never denied"
+                    );
                     self.ctl[core].tl_pending = false;
                     self.ms.enter_lock(core, false);
                     // Record the grant so hlend releases the arbiter.
                     self.ms.finish_hla(t, core, true);
                     self.drain_ms();
                     self.trace.record(t, core, TraceKind::HlBegin);
+                    self.begin_txn(core);
                     self.stats.fallbacks += 1;
                     self.set_phase(core, t, Phase::Lock);
                     self.schedule_respond(core, t + 2, GuestResp::Done);
@@ -787,7 +925,8 @@ impl Engine {
             RejectAction::RetryLater => {
                 let seq = self.next_seq();
                 self.ctl[core].parked = Some(seq);
-                self.q.schedule_at(t + self.cfg.policy.retry_pause, Ev::Retry(core, seq));
+                self.q
+                    .schedule_at(t + self.cfg.policy.retry_pause, Ev::Retry(core, seq));
             }
             _ => {
                 // WaitWakeup (and non-tx/sig rejects under SelfAbort,
@@ -796,6 +935,11 @@ impl Engine {
                 // wake-up already arrived, in which case retry now.
                 if self.ctl[core].wakeup_banked {
                     self.ctl[core].wakeup_banked = false;
+                    if self.cfg.check.enabled {
+                        // The wake-up overtook its reject; checked mode
+                        // still wants the Rejected -> Woken pairing.
+                        self.trace.record(t, core, TraceKind::Woken);
+                    }
                     self.reissue(t, core);
                     return;
                 }
@@ -808,5 +952,4 @@ impl Engine {
             }
         }
     }
-
 }

@@ -119,7 +119,11 @@ pub const PAGE_WORDS: u64 = 512;
 
 impl SetupCtx {
     pub fn new() -> SetupCtx {
-        SetupCtx { mem: FlatMem::new(), brk: 8, unmapped: Vec::new() }
+        SetupCtx {
+            mem: FlatMem::new(),
+            brk: 8,
+            unmapped: Vec::new(),
+        }
     }
 
     /// Allocate `words` words, cache-line aligned to avoid accidental

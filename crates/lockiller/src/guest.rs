@@ -114,7 +114,16 @@ impl GuestCtx {
         tx: Sender<GuestOp>,
         rx: Receiver<GuestResp>,
     ) -> GuestCtx {
-        GuestCtx { tid, threads, rng, policy, lock_addr, tx, rx, in_critical: false }
+        GuestCtx {
+            tid,
+            threads,
+            rng,
+            policy,
+            lock_addr,
+            tx,
+            rx,
+            in_critical: false,
+        }
     }
 
     fn op(&self, o: GuestOp) -> GuestResp {
@@ -202,7 +211,10 @@ impl GuestCtx {
     /// simulated memory (so aborts roll it back); host-side locals must be
     /// re-initialized inside the closure.
     pub fn critical<T>(&mut self, mut f: impl FnMut(&mut TxCtx) -> Result<T, Abort>) -> T {
-        assert!(!self.in_critical, "nested critical sections are not supported");
+        assert!(
+            !self.in_critical,
+            "nested critical sections are not supported"
+        );
         self.in_critical = true;
         let v = self.critical_inner(&mut f);
         self.in_critical = false;
@@ -264,9 +276,8 @@ impl GuestCtx {
         &mut self,
         f: &mut impl FnMut(&mut TxCtx) -> Result<T, Abort>,
     ) -> Result<T, HtmFail> {
-        match self.op(GuestOp::TxBegin) {
-            GuestResp::Aborted(c) => return Err(HtmFail::Abort(c)),
-            _ => {}
+        if let GuestResp::Aborted(c) = self.op(GuestOp::TxBegin) {
+            return Err(HtmFail::Abort(c));
         }
 
         let body = (|| -> Result<T, Abort> {
@@ -277,7 +288,11 @@ impl GuestCtx {
                 let mut tx = TxCtx { g: self };
                 if tx.load(lock_addr)? != 0 {
                     match tx.g.op(GuestOp::TxAbortUser) {
-                        GuestResp::Aborted(_) => return Err(Abort { cause: AbortCause::Mutex }),
+                        GuestResp::Aborted(_) => {
+                            return Err(Abort {
+                                cause: AbortCause::Mutex,
+                            })
+                        }
                         r => panic!("xabort must abort, got {r:?}"),
                     }
                 }
@@ -321,10 +336,7 @@ enum HtmFail {
 }
 
 /// Run the body on the non-speculative path, where aborts cannot occur.
-fn run_infallible<T>(
-    g: &mut GuestCtx,
-    f: &mut impl FnMut(&mut TxCtx) -> Result<T, Abort>,
-) -> T {
+fn run_infallible<T>(g: &mut GuestCtx, f: &mut impl FnMut(&mut TxCtx) -> Result<T, Abort>) -> T {
     let mut tx = TxCtx { g };
     match f(&mut tx) {
         Ok(v) => v,

@@ -111,7 +111,23 @@ impl Runner {
         (stats, mem)
     }
 
-    fn run_full<P: Program>(&self, prog: &mut P) -> (RunStats, FlatMem, Vec<crate::trace::TraceEvent>) {
+    /// Run with tracing enabled, returning statistics, the final memory
+    /// image, and the event trace. Checked-mode harnesses (tmcheck) use
+    /// this to validate program output and analyze the trace in one run;
+    /// no validation happens here.
+    pub fn run_traced_raw<P: Program>(
+        &self,
+        prog: &mut P,
+    ) -> (RunStats, FlatMem, Vec<crate::trace::TraceEvent>) {
+        let mut me = self.clone();
+        me.tracing = true;
+        me.run_full(prog)
+    }
+
+    fn run_full<P: Program>(
+        &self,
+        prog: &mut P,
+    ) -> (RunStats, FlatMem, Vec<crate::trace::TraceEvent>) {
         let mut cfg = self.cfg.clone();
         cfg.policy = self.kind.policy();
         if let Some(r) = self.retries {
@@ -132,7 +148,7 @@ impl Runner {
         let (mem, mapped_pages) = setup.into_mem();
 
         let mut engine = Engine::new(cfg.clone(), mem, self.threads, lock_addr, mapped_pages);
-        if self.tracing {
+        if self.tracing || cfg.check.enabled {
             engine.trace = crate::trace::Trace::enabled();
         }
 

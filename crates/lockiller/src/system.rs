@@ -68,14 +68,20 @@ impl SystemKind {
     }
 
     pub fn from_name(name: &str) -> Option<SystemKind> {
-        SystemKind::ALL.iter().copied().find(|s| s.name().eq_ignore_ascii_case(name))
+        SystemKind::ALL
+            .iter()
+            .copied()
+            .find(|s| s.name().eq_ignore_ascii_case(name))
     }
 
     /// The policy configuration implementing this system.
     pub fn policy(self) -> PolicyConfig {
         let base = PolicyConfig::default();
         match self {
-            SystemKind::Cgl => PolicyConfig { coarse_grained_lock: true, ..base },
+            SystemKind::Cgl => PolicyConfig {
+                coarse_grained_lock: true,
+                ..base
+            },
             SystemKind::Baseline => PolicyConfig {
                 recovery: false,
                 priority: PriorityKind::RequesterWins,
@@ -149,7 +155,10 @@ mod tests {
         for s in SystemKind::ALL {
             assert_eq!(SystemKind::from_name(s.name()), Some(s));
         }
-        assert_eq!(SystemKind::from_name("lockillertm"), Some(SystemKind::LockillerTm));
+        assert_eq!(
+            SystemKind::from_name("lockillertm"),
+            Some(SystemKind::LockillerTm)
+        );
         assert_eq!(SystemKind::from_name("nope"), None);
     }
 

@@ -19,7 +19,11 @@ struct Counter {
 
 impl Counter {
     fn new(per_thread: u64) -> Counter {
-        Counter { per_thread, threads: 0, addr: Addr::NULL }
+        Counter {
+            per_thread,
+            threads: 0,
+            addr: Addr::NULL,
+        }
     }
 }
 
@@ -58,18 +62,34 @@ impl Program for Counter {
 }
 
 fn runner(kind: SystemKind, threads: usize) -> Runner {
-    Runner::new(kind).threads(threads).config(SystemConfig::testing(threads.max(2)))
+    Runner::new(kind)
+        .threads(threads)
+        .config(SystemConfig::testing(threads.max(2)))
 }
 
 /// A zero retry budget sends every critical section straight down the
 /// fallback path — correctness must hold with no speculation at all.
 #[test]
 fn zero_retries_uses_fallback_only() {
-    for kind in [SystemKind::Baseline, SystemKind::LockillerRwil, SystemKind::LockillerTm] {
+    for kind in [
+        SystemKind::Baseline,
+        SystemKind::LockillerRwil,
+        SystemKind::LockillerTm,
+    ] {
         let mut prog = Counter::new(15);
         let stats = runner(kind, 2).retries(0).run(&mut prog);
-        assert_eq!(stats.commits, 0, "{}: nothing should commit speculatively", kind.name());
-        assert_eq!(stats.lock_commits, 30, "{}: all criticals on the lock path", kind.name());
+        assert_eq!(
+            stats.commits,
+            0,
+            "{}: nothing should commit speculatively",
+            kind.name()
+        );
+        assert_eq!(
+            stats.lock_commits,
+            30,
+            "{}: all criticals on the lock path",
+            kind.name()
+        );
         assert_eq!(stats.fallbacks, 30);
     }
 }
@@ -80,9 +100,17 @@ fn zero_retries_uses_fallback_only() {
 #[test]
 fn mixed_tl_and_htm_execution_is_sound() {
     let mut prog = Counter::new(40);
-    let stats = runner(SystemKind::LockillerRwil, 4).retries(2).run(&mut prog);
-    assert!(stats.lock_commits > 0, "small budget must produce TL sections");
-    assert!(stats.commits > 0, "HTM transactions must still commit alongside TL");
+    let stats = runner(SystemKind::LockillerRwil, 4)
+        .retries(2)
+        .run(&mut prog);
+    assert!(
+        stats.lock_commits > 0,
+        "small budget must produce TL sections"
+    );
+    assert!(
+        stats.commits > 0,
+        "HTM transactions must still commit alongside TL"
+    );
 }
 
 /// RRI (retry-after-pause) must make progress and stay exact without any
@@ -102,7 +130,10 @@ fn rai_self_abort_on_reject() {
     let mut prog = Counter::new(30);
     let stats = runner(SystemKind::LockillerRai, 4).run(&mut prog);
     assert!(stats.rejects > 0);
-    assert!(stats.total_aborts() >= stats.rejects, "each reject self-aborts under RAI");
+    assert!(
+        stats.total_aborts() >= stats.rejects,
+        "each reject self-aborts under RAI"
+    );
 }
 
 /// LosaTM-SAFU (progression priority) is a functioning recovery system:
@@ -126,7 +157,11 @@ fn phase_accounting_is_complete() {
         let core_sum: u64 = stats.per_core_cycles.iter().sum();
         assert_eq!(phase_sum, core_sum, "{}: phase cycles leaked", kind.name());
         for &c in &stats.per_core_cycles {
-            assert!(c <= stats.cycles, "{}: a core outlived the run", kind.name());
+            assert!(
+                c <= stats.cycles,
+                "{}: a core outlived the run",
+                kind.name()
+            );
         }
     }
 }
@@ -148,7 +183,10 @@ fn uncontended_run_has_no_aborted_time() {
 fn seed_only_affects_workload_randomness() {
     let run = |seed: u64| {
         let mut prog = Counter::new(15);
-        runner(SystemKind::LockillerTm, 2).seed(seed).run(&mut prog).cycles
+        runner(SystemKind::LockillerTm, 2)
+            .seed(seed)
+            .run(&mut prog)
+            .cycles
     };
     assert_eq!(run(1), run(2), "counter program consumes no randomness");
 }
@@ -244,10 +282,14 @@ fn trace_events_are_causally_ordered() {
     }
     // Per core: begins == commits + aborts (every attempt resolves).
     for core in 0..2 {
-        let begins =
-            trace.iter().filter(|e| e.core == core && e.kind == TraceKind::TxBegin).count();
-        let commits =
-            trace.iter().filter(|e| e.core == core && e.kind == TraceKind::Commit).count();
+        let begins = trace
+            .iter()
+            .filter(|e| e.core == core && e.kind == TraceKind::TxBegin)
+            .count();
+        let commits = trace
+            .iter()
+            .filter(|e| e.core == core && e.kind == TraceKind::Commit)
+            .count();
         let aborts = trace
             .iter()
             .filter(|e| e.core == core && matches!(e.kind, TraceKind::Abort(_)))
@@ -255,7 +297,6 @@ fn trace_events_are_causally_ordered() {
         assert_eq!(begins, commits + aborts, "core {core}: unresolved attempts");
     }
     // Aggregates agree with RunStats.
-    let total_commits =
-        trace.iter().filter(|e| e.kind == TraceKind::Commit).count() as u64;
+    let total_commits = trace.iter().filter(|e| e.kind == TraceKind::Commit).count() as u64;
     assert_eq!(total_commits, stats.commits);
 }

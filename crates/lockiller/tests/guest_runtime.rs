@@ -67,7 +67,10 @@ impl Program for LongLockShortTxs {
             }
         }
         if mem.read(self.shared_b) != 30 {
-            return Err(format!("thread 1 lost increments: {}", mem.read(self.shared_b)));
+            return Err(format!(
+                "thread 1 lost increments: {}",
+                mem.read(self.shared_b)
+            ));
         }
         Ok(())
     }
@@ -79,7 +82,10 @@ impl Program for LongLockShortTxs {
 #[test]
 fn disjoint_data_blocked_by_lock_only_on_baseline() {
     let run = |kind: SystemKind| {
-        let mut prog = LongLockShortTxs { shared_a: Addr::NULL, shared_b: Addr::NULL };
+        let mut prog = LongLockShortTxs {
+            shared_a: Addr::NULL,
+            shared_b: Addr::NULL,
+        };
         // L1 of 8 lines: thread 0's 16-line criticals always overflow.
         let mut cfg = SystemConfig::testing(2);
         cfg.mem.l1 = sim_core::config::CacheGeometry { sets: 4, ways: 2 };
@@ -96,7 +102,11 @@ fn disjoint_data_blocked_by_lock_only_on_baseline() {
     // HTMLock: no subscription, disjoint data, so the lock transaction
     // coexists with thread 1's HTM transactions.
     assert_eq!(rwil.abort_count(AbortCause::Mutex), 0);
-    assert_eq!(rwil.abort_count(AbortCause::Lock), 0, "disjoint data: no lock-tx conflicts");
+    assert_eq!(
+        rwil.abort_count(AbortCause::Lock),
+        0,
+        "disjoint data: no lock-tx conflicts"
+    );
     // HTMLock wastes far less transactional work: thread 1's transactions
     // are no longer collateral damage of thread 0's lock sections. (The
     // wall-clock advantage depends on overlap timing at this tiny scale,
@@ -148,7 +158,10 @@ fn lock_transaction_conflicts_classified() {
         .config(SystemConfig::testing(4))
         .retries(2)
         .run(&mut prog);
-    assert!(stats.fallbacks > 0, "retries(2) under contention must reach the fallback");
+    assert!(
+        stats.fallbacks > 0,
+        "retries(2) under contention must reach the fallback"
+    );
     assert!(
         stats.abort_count(AbortCause::Lock) + stats.rejects > 0,
         "conflicting lock transactions must abort or reject HTM peers"

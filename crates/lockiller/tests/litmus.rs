@@ -57,8 +57,11 @@ impl Program for MessagePassing {
 #[test]
 fn message_passing_is_ordered() {
     for seed in [1u64, 2, 3, 4, 5] {
-        let mut prog =
-            MessagePassing { data: Addr::NULL, flag: Addr::NULL, result: Addr::NULL };
+        let mut prog = MessagePassing {
+            data: Addr::NULL,
+            flag: Addr::NULL,
+            result: Addr::NULL,
+        };
         Runner::new(SystemKind::Baseline)
             .threads(2)
             .config(SystemConfig::testing(2))
@@ -113,8 +116,12 @@ impl Program for StoreBuffering {
 #[test]
 fn no_store_buffering() {
     for seed in [1u64, 7, 13] {
-        let mut prog =
-            StoreBuffering { x: Addr::NULL, y: Addr::NULL, r0: Addr::NULL, r1: Addr::NULL };
+        let mut prog = StoreBuffering {
+            x: Addr::NULL,
+            y: Addr::NULL,
+            r0: Addr::NULL,
+            r1: Addr::NULL,
+        };
         Runner::new(SystemKind::Baseline)
             .threads(2)
             .config(SystemConfig::testing(2))
@@ -165,7 +172,9 @@ impl Program for CoRR {
         let saw_12 = a0 == 1 && b0 == 2 || a1 == 1 && b1 == 2;
         let saw_21 = a0 == 2 && b0 == 1 || a1 == 2 && b1 == 1;
         if saw_12 && saw_21 {
-            Err(format!("coherence violated: contradictory orders ({a0},{b0}) ({a1},{b1})"))
+            Err(format!(
+                "coherence violated: contradictory orders ({a0},{b0}) ({a1},{b1})"
+            ))
         } else {
             Ok(())
         }
@@ -175,7 +184,10 @@ impl Program for CoRR {
 #[test]
 fn coherence_order_is_total() {
     for seed in 1u64..=6 {
-        let mut prog = CoRR { x: Addr::NULL, obs: Addr::NULL };
+        let mut prog = CoRR {
+            x: Addr::NULL,
+            obs: Addr::NULL,
+        };
         Runner::new(SystemKind::Baseline)
             .threads(4)
             .config(SystemConfig::testing(4))
@@ -206,7 +218,7 @@ impl Program for AtomicPair {
 
     fn run(&self, ctx: &mut GuestCtx) {
         let (a, b, bad) = (self.a, self.b, self.bad);
-        if ctx.tid % 2 == 0 {
+        if ctx.tid.is_multiple_of(2) {
             for i in 1..=20u64 {
                 ctx.critical(|tx| {
                     tx.store(a, i)?;
@@ -242,9 +254,20 @@ impl Program for AtomicPair {
 
 #[test]
 fn transactions_never_tear() {
-    for kind in [SystemKind::Baseline, SystemKind::LockillerRwi, SystemKind::LockillerTm] {
-        let mut prog = AtomicPair { a: Addr::NULL, b: Addr::NULL, bad: Addr::NULL };
-        Runner::new(kind).threads(4).config(SystemConfig::testing(4)).run(&mut prog);
+    for kind in [
+        SystemKind::Baseline,
+        SystemKind::LockillerRwi,
+        SystemKind::LockillerTm,
+    ] {
+        let mut prog = AtomicPair {
+            a: Addr::NULL,
+            b: Addr::NULL,
+            bad: Addr::NULL,
+        };
+        Runner::new(kind)
+            .threads(4)
+            .config(SystemConfig::testing(4))
+            .run(&mut prog);
     }
 }
 
@@ -253,12 +276,26 @@ fn transactions_never_tear() {
 fn litmus_hold_under_direct_topology() {
     let mut cfg = SystemConfig::testing(4);
     cfg.mem.direct_rsp = true;
-    let mut prog = AtomicPair { a: Addr::NULL, b: Addr::NULL, bad: Addr::NULL };
-    Runner::new(SystemKind::LockillerTm).threads(4).config(cfg.clone()).run(&mut prog);
-    let mut mp = MessagePassing { data: Addr::NULL, flag: Addr::NULL, result: Addr::NULL };
+    let mut prog = AtomicPair {
+        a: Addr::NULL,
+        b: Addr::NULL,
+        bad: Addr::NULL,
+    };
+    Runner::new(SystemKind::LockillerTm)
+        .threads(4)
+        .config(cfg.clone())
+        .run(&mut prog);
+    let mut mp = MessagePassing {
+        data: Addr::NULL,
+        flag: Addr::NULL,
+        result: Addr::NULL,
+    };
     let mut cfg2 = cfg;
     cfg2.num_cores = 2;
     cfg2.noc.width = 2;
     cfg2.noc.height = 2;
-    Runner::new(SystemKind::Baseline).threads(2).config(cfg2).run(&mut mp);
+    Runner::new(SystemKind::Baseline)
+        .threads(2)
+        .config(cfg2)
+        .run(&mut mp);
 }

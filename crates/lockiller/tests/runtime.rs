@@ -19,7 +19,10 @@ struct Counter {
 
 impl Counter {
     fn new(per_thread: u64) -> Counter {
-        Counter { per_thread, addr: Addr::NULL }
+        Counter {
+            per_thread,
+            addr: Addr::NULL,
+        }
     }
 }
 
@@ -86,11 +89,16 @@ impl Program for CheckedCounter {
 }
 
 fn checked(per_thread: u64) -> CheckedCounter {
-    CheckedCounter { inner: Counter::new(per_thread), threads: 0 }
+    CheckedCounter {
+        inner: Counter::new(per_thread),
+        threads: 0,
+    }
 }
 
 fn small_runner(kind: SystemKind, threads: usize) -> Runner {
-    Runner::new(kind).threads(threads).config(SystemConfig::testing(threads.max(2)))
+    Runner::new(kind)
+        .threads(threads)
+        .config(SystemConfig::testing(threads.max(2)))
 }
 
 #[test]
@@ -118,7 +126,12 @@ fn single_thread_uncontended_commits_everything() {
         let mut prog = checked(10);
         let stats = small_runner(kind, 1).run(&mut prog);
         if kind.uses_htm() {
-            assert_eq!(stats.commits, 10, "{}: uncontended txs must all commit", kind.name());
+            assert_eq!(
+                stats.commits,
+                10,
+                "{}: uncontended txs must all commit",
+                kind.name()
+            );
             assert_eq!(stats.total_aborts(), 0, "{}: spurious aborts", kind.name());
         } else {
             assert_eq!(stats.lock_commits, 10);
@@ -128,7 +141,11 @@ fn single_thread_uncontended_commits_everything() {
 
 #[test]
 fn runs_are_deterministic() {
-    for kind in [SystemKind::Baseline, SystemKind::LockillerRwi, SystemKind::LockillerTm] {
+    for kind in [
+        SystemKind::Baseline,
+        SystemKind::LockillerRwi,
+        SystemKind::LockillerTm,
+    ] {
         let run = || {
             let mut prog = checked(20);
             let s = small_runner(kind, 4).run(&mut prog);
@@ -169,7 +186,10 @@ fn cgl_serializes_with_waitlock_time() {
     let stats = small_runner(SystemKind::Cgl, 4).run(&mut prog);
     assert_eq!(stats.commits, 0);
     assert_eq!(stats.lock_commits, 80);
-    assert!(stats.phase(Phase::WaitLock) > 0, "4 contending threads must queue on the lock");
+    assert!(
+        stats.phase(Phase::WaitLock) > 0,
+        "4 contending threads must queue on the lock"
+    );
     assert!(stats.phase(Phase::Lock) > 0);
 }
 
@@ -222,29 +242,56 @@ fn tiny_l1(threads: usize) -> SystemConfig {
 
 #[test]
 fn capacity_overflow_falls_back_without_switching() {
-    let mut prog = BigTx { lines: 16, base: Addr::NULL, rounds: 3 };
+    let mut prog = BigTx {
+        lines: 16,
+        base: Addr::NULL,
+        rounds: 3,
+    };
     let stats = Runner::new(SystemKind::LockillerRwil)
         .threads(1)
         .config(tiny_l1(1))
         .run(&mut prog);
-    assert!(stats.abort_count(AbortCause::Of) > 0, "big tx must overflow the 4-line L1");
+    assert!(
+        stats.abort_count(AbortCause::Of) > 0,
+        "big tx must overflow the 4-line L1"
+    );
     assert_eq!(stats.switches_granted, 0, "RWIL has no switchingMode");
-    assert_eq!(stats.lock_commits, 3, "every round must finish on the fallback path");
+    assert_eq!(
+        stats.lock_commits, 3,
+        "every round must finish on the fallback path"
+    );
     assert!(stats.fallbacks >= 3);
 }
 
 #[test]
 fn switching_mode_rescues_overflowing_tx() {
-    let mut prog = BigTx { lines: 16, base: Addr::NULL, rounds: 3 };
+    let mut prog = BigTx {
+        lines: 16,
+        base: Addr::NULL,
+        rounds: 3,
+    };
     let stats = Runner::new(SystemKind::LockillerTm)
         .threads(1)
         .config(tiny_l1(1))
         .run(&mut prog);
-    assert_eq!(stats.switches_granted, 3, "each round should switch to STL exactly once");
+    assert_eq!(
+        stats.switches_granted, 3,
+        "each round should switch to STL exactly once"
+    );
     assert_eq!(stats.stl_commits, 3);
-    assert_eq!(stats.abort_count(AbortCause::Of), 0, "switch must prevent capacity aborts");
-    assert_eq!(stats.fallbacks, 0, "no lock acquisition needed for STL finishes");
-    assert!(stats.phase(Phase::SwitchLock) > 0, "switchLock time must be attributed");
+    assert_eq!(
+        stats.abort_count(AbortCause::Of),
+        0,
+        "switch must prevent capacity aborts"
+    );
+    assert_eq!(
+        stats.fallbacks, 0,
+        "no lock acquisition needed for STL finishes"
+    );
+    assert!(
+        stats.phase(Phase::SwitchLock) > 0,
+        "switchLock time must be attributed"
+    );
 }
 
 #[test]
@@ -252,8 +299,12 @@ fn baseline_counts_mutex_aborts_but_htmlock_does_not() {
     // A small retry budget forces fallback-lock usage; subscribed
     // baseline transactions then die with `mutex` aborts. HTMLock removes
     // the subscription, so `mutex` disappears (Fig. 10's headline effect).
-    let base = small_runner(SystemKind::Baseline, 4).retries(1).run(&mut checked(80));
-    let rwil = small_runner(SystemKind::LockillerRwil, 4).retries(1).run(&mut checked(80));
+    let base = small_runner(SystemKind::Baseline, 4)
+        .retries(1)
+        .run(&mut checked(80));
+    let rwil = small_runner(SystemKind::LockillerRwil, 4)
+        .retries(1)
+        .run(&mut checked(80));
     assert!(base.fallbacks > 0, "retry budget of 1 must force fallbacks");
     assert!(
         base.abort_count(AbortCause::Mutex) > 0,
@@ -299,14 +350,22 @@ impl Program for Faulter {
 #[test]
 fn faults_abort_htm_and_are_not_rescued_by_switching() {
     for kind in [SystemKind::Baseline, SystemKind::LockillerTm] {
-        let mut prog = Faulter { region: Addr::NULL, pages: 5 };
+        let mut prog = Faulter {
+            region: Addr::NULL,
+            pages: 5,
+        };
         let stats = small_runner(kind, 2).run(&mut prog);
         assert!(
             stats.abort_count(AbortCause::Fault) > 0,
             "{}: first page touches inside txs must fault-abort",
             kind.name()
         );
-        assert_eq!(stats.switches_granted, 0, "{}: switchingMode must not cover faults", kind.name());
+        assert_eq!(
+            stats.switches_granted,
+            0,
+            "{}: switchingMode must not cover faults",
+            kind.name()
+        );
     }
 }
 

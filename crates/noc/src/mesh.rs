@@ -90,7 +90,10 @@ impl Mesh {
     /// for `dst`. Returns the cycle at which it is delivered, accounting
     /// for link serialization along the X-Y route.
     pub fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, flits: u32) -> Cycle {
-        assert!(src < self.nodes() && dst < self.nodes(), "node out of range");
+        assert!(
+            src < self.nodes() && dst < self.nodes(),
+            "node out of range"
+        );
         self.stats.messages += 1;
         if src == dst {
             // Local loopback through the router: one cycle.

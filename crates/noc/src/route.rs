@@ -15,7 +15,10 @@ pub struct Position {
 
 impl Position {
     pub fn of(id: NodeId, width: usize) -> Position {
-        Position { x: id % width, y: id / width }
+        Position {
+            x: id % width,
+            y: id / width,
+        }
     }
 
     pub fn id(self, width: usize) -> NodeId {

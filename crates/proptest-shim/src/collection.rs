@@ -1,0 +1,71 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::Rng;
+use std::ops::Range;
+
+/// A `Vec` whose length is drawn from `len` and whose elements come from
+/// `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Anything accepted as the length argument of [`vec`], mirroring
+/// proptest's `Into<SizeRange>` conversions.
+pub trait IntoSizeRange {
+    fn into_size_range(self) -> Range<usize>;
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn into_size_range(self) -> Range<usize> {
+        self
+    }
+}
+
+impl IntoSizeRange for usize {
+    /// A bare length means "exactly this many elements".
+    fn into_size_range(self) -> Range<usize> {
+        self..self + 1
+    }
+}
+
+/// Mirror of `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+    let len = len.into_size_range();
+    assert!(len.start < len.end, "empty vec length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let n = self.len.clone().generate(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_length_range() {
+        let s = vec(0u8..4, 2..7);
+        let mut rng = Rng::new(9);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn bare_usize_is_exact_length() {
+        let s = vec(0u8..4, 3usize);
+        let mut rng = Rng::new(5);
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut rng).len(), 3);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The [`Strategy`] trait and the combinators the workspace's suites use.
+
+use crate::Rng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A recipe for generating values of one type. Unlike real proptest there
+/// is no value tree and no shrinking: `generate` produces a final value.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Map generated values through `f` (proptest's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (proptest's `boxed`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value (proptest's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut Rng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed alternatives (built by [`prop_oneof!`]).
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// # Panics
+    /// Panics if `arms` is empty.
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = rng.below(span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+ ))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Types with a canonical full-domain strategy (proptest's `Arbitrary`).
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A` (proptest's `any`).
+#[must_use]
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-domain integer strategy backing `any::<uN>()`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyInt<T>(PhantomData<T>);
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyInt<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyInt<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyInt(PhantomData)
+            }
+        }
+    )*};
+}
+
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyInt<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyInt<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyInt(PhantomData)
+    }
+}
+
+/// `any::<Option<T>>()`: `None` one time in four, matching proptest's
+/// default weighting closely enough for coverage purposes.
+pub struct AnyOption<T: Arbitrary>(T::Strategy);
+
+impl<T: Arbitrary> Strategy for AnyOption<T> {
+    type Value = Option<T>;
+    fn generate(&self, rng: &mut Rng) -> Option<T> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    type Strategy = AnyOption<T>;
+    fn arbitrary() -> Self::Strategy {
+        AnyOption(T::arbitrary())
+    }
+}
+
+macro_rules! any_tuple {
+    ($(($($t:ident),+))*) => {$(
+        impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+            type Strategy = ($($t::Strategy,)+);
+            fn arbitrary() -> Self::Strategy {
+                ($($t::arbitrary(),)+)
+            }
+        }
+    )*};
+}
+
+any_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Uniform choice among the alternatives, in proptest's macro syntax.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::new(1);
+        for _ in 0..1000 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (0usize..1).generate(&mut rng);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let s = (0u8..10, 5u8..6).prop_map(|(a, b)| u32::from(a) + u32::from(b));
+        let mut rng = Rng::new(7);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((5..15).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let s: OneOf<u8> = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = Rng::new(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Test-runner types and the [`proptest!`] macro family.
+//!
+//! [`proptest!`]: crate::proptest
+
+use std::fmt;
+
+/// Per-suite configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why one generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed: the property is falsified.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl fmt::Display) -> TestCaseError {
+        TestCaseError::Fail(reason.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject => write!(f, "inputs rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Defines `#[test]` functions that run their body over generated inputs.
+///
+/// Supported grammar (the subset real proptest files in this workspace
+/// use):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn prop_name(x in 0u64..10, ys in prop::collection::vec(any::<u8>(), 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr)) => {};
+    (@funcs ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let seed = $crate::seed_from_name(concat!(module_path!(), "::", stringify!($name)));
+            let mut done: u32 = 0;
+            let mut attempts: u32 = 0;
+            while done < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts < config.cases.saturating_mul(20).max(100),
+                    "prop_assume! rejected too many generated cases"
+                );
+                let mut rng = $crate::Rng::new(seed ^ (u64::from(attempts)).wrapping_mul(0x9E37_79B9));
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                let case_debug = format!(concat!($(stringify!($arg), " = {:?}; ",)+), $(&$arg),+);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                match outcome {
+                    Ok(()) => done += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(reason)) => {
+                        panic!(
+                            "property `{}` falsified on case {} (seed {seed:#x}): {reason}\n  inputs: {}",
+                            stringify!($name), attempts, case_debug
+                        );
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that fails the current generated case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` flavour of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(a == b, "prop_assert_eq! failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// `assert_ne!` flavour of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(a != b, "prop_assert_ne! failed: both {:?}", a);
+    }};
+}
+
+/// Skip cases whose inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn assume_skips(a in 0u8..4) {
+            prop_assume!(a != 3);
+            prop_assert_ne!(a, 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(v in prop::collection::vec(any::<u16>(), 1..5)) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        let r = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                fn impossible(a in 5u64..6) {
+                    prop_assert!(a != 5, "a was {}", a);
+                }
+            }
+            impossible();
+        });
+        let msg = *r
+            .expect_err("must panic")
+            .downcast::<String>()
+            .expect("string panic");
+        assert!(
+            msg.contains("falsified") && msg.contains("a = 5"),
+            "bad message: {msg}"
+        );
+    }
+}

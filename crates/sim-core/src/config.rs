@@ -23,7 +23,10 @@ impl CacheGeometry {
     /// and 64-byte lines.
     pub fn from_capacity(bytes: usize, ways: usize) -> CacheGeometry {
         let lines = bytes / 64;
-        assert!(lines >= ways && lines % ways == 0, "capacity not divisible by ways");
+        assert!(
+            lines >= ways && lines.is_multiple_of(ways),
+            "capacity not divisible by ways"
+        );
         let sets = lines / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         CacheGeometry { sets, ways }
@@ -162,6 +165,63 @@ impl Default for PolicyConfig {
     }
 }
 
+/// Checked-mode configuration: turns on the tracing and live assertions
+/// the `tmcheck` crate consumes, and optionally injects protocol faults
+/// so the checkers themselves can be validated.
+///
+/// All fields default to off; a production run pays nothing for them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckCfg {
+    /// Record access-level trace events (per-line reads/writes, NACKs,
+    /// wake-ups) in addition to the attempt-level timeline, and run the
+    /// SWMR invariant live after every protocol step. A detected SWMR
+    /// violation is stored in [`RunStats::swmr_violation`] rather than
+    /// panicking, so checked-mode harnesses can report it with context.
+    ///
+    /// [`RunStats::swmr_violation`]: crate::stats::RunStats::swmr_violation
+    pub enabled: bool,
+    /// Deliberate protocol mutations, used only to prove the checkers
+    /// detect real bugs.
+    pub fault: FaultInject,
+}
+
+impl CheckCfg {
+    /// Checked mode with no injected faults — the configuration CI runs.
+    pub fn on() -> CheckCfg {
+        CheckCfg {
+            enabled: true,
+            fault: FaultInject::default(),
+        }
+    }
+}
+
+/// Deliberate protocol mutations for checker validation. Each knob breaks
+/// one mechanism the paper's correctness argument depends on; `tmcheck`'s
+/// mutation tests assert that every knob produces a detected violation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultInject {
+    /// Directory ignores read/write conflicts between transactions: a
+    /// conflicting requester is served data as if no owner existed, and
+    /// the owner keeps its speculative state. Breaks conflict detection →
+    /// serializability (DSG cycle).
+    pub ignore_conflicts: bool,
+    /// A rejecting owner "forgets" to invalidate/downgrade on a lost
+    /// arbitration: the loser of HLA arbitration keeps its line instead
+    /// of aborting. Breaks single-writer/multiple-reader (SWMR).
+    pub drop_nack: bool,
+    /// Wake-up messages to parked rejected requesters are silently
+    /// dropped. Breaks liveness (parked cores only resume via the
+    /// safety-net timeout).
+    pub drop_wakeups: bool,
+}
+
+impl FaultInject {
+    /// True if any mutation knob is set.
+    pub fn any(&self) -> bool {
+        self.ignore_conflicts || self.drop_nack || self.drop_wakeups
+    }
+}
+
 /// Full system model configuration (Table I + policy).
 #[derive(Clone, Debug)]
 pub struct SystemConfig {
@@ -170,6 +230,8 @@ pub struct SystemConfig {
     pub mem: MemConfig,
     pub noc: NocConfig,
     pub policy: PolicyConfig,
+    /// Checked-mode switches (tracing, live invariants, fault injection).
+    pub check: CheckCfg,
     /// Cycles charged for processing an abort (register restore etc.).
     pub abort_penalty: Cycle,
     /// Cycles charged for a commit.
@@ -204,6 +266,7 @@ impl SystemConfig {
                 data_flits: 5,
             },
             policy: PolicyConfig::default(),
+            check: CheckCfg::default(),
             abort_penalty: 30,
             commit_penalty: 6,
             fault_service: 300,
@@ -230,7 +293,7 @@ impl SystemConfig {
     /// fewer cores and small caches, same protocol behaviour.
     pub fn testing(num_cores: usize) -> SystemConfig {
         let mut c = SystemConfig::table1();
-        assert!(num_cores >= 1 && num_cores <= 32);
+        assert!((1..=32).contains(&num_cores));
         c.num_cores = num_cores;
         // Keep the mesh large enough to hold every core.
         if num_cores <= 4 {
@@ -303,7 +366,10 @@ mod tests {
     fn testing_config_meshes_fit() {
         for n in [1, 2, 3, 4, 6, 8, 12, 16, 24, 32] {
             let c = SystemConfig::testing(n);
-            assert!(c.noc.width * c.noc.height >= n, "mesh too small for {n} cores");
+            assert!(
+                c.noc.width * c.noc.height >= n,
+                "mesh too small for {n} cores"
+            );
         }
     }
 

@@ -49,7 +49,11 @@ impl<E> Default for EventQueue<E> {
 
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
     }
 
     /// Current simulated time: the cycle of the most recently popped event.
@@ -61,7 +65,11 @@ impl<E> EventQueue<E> {
     ///
     /// Scheduling in the past is a simulator bug; panics in that case.
     pub fn schedule_at(&mut self, at: Cycle, payload: E) {
-        assert!(at >= self.now, "event scheduled in the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "event scheduled in the past ({at} < {})",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, payload });

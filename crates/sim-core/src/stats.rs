@@ -140,7 +140,10 @@ impl PhaseTracker {
     /// Resolve the pending speculative cycles into `Htm` (committed) or
     /// `Aborted`, or `SwitchLock` for an STL-mode finish.
     pub fn resolve_spec(&mut self, into: Phase) {
-        debug_assert!(matches!(into, Phase::Htm | Phase::Aborted | Phase::SwitchLock));
+        debug_assert!(matches!(
+            into,
+            Phase::Htm | Phase::Aborted | Phase::SwitchLock
+        ));
         self.bucket[into.index()] += self.pending_spec;
         self.pending_spec = 0;
     }
@@ -204,11 +207,19 @@ pub struct RunStats {
     pub phases: [Cycle; 7],
     /// Per-core totals (diagnostics).
     pub per_core_cycles: Vec<Cycle>,
+    /// First single-writer/multiple-reader violation the live checker
+    /// observed, if any (checked mode only): a human-readable description
+    /// of the offending line and sharer set. `None` on a correct run.
+    pub swmr_violation: Option<String>,
 }
 
 impl RunStats {
     pub fn new(threads: usize) -> RunStats {
-        RunStats { threads, per_core_cycles: vec![0; threads], ..Default::default() }
+        RunStats {
+            threads,
+            per_core_cycles: vec![0; threads],
+            ..Default::default()
+        }
     }
 
     pub fn record_abort(&mut self, cause: AbortCause) {

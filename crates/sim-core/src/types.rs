@@ -48,6 +48,7 @@ impl Addr {
 
     /// Pointer arithmetic: `self + words`.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // a word-offset helper, not element-wise Add
     pub fn add(self, words: u64) -> Addr {
         Addr(self.0 + words)
     }

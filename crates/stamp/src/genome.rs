@@ -39,7 +39,11 @@ impl GenomeParams {
             Scale::Small => (128, 12, 3),
             Scale::Full => (320, 16, 4),
         };
-        GenomeParams { gene_len, seg_len, oversample }
+        GenomeParams {
+            gene_len,
+            seg_len,
+            oversample,
+        }
     }
 }
 
@@ -90,7 +94,10 @@ impl Genome {
     }
 
     pub fn with_params(p: GenomeParams, threads: usize) -> Genome {
-        assert!(p.seg_len >= 2 && p.seg_len <= 30, "seg_len must fit 2-bit encoding");
+        assert!(
+            p.seg_len >= 2 && p.seg_len <= 30,
+            "seg_len must fit 2-bit encoding"
+        );
         assert!(p.gene_len > p.seg_len);
         Genome {
             threads,
@@ -123,7 +130,9 @@ impl Program for Genome {
             let mut rng = SimRng::new(seed);
             self.gene = (0..self.gene_len).map(|_| rng.below(4) as u8).collect();
             let n = self.gene_len - self.seg_len + 1;
-            self.windows = (0..n).map(|p| encode(&self.gene, p, self.seg_len)).collect();
+            self.windows = (0..n)
+                .map(|p| encode(&self.gene, p, self.seg_len))
+                .collect();
             let mut ws = self.windows.clone();
             ws.sort_unstable();
             ws.dedup();
@@ -144,7 +153,7 @@ impl Program for Genome {
             stream.push(self.windows[rng.below(self.windows.len() as u64) as usize]);
         }
         rng.shuffle(&mut stream);
-        while stream.len() % self.threads != 0 {
+        while !stream.len().is_multiple_of(self.threads) {
             stream.push(self.windows[rng.below(self.windows.len() as u64) as usize]);
         }
         self.stream = stream;
@@ -210,8 +219,7 @@ impl Program for Genome {
         // Follow links from the first window; must walk every window in
         // gene order.
         let links = self.links.unwrap();
-        let snap: std::collections::HashMap<u64, u64> =
-            links.snapshot(mem).into_iter().collect();
+        let snap: std::collections::HashMap<u64, u64> = links.snapshot(mem).into_iter().collect();
         let mut cur = self.first_window;
         for (i, &want) in self.windows.iter().enumerate() {
             if cur != want {
@@ -259,9 +267,16 @@ mod tests {
 
     #[test]
     fn genome_reconstructs_on_all_core_systems() {
-        for kind in [SystemKind::Cgl, SystemKind::Baseline, SystemKind::LockillerTm] {
+        for kind in [
+            SystemKind::Cgl,
+            SystemKind::Baseline,
+            SystemKind::LockillerTm,
+        ] {
             let mut w = Genome::new(Scale::Tiny, 2);
-            Runner::new(kind).threads(2).config(SystemConfig::testing(2)).run(&mut w);
+            Runner::new(kind)
+                .threads(2)
+                .config(SystemConfig::testing(2))
+                .run(&mut w);
         }
     }
 }

@@ -37,7 +37,10 @@ impl IntruderParams {
             Scale::Small => (10, 4),
             Scale::Full => (24, 4),
         };
-        IntruderParams { flows_per_thread, max_frags }
+        IntruderParams {
+            flows_per_thread,
+            max_frags,
+        }
     }
 }
 
@@ -70,7 +73,10 @@ impl Intruder {
     }
 
     pub fn with_params(p: IntruderParams, threads: usize) -> Intruder {
-        assert!(p.max_frags >= 1 && p.max_frags < 256, "fragment index is 8 bits");
+        assert!(
+            p.max_frags >= 1 && p.max_frags < 256,
+            "fragment index is 8 bits"
+        );
         Intruder {
             threads,
             nflows: p.flows_per_thread * threads,
@@ -116,7 +122,9 @@ impl Program for Intruder {
     fn setup(&mut self, s: &mut SetupCtx, threads: usize) {
         assert_eq!(threads, self.threads);
         let mut rng = SimRng::new(0x696e_7472_7564_6572);
-        self.frags_of = (0..self.nflows).map(|_| 1 + rng.below(self.max_frags)).collect();
+        self.frags_of = (0..self.nflows)
+            .map(|_| 1 + rng.below(self.max_frags))
+            .collect();
         self.payload_sum = vec![0; self.nflows];
         let mut frags = Vec::new();
         for flow in 0..self.nflows {
@@ -229,9 +237,16 @@ mod tests {
 
     #[test]
     fn intruder_detects_all_flows() {
-        for kind in [SystemKind::Cgl, SystemKind::Baseline, SystemKind::LockillerRwil] {
+        for kind in [
+            SystemKind::Cgl,
+            SystemKind::Baseline,
+            SystemKind::LockillerRwil,
+        ] {
             let mut w = Intruder::new(Scale::Tiny, 2);
-            Runner::new(kind).threads(2).config(SystemConfig::testing(2)).run(&mut w);
+            Runner::new(kind)
+                .threads(2)
+                .config(SystemConfig::testing(2))
+                .run(&mut w);
         }
     }
 

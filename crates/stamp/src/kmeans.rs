@@ -41,7 +41,12 @@ impl KmeansParams {
             Scale::Small => 2,
             Scale::Full => 3,
         };
-        KmeansParams { points_per_thread, dims, clusters, rounds }
+        KmeansParams {
+            points_per_thread,
+            dims,
+            clusters,
+            rounds,
+        }
     }
 }
 
@@ -66,7 +71,10 @@ impl Kmeans {
         // STAMP: high contention = fewer clusters (more accumulator
         // collisions); low contention = many clusters. Initial centers
         // are the first `clusters` points, so clamp to the point count.
-        Kmeans::with_params(KmeansParams::for_scale(scale, threads, high_contention), threads)
+        Kmeans::with_params(
+            KmeansParams::for_scale(scale, threads, high_contention),
+            threads,
+        )
     }
 
     pub fn with_params(p: KmeansParams, threads: usize) -> Kmeans {
@@ -207,8 +215,7 @@ impl Program for Kmeans {
                 let mut best = 0;
                 let mut best_d = i64::MAX;
                 for (c, center) in centers.iter().enumerate() {
-                    let dist: i64 =
-                        p.iter().zip(center).map(|(a, b)| (a - b) * (a - b)).sum();
+                    let dist: i64 = p.iter().zip(center).map(|(a, b)| (a - b) * (a - b)).sum();
                     if dist < best_d {
                         best_d = dist;
                         best = c;
@@ -227,14 +234,11 @@ impl Program for Kmeans {
                 }
             }
         }
-        for c in 0..self.clusters {
-            for d in 0..self.dims {
+        for (c, center) in centers.iter().enumerate() {
+            for (d, &want) in center.iter().enumerate() {
                 let got = mem.read(self.center_addr(c, d)) as i64;
-                if got != centers[c][d] {
-                    return Err(format!(
-                        "center[{c}][{d}] = {got}, expected {}",
-                        centers[c][d]
-                    ));
+                if got != want {
+                    return Err(format!("center[{c}][{d}] = {got}, expected {want}"));
                 }
             }
         }
@@ -251,7 +255,11 @@ mod tests {
 
     #[test]
     fn kmeans_high_correct_on_cgl_and_htm() {
-        for kind in [SystemKind::Cgl, SystemKind::Baseline, SystemKind::LockillerTm] {
+        for kind in [
+            SystemKind::Cgl,
+            SystemKind::Baseline,
+            SystemKind::LockillerTm,
+        ] {
             let mut w = Kmeans::new(Scale::Tiny, 2, true);
             let stats = Runner::new(kind)
                 .threads(2)

@@ -35,7 +35,10 @@ impl LabyrinthParams {
             Scale::Small => (12, 3),
             Scale::Full => (40, 4),
         };
-        LabyrinthParams { dim, requests_per_thread }
+        LabyrinthParams {
+            dim,
+            requests_per_thread,
+        }
     }
 }
 
@@ -124,7 +127,9 @@ impl Labyrinth {
         // Per-thread BFS bookkeeping (parent + 1; 0 = unvisited), re-zeroed
         // every attempt like the original's local grid copy: a large
         // transactional write set that drives capacity aborts.
-        let parent = self.parent_bufs.add(tx.tid() as u64 * cells.next_multiple_of(8));
+        let parent = self
+            .parent_bufs
+            .add(tx.tid() as u64 * cells.next_multiple_of(8));
         for c in 0..cells {
             tx.store(parent.add(c), 0)?;
         }
@@ -194,9 +199,13 @@ impl Program for Labyrinth {
         let total = self.requests.capacity();
         let mut endpoints: Vec<u64> = (0..cells).collect();
         rng.shuffle(&mut endpoints);
-        assert!(total * 2 <= cells as usize, "grid too small for request count");
-        self.requests =
-            (0..total).map(|i| (endpoints[2 * i], endpoints[2 * i + 1])).collect();
+        assert!(
+            total * 2 <= cells as usize,
+            "grid too small for request count"
+        );
+        self.requests = (0..total)
+            .map(|i| (endpoints[2 * i], endpoints[2 * i + 1]))
+            .collect();
 
         let q = Queue::setup(s);
         for (i, _) in self.requests.iter().enumerate() {
@@ -241,8 +250,9 @@ impl Program for Labyrinth {
             routed_any = true;
             let mark = i as u64 + 2;
             // Path connectivity: BFS over cells carrying our mark.
-            let marked: Vec<bool> =
-                (0..cells).map(|c| mem.read(self.grid.add(c)) == mark).collect();
+            let marked: Vec<bool> = (0..cells)
+                .map(|c| mem.read(self.grid.add(c)) == mark)
+                .collect();
             if !marked[src as usize] || !marked[dst as usize] {
                 return Err(format!("request {i}: endpoints not claimed"));
             }
@@ -266,9 +276,7 @@ impl Program for Labyrinth {
             let v = mem.read(self.grid.add(c));
             if v >= 2 {
                 let req = (v - 2) as usize;
-                if req >= self.requests.len()
-                    || mem.read(self.results.add(req as u64)) != 1
-                {
+                if req >= self.requests.len() || mem.read(self.results.add(req as u64)) != 1 {
                     return Err(format!("cell {c} claimed by non-routed request"));
                 }
             }
@@ -286,12 +294,20 @@ mod tests {
     use lockiller::runner::Runner;
     use lockiller::system::SystemKind;
     use sim_core::config::SystemConfig;
+    use sim_core::stats::AbortCause;
 
     #[test]
     fn labyrinth_routes_on_cgl_and_htm() {
-        for kind in [SystemKind::Cgl, SystemKind::Baseline, SystemKind::LockillerTm] {
+        for kind in [
+            SystemKind::Cgl,
+            SystemKind::Baseline,
+            SystemKind::LockillerTm,
+        ] {
             let mut w = Labyrinth::new(Scale::Tiny, 2);
-            Runner::new(kind).threads(2).config(SystemConfig::testing(2)).run(&mut w);
+            Runner::new(kind)
+                .threads(2)
+                .config(SystemConfig::testing(2))
+                .run(&mut w);
         }
     }
 
@@ -302,8 +318,10 @@ mod tests {
         let mut cfg = SystemConfig::testing(2);
         cfg.mem.l1 = sim_core::config::CacheGeometry { sets: 4, ways: 2 };
         let mut w = Labyrinth::new(Scale::Small, 2);
-        let stats = Runner::new(SystemKind::Baseline).threads(2).config(cfg).run(&mut w);
-        use sim_core::stats::AbortCause;
+        let stats = Runner::new(SystemKind::Baseline)
+            .threads(2)
+            .config(cfg)
+            .run(&mut w);
         assert!(
             stats.abort_count(AbortCause::Of) + stats.abort_count(AbortCause::Fault) > 0,
             "big routing txs must overflow a 8-line L1"

@@ -70,7 +70,10 @@ impl WorkloadKind {
     }
 
     pub fn from_name(name: &str) -> Option<WorkloadKind> {
-        WorkloadKind::ALL.iter().copied().find(|w| w.name().eq_ignore_ascii_case(name))
+        WorkloadKind::ALL
+            .iter()
+            .copied()
+            .find(|w| w.name().eq_ignore_ascii_case(name))
     }
 }
 
@@ -128,11 +131,11 @@ impl Program for Workload {
     }
 
     fn setup(&mut self, s: &mut SetupCtx, threads: usize) {
-        self.inner.setup(s, threads)
+        self.inner.setup(s, threads);
     }
 
     fn run(&self, ctx: &mut GuestCtx) {
-        self.inner.run(ctx)
+        self.inner.run(ctx);
     }
 
     fn validate(&self, mem: &FlatMem) -> Result<(), String> {
@@ -149,7 +152,10 @@ mod tests {
         for k in WorkloadKind::ALL {
             assert_eq!(WorkloadKind::from_name(k.name()), Some(k));
         }
-        assert_eq!(WorkloadKind::from_name("kmeans+"), Some(WorkloadKind::KmeansHigh));
+        assert_eq!(
+            WorkloadKind::from_name("kmeans+"),
+            Some(WorkloadKind::KmeansHigh)
+        );
         assert_eq!(WorkloadKind::from_name("bogus"), None);
     }
 
@@ -162,7 +168,6 @@ mod tests {
 #[cfg(test)]
 mod param_tests {
     use super::*;
-    use lockiller::program::Program;
     use lockiller::runner::Runner;
     use lockiller::system::SystemKind;
     use sim_core::config::SystemConfig;
@@ -171,16 +176,31 @@ mod param_tests {
     fn custom_params_run_and_validate() {
         // Exercise the with_params constructors with non-preset values.
         let mut g = genome::Genome::with_params(
-            genome::GenomeParams { gene_len: 64, seg_len: 10, oversample: 2 },
+            genome::GenomeParams {
+                gene_len: 64,
+                seg_len: 10,
+                oversample: 2,
+            },
             2,
         );
-        Runner::new(SystemKind::Baseline).threads(2).config(SystemConfig::testing(2)).run(&mut g);
+        Runner::new(SystemKind::Baseline)
+            .threads(2)
+            .config(SystemConfig::testing(2))
+            .run(&mut g);
 
         let mut k = kmeans::Kmeans::with_params(
-            kmeans::KmeansParams { points_per_thread: 10, dims: 3, clusters: 4, rounds: 2 },
+            kmeans::KmeansParams {
+                points_per_thread: 10,
+                dims: 3,
+                clusters: 4,
+                rounds: 2,
+            },
             2,
         );
-        Runner::new(SystemKind::LockillerTm).threads(2).config(SystemConfig::testing(2)).run(&mut k);
+        Runner::new(SystemKind::LockillerTm)
+            .threads(2)
+            .config(SystemConfig::testing(2))
+            .run(&mut k);
 
         let mut v = vacation::Vacation::with_params(
             vacation::VacationParams {
@@ -192,38 +212,70 @@ mod param_tests {
             2,
             true,
         );
-        Runner::new(SystemKind::LockillerRwil).threads(2).config(SystemConfig::testing(2)).run(&mut v);
+        Runner::new(SystemKind::LockillerRwil)
+            .threads(2)
+            .config(SystemConfig::testing(2))
+            .run(&mut v);
 
         let mut l = labyrinth::Labyrinth::with_params(
-            labyrinth::LabyrinthParams { dim: 10, requests_per_thread: 2 },
+            labyrinth::LabyrinthParams {
+                dim: 10,
+                requests_per_thread: 2,
+            },
             2,
         );
-        Runner::new(SystemKind::Cgl).threads(2).config(SystemConfig::testing(2)).run(&mut l);
+        Runner::new(SystemKind::Cgl)
+            .threads(2)
+            .config(SystemConfig::testing(2))
+            .run(&mut l);
 
         let mut y = yada::Yada::with_params(
-            yada::YadaParams { initial_elems: 30, initial_bad: 5, max_generation: 1 },
+            yada::YadaParams {
+                initial_elems: 30,
+                initial_bad: 5,
+                max_generation: 1,
+            },
             2,
         );
-        Runner::new(SystemKind::LockillerTm).threads(2).config(SystemConfig::testing(2)).run(&mut y);
+        Runner::new(SystemKind::LockillerTm)
+            .threads(2)
+            .config(SystemConfig::testing(2))
+            .run(&mut y);
 
         let mut s2 = ssca2::Ssca2::with_params(
-            ssca2::Ssca2Params { nodes: 20, edges_per_thread: 15 },
+            ssca2::Ssca2Params {
+                nodes: 20,
+                edges_per_thread: 15,
+            },
             2,
         );
-        Runner::new(SystemKind::LosaTmSafu).threads(2).config(SystemConfig::testing(2)).run(&mut s2);
+        Runner::new(SystemKind::LosaTmSafu)
+            .threads(2)
+            .config(SystemConfig::testing(2))
+            .run(&mut s2);
 
         let mut i = intruder::Intruder::with_params(
-            intruder::IntruderParams { flows_per_thread: 5, max_frags: 3 },
+            intruder::IntruderParams {
+                flows_per_thread: 5,
+                max_frags: 3,
+            },
             2,
         );
-        Runner::new(SystemKind::LockillerRri).threads(2).config(SystemConfig::testing(2)).run(&mut i);
+        Runner::new(SystemKind::LockillerRri)
+            .threads(2)
+            .config(SystemConfig::testing(2))
+            .run(&mut i);
     }
 
     #[test]
     #[should_panic(expected = "seg_len")]
     fn genome_rejects_oversized_segments() {
         let _ = genome::Genome::with_params(
-            genome::GenomeParams { gene_len: 100, seg_len: 31, oversample: 1 },
+            genome::GenomeParams {
+                gene_len: 100,
+                seg_len: 31,
+                oversample: 1,
+            },
             1,
         );
     }

@@ -49,7 +49,12 @@ impl VacationParams {
             Scale::Full => (64, 40),
         };
         let (queries_per_task, range_pct) = if high { (4, 10) } else { (2, 90) };
-        VacationParams { relation_size, tasks_per_thread, queries_per_task, range_pct }
+        VacationParams {
+            relation_size,
+            tasks_per_thread,
+            queries_per_task,
+            range_pct,
+        }
     }
 }
 
@@ -155,7 +160,9 @@ impl Program for Vacation {
                 let mut ids: Vec<Vec<u64>> = Vec::with_capacity(NRELATIONS);
                 for _ in 0..NRELATIONS {
                     ids.push(
-                        (0..self.queries_per_task).map(|_| ctx.rng.below(range)).collect(),
+                        (0..self.queries_per_task)
+                            .map(|_| ctx.rng.below(range))
+                            .collect(),
                     );
                 }
                 let relations = &self.relations;
@@ -246,12 +253,12 @@ impl Program for Vacation {
                 cur = mem.read(Addr(cur).add(2));
             }
         }
-        for rel in 0..NRELATIONS {
+        for (rel, held_rel) in held.iter().enumerate() {
             for id in 0..self.relation_size as u64 {
                 let rec = self.record_addr(rel, id);
                 let total = mem.read(rec.add(R_TOTAL));
                 let free = mem.read(rec.add(R_FREE));
-                let h = held[rel][id as usize];
+                let h = held_rel[id as usize];
                 if free + h != total {
                     return Err(format!(
                         "relation {rel} record {id}: total {total} != free {free} + held {h}"
@@ -293,9 +300,16 @@ mod tests {
 
     #[test]
     fn vacation_conserves_resources() {
-        for kind in [SystemKind::Cgl, SystemKind::Baseline, SystemKind::LockillerTm] {
+        for kind in [
+            SystemKind::Cgl,
+            SystemKind::Baseline,
+            SystemKind::LockillerTm,
+        ] {
             let mut w = Vacation::new(Scale::Tiny, 2, true);
-            Runner::new(kind).threads(2).config(SystemConfig::testing(2)).run(&mut w);
+            Runner::new(kind)
+                .threads(2)
+                .config(SystemConfig::testing(2))
+                .run(&mut w);
         }
     }
 

@@ -50,7 +50,11 @@ impl YadaParams {
             Scale::Small => (64, 10, 2),
             Scale::Full => (160, 24, 2),
         };
-        YadaParams { initial_elems, initial_bad, max_generation }
+        YadaParams {
+            initial_elems,
+            initial_bad,
+            max_generation,
+        }
     }
 }
 
@@ -97,7 +101,9 @@ impl Program for Yada {
         let mut rng = SimRng::new(0x7961_6461);
         // Build a ring-with-chords mesh: element i neighbours i-1 and i+1
         // plus one random chord; symmetric links.
-        self.elems = (0..self.initial_elems).map(|_| s.alloc(ELEM_WORDS)).collect();
+        self.elems = (0..self.initial_elems)
+            .map(|_| s.alloc(ELEM_WORDS))
+            .collect();
         let n = self.initial_elems;
         for i in 0..n {
             let e = self.elems[i];
@@ -202,7 +208,7 @@ impl Program for Yada {
                 }
                 // New work: fresh elements below the generation cap are
                 // bad and go back on the heap (decaying workload).
-                if gen + 1 <= max_gen {
+                if gen < max_gen {
                     for &ne in &fresh {
                         tx.store(ne.add(E_BAD), 1)?;
                         heap.push(tx, ne.0)?;
@@ -249,9 +255,16 @@ mod tests {
 
     #[test]
     fn yada_refines_completely() {
-        for kind in [SystemKind::Cgl, SystemKind::Baseline, SystemKind::LockillerTm] {
+        for kind in [
+            SystemKind::Cgl,
+            SystemKind::Baseline,
+            SystemKind::LockillerTm,
+        ] {
             let mut w = Yada::new(Scale::Tiny, 2);
-            Runner::new(kind).threads(2).config(SystemConfig::testing(2)).run(&mut w);
+            Runner::new(kind)
+                .threads(2)
+                .config(SystemConfig::testing(2))
+                .run(&mut w);
         }
     }
 

@@ -1,0 +1,543 @@
+//! Serializability checking via a direct-serialization graph (DSG).
+//!
+//! Nodes are committed atomic sections (HTM transactions, TL/STL lock
+//! transactions, fallback critical sections) plus one singleton node per
+//! non-transactional access. Edges are the classic dependencies, ordered
+//! by **trace-vector index** rather than by cycle: the engine records an
+//! access event at the instant its value resolves against flat memory or
+//! the write buffer, and records `Commit`/`SwitchGranted` at the instant
+//! the write buffer drains, so vector order *is* value-visibility order
+//! and same-cycle ties resolve exactly as the engine resolved them.
+//!
+//! - `wr` (read-from): T read the version some other section's write made
+//!   visible before the read → writer precedes T.
+//! - `rw` (anti-dependency): T's read was overwritten by a later-visible
+//!   write → T precedes that writer.
+//! - `ww`: writes to a line precede each other in visibility order.
+//!
+//! Reads that follow the reader's own earlier write to the same line are
+//! excluded (they see the private buffer, not a visible version). A cycle
+//! in this graph means no serial order of the committed sections explains
+//! the run; the witness lists the sections, cores, and lines involved.
+
+use lockiller::trace::{TraceEvent, TraceKind};
+use sim_core::fxhash::FxHashMap;
+use sim_core::types::{CoreId, LineAddr};
+
+/// Result of the serializability check.
+#[derive(Clone, Debug, Default)]
+pub struct DsgReport {
+    /// Committed multi-access atomic sections (excludes singletons).
+    pub committed_txns: usize,
+    pub cycle: Option<CycleWitness>,
+}
+
+/// A minimal cycle found in the DSG: the participating sections in cycle
+/// order, and for each hop the line and dependency kind that created it.
+#[derive(Clone, Debug)]
+pub struct CycleWitness {
+    pub nodes: Vec<NodeInfo>,
+    pub edges: Vec<EdgeInfo>,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct NodeInfo {
+    /// Engine-assigned section id (0 for a non-transactional singleton).
+    pub txn: u64,
+    pub core: CoreId,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeInfo {
+    pub from: NodeInfo,
+    pub to: NodeInfo,
+    pub line: LineAddr,
+    /// "wr", "rw", or "ww".
+    pub dep: &'static str,
+}
+
+impl CycleWitness {
+    /// One-line description naming every section, core, and line.
+    pub fn describe(&self) -> String {
+        let hops: Vec<String> = self
+            .edges
+            .iter()
+            .map(|e| {
+                format!(
+                    "txn{}@c{} -{}:{:?}-> txn{}@c{}",
+                    e.from.txn, e.from.core, e.dep, e.line, e.to.txn, e.to.core
+                )
+            })
+            .collect();
+        format!(
+            "DSG cycle of {} sections: {}",
+            self.nodes.len(),
+            hops.join(", ")
+        )
+    }
+}
+
+/// A committed section's accesses, in trace order.
+struct Node {
+    txn: u64,
+    core: CoreId,
+    /// (line, trace index) per read.
+    reads: Vec<(LineAddr, usize)>,
+    /// (line, trace index, visibility index) per write.
+    writes: Vec<(LineAddr, usize, usize)>,
+}
+
+/// An atomic section still being replayed.
+struct Build {
+    core: CoreId,
+    reads: Vec<(LineAddr, usize)>,
+    /// (line, trace index, buffered) — visibility resolved on commit.
+    writes: Vec<(LineAddr, usize, bool)>,
+    /// `SwitchGranted` trace index: buffered writes became visible here.
+    switch_idx: Option<usize>,
+}
+
+/// Build the DSG for `events` and search it for a cycle.
+pub fn check_serializability(events: &[TraceEvent]) -> DsgReport {
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut committed_txns = 0usize;
+
+    {
+        let mut building: FxHashMap<u64, Build> = FxHashMap::default();
+        // The id of the section currently accumulating on each core, so
+        // control events (which carry no id) can resolve it.
+        let mut current: FxHashMap<CoreId, u64> = FxHashMap::default();
+        for (i, e) in events.iter().enumerate() {
+            match e.kind {
+                TraceKind::Read { line, txn, .. } => {
+                    if txn == 0 {
+                        nodes.push(Node {
+                            txn: 0,
+                            core: e.core,
+                            reads: vec![(line, i)],
+                            writes: Vec::new(),
+                        });
+                    } else {
+                        current.insert(e.core, txn);
+                        building
+                            .entry(txn)
+                            .or_insert_with(|| Build {
+                                core: e.core,
+                                reads: Vec::new(),
+                                writes: Vec::new(),
+                                switch_idx: None,
+                            })
+                            .reads
+                            .push((line, i));
+                    }
+                }
+                TraceKind::Write {
+                    line,
+                    txn,
+                    buffered,
+                } => {
+                    if txn == 0 {
+                        nodes.push(Node {
+                            txn: 0,
+                            core: e.core,
+                            reads: Vec::new(),
+                            writes: vec![(line, i, i)],
+                        });
+                    } else {
+                        current.insert(e.core, txn);
+                        building
+                            .entry(txn)
+                            .or_insert_with(|| Build {
+                                core: e.core,
+                                reads: Vec::new(),
+                                writes: Vec::new(),
+                                switch_idx: None,
+                            })
+                            .writes
+                            .push((line, i, buffered));
+                    }
+                }
+                TraceKind::SwitchGranted => {
+                    if let Some(id) = current.get(&e.core) {
+                        if let Some(b) = building.get_mut(id) {
+                            b.switch_idx = Some(i);
+                        }
+                    }
+                }
+                TraceKind::Commit | TraceKind::HlEnd | TraceKind::FallbackEnd => {
+                    if let Some(id) = current.remove(&e.core) {
+                        if let Some(b) = building.remove(&id) {
+                            committed_txns += 1;
+                            let switch = b.switch_idx;
+                            nodes.push(Node {
+                                txn: id,
+                                core: b.core,
+                                reads: b.reads,
+                                writes: b
+                                    .writes
+                                    .into_iter()
+                                    .map(|(line, idx, buffered)| {
+                                        // Buffered writes drain at the
+                                        // switch (STL) or at this commit;
+                                        // immediate writes were visible
+                                        // as they happened.
+                                        let vis = if buffered { switch.unwrap_or(i) } else { idx };
+                                        (line, idx, vis)
+                                    })
+                                    .collect(),
+                            });
+                        }
+                    }
+                }
+                TraceKind::Abort(_) => {
+                    // The attempt's accesses never became a committed
+                    // version: drop them.
+                    if let Some(id) = current.remove(&e.core) {
+                        building.remove(&id);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Sections still open at end-of-trace never committed: drop.
+    }
+
+    let cycle = find_cycle(&nodes);
+    DsgReport {
+        committed_txns,
+        cycle,
+    }
+}
+
+/// Dependency edges, deduplicated; first (line, dep) witness kept.
+type EdgeMap = FxHashMap<(usize, usize), (LineAddr, &'static str)>;
+
+const WHITE: u8 = 0;
+const GRAY: u8 = 1;
+const BLACK: u8 = 2;
+
+fn find_cycle(nodes: &[Node]) -> Option<CycleWitness> {
+    // Per-line access indices into `nodes`.
+    let mut writes_by_line: FxHashMap<LineAddr, Vec<(usize, usize)>> = FxHashMap::default();
+    let mut reads_by_line: FxHashMap<LineAddr, Vec<(usize, usize)>> = FxHashMap::default();
+    for (n, node) in nodes.iter().enumerate() {
+        for &(line, _idx, vis) in &node.writes {
+            writes_by_line.entry(line).or_default().push((vis, n));
+        }
+        for &(line, idx) in &node.reads {
+            // Own-write-first reads see the private buffer, not a
+            // committed version: no inter-section dependency.
+            let own_earlier = node
+                .writes
+                .iter()
+                .any(|&(l, widx, _)| l == line && widx < idx);
+            if !own_earlier {
+                reads_by_line.entry(line).or_default().push((idx, n));
+            }
+        }
+    }
+
+    let mut edges: EdgeMap = EdgeMap::default();
+    let mut add = |from: usize, to: usize, line: LineAddr, dep: &'static str| {
+        if from != to {
+            edges.entry((from, to)).or_insert((line, dep));
+        }
+    };
+
+    for (line, ws) in &mut writes_by_line {
+        ws.sort_unstable();
+        // ww: visibility order chains the writers.
+        for pair in ws.windows(2) {
+            add(pair[0].1, pair[1].1, *line, "ww");
+        }
+        if let Some(rs) = reads_by_line.get(line) {
+            for &(ridx, rn) in rs {
+                // wr: the last write visible before the read.
+                let before = ws.partition_point(|&(vis, _)| vis < ridx);
+                if let Some(&(_, wn)) = ws[..before].iter().rev().find(|&&(_, wn)| wn != rn) {
+                    add(wn, rn, *line, "wr");
+                }
+                // rw: the first later-visible write by another section
+                // overwrote what the read saw — unless the reader's own
+                // write comes first, in which case the ww chain carries
+                // the ordering.
+                if let Some(&(_, wn)) = ws[before..].first() {
+                    if wn != rn {
+                        add(rn, wn, *line, "rw");
+                    }
+                }
+            }
+        }
+    }
+
+    // Iterative DFS with a path stack: the first back edge closes the
+    // witness cycle.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for &(from, to) in edges.keys() {
+        adj[from].push(to);
+    }
+    for a in &mut adj {
+        a.sort_unstable();
+    }
+
+    let mut color = vec![WHITE; nodes.len()];
+    for start in 0..nodes.len() {
+        if color[start] != WHITE {
+            continue;
+        }
+        // (node, next child position)
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = GRAY;
+        while let Some(&mut (n, ref mut next)) = stack.last_mut() {
+            if *next < adj[n].len() {
+                let m = adj[n][*next];
+                *next += 1;
+                match color[m] {
+                    WHITE => {
+                        color[m] = GRAY;
+                        stack.push((m, 0));
+                    }
+                    GRAY => {
+                        // Cycle: the stack suffix from m back to n.
+                        let pos = stack.iter().position(|&(x, _)| x == m).unwrap();
+                        let cyc: Vec<usize> = stack[pos..].iter().map(|&(x, _)| x).collect();
+                        return Some(witness(nodes, &edges, &cyc));
+                    }
+                    _ => {}
+                }
+            } else {
+                color[n] = BLACK;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+fn witness(nodes: &[Node], edges: &EdgeMap, cyc: &[usize]) -> CycleWitness {
+    let info = |n: usize| NodeInfo {
+        txn: nodes[n].txn,
+        core: nodes[n].core,
+    };
+    let mut out = CycleWitness {
+        nodes: cyc.iter().map(|&n| info(n)).collect(),
+        edges: Vec::new(),
+    };
+    for k in 0..cyc.len() {
+        let from = cyc[k];
+        let to = cyc[(k + 1) % cyc.len()];
+        let (line, dep) = edges[&(from, to)];
+        out.edges.push(EdgeInfo {
+            from: info(from),
+            to: info(to),
+            line,
+            dep,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockiller::trace::TraceEvent;
+
+    fn rd(cycle: u64, core: CoreId, line: u64, txn: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            core,
+            kind: TraceKind::Read {
+                line: LineAddr(line),
+                txn,
+                prio: 0,
+            },
+        }
+    }
+
+    fn wr(cycle: u64, core: CoreId, line: u64, txn: u64, buffered: bool) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            core,
+            kind: TraceKind::Write {
+                line: LineAddr(line),
+                txn,
+                buffered,
+            },
+        }
+    }
+
+    fn commit(cycle: u64, core: CoreId) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            core,
+            kind: TraceKind::Commit,
+        }
+    }
+
+    #[test]
+    fn serial_history_is_clean() {
+        // T1 fully commits before T2 starts: no cycle possible.
+        let events = vec![
+            rd(0, 0, 1, 1),
+            wr(1, 0, 1, 1, true),
+            commit(2, 0),
+            rd(3, 1, 1, 2),
+            wr(4, 1, 1, 2, true),
+            commit(5, 1),
+        ];
+        let r = check_serializability(&events);
+        assert_eq!(r.committed_txns, 2);
+        assert!(r.cycle.is_none());
+    }
+
+    #[test]
+    fn lost_update_is_a_cycle() {
+        // Classic lost update: both transactions read the line before
+        // either commit, then both commit a buffered write to it.
+        let events = vec![
+            rd(0, 0, 1, 1),
+            rd(0, 1, 1, 2),
+            wr(1, 0, 1, 1, true),
+            wr(1, 1, 1, 2, true),
+            commit(2, 0),
+            commit(2, 1),
+        ];
+        let r = check_serializability(&events);
+        assert_eq!(r.committed_txns, 2);
+        let w = r.cycle.expect("lost update must produce a DSG cycle");
+        assert!(w.nodes.len() >= 2);
+        let ids: Vec<u64> = w.nodes.iter().map(|n| n.txn).collect();
+        assert!(
+            ids.contains(&1) && ids.contains(&2),
+            "witness: {}",
+            w.describe()
+        );
+    }
+
+    #[test]
+    fn aborted_attempts_do_not_participate() {
+        // Same interleaving as the lost update, but one side aborts.
+        let events = vec![
+            rd(0, 0, 1, 1),
+            rd(0, 1, 1, 2),
+            wr(1, 0, 1, 1, true),
+            wr(1, 1, 1, 2, true),
+            commit(2, 0),
+            TraceEvent {
+                cycle: 2,
+                core: 1,
+                kind: TraceKind::Abort(sim_core::stats::AbortCause::Mc),
+            },
+        ];
+        let r = check_serializability(&events);
+        assert_eq!(r.committed_txns, 1);
+        assert!(r.cycle.is_none());
+    }
+
+    #[test]
+    fn non_repeatable_read_is_a_cycle() {
+        // T1 reads the line, T2 commits a write to it, T1 reads it again
+        // (sees the new version) and commits: T1 both precedes and
+        // follows T2.
+        let events = vec![
+            rd(0, 0, 1, 1),
+            rd(1, 1, 1, 2),
+            wr(2, 1, 1, 2, true),
+            commit(3, 1),
+            rd(4, 0, 1, 1),
+            commit(5, 0),
+        ];
+        let r = check_serializability(&events);
+        let w = r.cycle.expect("non-repeatable read must be flagged");
+        assert!(w.describe().contains("txn1"));
+    }
+
+    #[test]
+    fn read_own_write_is_not_a_dependency() {
+        // T1 writes then reads its own buffer while T2 commits a write
+        // in between: T1's second read must not read-from T2.
+        let events = vec![
+            wr(0, 0, 1, 1, true),
+            rd(1, 1, 1, 2),
+            wr(2, 1, 1, 2, true),
+            commit(3, 1),
+            rd(4, 0, 1, 1), // own buffer, not T2's version
+            commit(5, 0),
+        ];
+        let r = check_serializability(&events);
+        assert!(r.cycle.is_none(), "{:?}", r.cycle.map(|c| c.describe()));
+    }
+
+    #[test]
+    fn stl_switch_makes_buffered_writes_visible_early() {
+        // T1 writes buffered, switches to STL (buffer drains), then a
+        // non-tx read observes the value before T1's hlend: legal, since
+        // visibility moved to the switch point.
+        let events = vec![
+            wr(0, 0, 1, 1, true),
+            TraceEvent {
+                cycle: 1,
+                core: 0,
+                kind: TraceKind::SwitchGranted,
+            },
+            TraceEvent {
+                cycle: 2,
+                core: 1,
+                kind: TraceKind::Read {
+                    line: LineAddr(1),
+                    txn: 0,
+                    prio: 0,
+                },
+            },
+            TraceEvent {
+                cycle: 3,
+                core: 0,
+                kind: TraceKind::HlEnd,
+            },
+        ];
+        let r = check_serializability(&events);
+        assert_eq!(r.committed_txns, 1);
+        assert!(r.cycle.is_none());
+    }
+
+    #[test]
+    fn fallback_sections_are_atomic_nodes() {
+        // Two fallback sections interleaved at the access level would be
+        // a violation; properly serialized ones are clean.
+        let fb = |cycle, core| TraceEvent {
+            cycle,
+            core,
+            kind: TraceKind::Fallback,
+        };
+        let fe = |cycle, core| TraceEvent {
+            cycle,
+            core,
+            kind: TraceKind::FallbackEnd,
+        };
+        let clean = vec![
+            fb(0, 0),
+            rd(1, 0, 1, 1),
+            wr(2, 0, 1, 1, false),
+            fe(3, 0),
+            fb(4, 1),
+            rd(5, 1, 1, 2),
+            wr(6, 1, 1, 2, false),
+            fe(7, 1),
+        ];
+        assert!(check_serializability(&clean).cycle.is_none());
+
+        // Interleaved immediate writes: both read 0, both store — lost
+        // update again, now with unbuffered visibility.
+        let broken = vec![
+            fb(0, 0),
+            fb(0, 1),
+            rd(1, 0, 1, 1),
+            rd(1, 1, 1, 2),
+            wr(2, 0, 1, 1, false),
+            wr(2, 1, 1, 2, false),
+            fe(3, 0),
+            fe(3, 1),
+        ];
+        assert!(check_serializability(&broken).cycle.is_some());
+    }
+}

@@ -1,0 +1,313 @@
+//! Protocol-invariant checkers replaying the checked-mode event trace:
+//! lock-section occupancy, per-attempt priority monotonicity, and the
+//! NACK/wake-up liveness contract of the recovery mechanism.
+//!
+//! (The SWMR invariant is checked live against cache state inside the
+//! engine — see `MemSystem::check_swmr` and `RunStats::swmr_violation` —
+//! because it needs the actual MESI state, not the access stream; the
+//! harness folds its result into the same [`crate::Report`].)
+
+use crate::{CheckKind, CheckOpts, Violation};
+use lockiller::trace::{TraceEvent, TraceKind};
+use sim_core::fxhash::{FxHashMap, FxHashSet};
+use sim_core::types::CoreId;
+
+/// Replay `events` and collect invariant violations.
+pub fn check_invariants(events: &[TraceEvent], opts: CheckOpts) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_lock_occupancy(events, &mut out);
+    check_priority_monotone(events, &mut out);
+    if opts.wait_wakeup {
+        check_liveness(events, &mut out);
+        check_nack_wake_pairing(events, &mut out);
+    }
+    out
+}
+
+/// At most one lock transaction — TL (`HlBegin`), STL (`SwitchGranted`),
+/// or fallback critical section (`Fallback`) — may be active at a time:
+/// they all serialize on the single global lock / HLA arbiter.
+fn check_lock_occupancy(events: &[TraceEvent], out: &mut Vec<Violation>) {
+    let mut holder: Option<(CoreId, u64)> = None;
+    for e in events {
+        match e.kind {
+            TraceKind::HlBegin | TraceKind::Fallback | TraceKind::SwitchGranted => {
+                if let Some((h, at)) = holder {
+                    if h != e.core {
+                        out.push(Violation {
+                            check: CheckKind::LockOccupancy,
+                            message: format!(
+                                "core {} entered a lock section at cycle {} while core {h} \
+                                 has held one since cycle {at}",
+                                e.core, e.cycle
+                            ),
+                        });
+                        return; // one witness is enough
+                    }
+                } else {
+                    holder = Some((e.core, e.cycle));
+                }
+            }
+            TraceKind::HlEnd | TraceKind::FallbackEnd => match holder {
+                Some((h, _)) if h == e.core => holder = None,
+                Some((h, _)) => {
+                    out.push(Violation {
+                        check: CheckKind::LockOccupancy,
+                        message: format!(
+                            "core {} ended a lock section at cycle {} but core {h} \
+                                 holds the lock",
+                            e.core, e.cycle
+                        ),
+                    });
+                    return;
+                }
+                None => {
+                    out.push(Violation {
+                        check: CheckKind::LockOccupancy,
+                        message: format!(
+                            "core {} ended a lock section at cycle {} with none active",
+                            e.core, e.cycle
+                        ),
+                    });
+                    return;
+                }
+            },
+            _ => {}
+        }
+    }
+}
+
+/// Within one transaction attempt the recovery priority must never
+/// decrease: insts- and progression-based priorities only accumulate, and
+/// an STL switch jumps to the (higher) lock priority. A decrease means
+/// arbitration state leaked between attempts.
+fn check_priority_monotone(events: &[TraceEvent], out: &mut Vec<Violation>) {
+    let mut last: FxHashMap<u64, u64> = FxHashMap::default();
+    for e in events {
+        if let TraceKind::Read { txn, prio, .. } = e.kind {
+            if txn == 0 {
+                continue;
+            }
+            let prev = last.entry(txn).or_insert(prio);
+            if prio < *prev {
+                out.push(Violation {
+                    check: CheckKind::Priority,
+                    message: format!(
+                        "core {} priority dropped {} -> {prio} within attempt txn{txn} \
+                         at cycle {}",
+                        e.core, *prev, e.cycle
+                    ),
+                });
+                return;
+            }
+            *prev = prio;
+        }
+    }
+}
+
+/// Under `RejectAction::WaitWakeup`, every rejected request parks until a
+/// wake-up. A `WakeTimeout` event means the safety net fired (a wake-up
+/// was lost); an access or commit on a core that is parked without an
+/// intervening `Woken`/`Abort` means the engine forgot the park; a trace
+/// ending with a core still parked means it hung.
+fn check_liveness(events: &[TraceEvent], out: &mut Vec<Violation>) {
+    let mut waiting: FxHashMap<CoreId, u64> = FxHashMap::default();
+    for e in events {
+        match e.kind {
+            TraceKind::Rejected { .. } => {
+                waiting.insert(e.core, e.cycle);
+            }
+            TraceKind::Woken | TraceKind::Abort(_) => {
+                waiting.remove(&e.core);
+            }
+            TraceKind::WakeTimeout => {
+                out.push(Violation {
+                    check: CheckKind::Liveness,
+                    message: format!(
+                        "core {} hit the wake-up safety-net timeout at cycle {} \
+                         (rejected at cycle {:?})",
+                        e.core,
+                        e.cycle,
+                        waiting.get(&e.core)
+                    ),
+                });
+                return;
+            }
+            TraceKind::Read { .. } | TraceKind::Write { .. } | TraceKind::Commit => {
+                if let Some(&since) = waiting.get(&e.core) {
+                    out.push(Violation {
+                        check: CheckKind::Liveness,
+                        message: format!(
+                            "core {} progressed at cycle {} while parked since cycle \
+                             {since} with no wake-up",
+                            e.core, e.cycle
+                        ),
+                    });
+                    return;
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some((&core, &since)) = waiting.iter().min_by_key(|&(_, &c)| c) {
+        out.push(Violation {
+            check: CheckKind::Liveness,
+            message: format!(
+                "core {core} was rejected at cycle {since} and never woken before the \
+                 run ended"
+            ),
+        });
+    }
+}
+
+/// Every NACK a core sends must eventually be answered by a wake-up from
+/// the same core to the same requester (the rejecter's wake-list drains
+/// at its commit, abort, or hlend — dropping it starves the requester).
+fn check_nack_wake_pairing(events: &[TraceEvent], out: &mut Vec<Violation>) {
+    // Reverse scan: a pair is satisfied if a wake-up exists later.
+    let mut wake_later: FxHashSet<(CoreId, CoreId)> = FxHashSet::default();
+    for e in events.iter().rev() {
+        match e.kind {
+            TraceKind::WakeSent { to } => {
+                wake_later.insert((e.core, to));
+            }
+            TraceKind::NackSent { to, line } if !wake_later.contains(&(e.core, to)) => {
+                out.push(Violation {
+                    check: CheckKind::Liveness,
+                    message: format!(
+                        "core {} NACKed core {to} for {line:?} at cycle {} but \
+                             never sent it a wake-up",
+                        e.core, e.cycle
+                    ),
+                });
+                return;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::stats::AbortCause;
+    use sim_core::types::LineAddr;
+
+    fn ev(cycle: u64, core: CoreId, kind: TraceKind) -> TraceEvent {
+        TraceEvent { cycle, core, kind }
+    }
+
+    #[test]
+    fn overlapping_lock_sections_flagged() {
+        let events = vec![
+            ev(0, 0, TraceKind::HlBegin),
+            ev(1, 1, TraceKind::HlBegin),
+            ev(2, 0, TraceKind::HlEnd),
+            ev(3, 1, TraceKind::HlEnd),
+        ];
+        let v = check_invariants(&events, CheckOpts::default());
+        assert!(v.iter().any(|v| v.check == CheckKind::LockOccupancy));
+    }
+
+    #[test]
+    fn serialized_lock_sections_clean() {
+        let events = vec![
+            ev(0, 0, TraceKind::Fallback),
+            ev(1, 0, TraceKind::FallbackEnd),
+            ev(2, 1, TraceKind::HlBegin),
+            ev(3, 1, TraceKind::HlEnd),
+            ev(4, 0, TraceKind::SwitchGranted),
+            ev(5, 0, TraceKind::HlEnd),
+        ];
+        assert!(check_invariants(&events, CheckOpts::default()).is_empty());
+    }
+
+    #[test]
+    fn priority_decrease_flagged() {
+        let rd = |cycle, prio| {
+            ev(
+                cycle,
+                0,
+                TraceKind::Read {
+                    line: LineAddr(1),
+                    txn: 7,
+                    prio,
+                },
+            )
+        };
+        let v = check_invariants(&[rd(0, 3), rd(1, 5), rd(2, 2)], CheckOpts::default());
+        assert!(v.iter().any(|v| v.check == CheckKind::Priority));
+        let v = check_invariants(&[rd(0, 3), rd(1, 3), rd(2, 9)], CheckOpts::default());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn lost_wakeup_flagged_only_under_wait_wakeup() {
+        let events = vec![
+            ev(
+                0,
+                1,
+                TraceKind::NackSent {
+                    to: 0,
+                    line: LineAddr(1),
+                },
+            ),
+            ev(1, 0, TraceKind::Rejected { by_sig: false }),
+            ev(2, 0, TraceKind::WakeTimeout),
+        ];
+        let wait = CheckOpts { wait_wakeup: true };
+        assert!(check_invariants(&events, wait)
+            .iter()
+            .any(|v| v.check == CheckKind::Liveness));
+        assert!(check_invariants(&events, CheckOpts::default()).is_empty());
+    }
+
+    #[test]
+    fn woken_and_aborted_parks_are_clean() {
+        let events = vec![
+            ev(
+                0,
+                1,
+                TraceKind::NackSent {
+                    to: 0,
+                    line: LineAddr(1),
+                },
+            ),
+            ev(1, 0, TraceKind::Rejected { by_sig: false }),
+            ev(2, 1, TraceKind::WakeSent { to: 0 }),
+            ev(3, 0, TraceKind::Woken),
+            ev(4, 0, TraceKind::Rejected { by_sig: true }),
+            ev(5, 0, TraceKind::Abort(AbortCause::Mc)),
+        ];
+        assert!(check_invariants(&events, CheckOpts { wait_wakeup: true }).is_empty());
+    }
+
+    #[test]
+    fn never_woken_park_flagged_at_trace_end() {
+        let events = vec![ev(1, 0, TraceKind::Rejected { by_sig: false })];
+        let v = check_invariants(&events, CheckOpts { wait_wakeup: true });
+        assert!(v
+            .iter()
+            .any(|v| v.check == CheckKind::Liveness && v.message.contains("never woken")));
+    }
+
+    #[test]
+    fn unpaired_nack_flagged() {
+        let events = vec![
+            ev(
+                0,
+                1,
+                TraceKind::NackSent {
+                    to: 0,
+                    line: LineAddr(4),
+                },
+            ),
+            ev(1, 0, TraceKind::Rejected { by_sig: false }),
+            ev(2, 0, TraceKind::Woken), // woken by someone else's wake
+        ];
+        let v = check_invariants(&events, CheckOpts { wait_wakeup: true });
+        assert!(v
+            .iter()
+            .any(|v| v.check == CheckKind::Liveness && v.message.contains("NACKed")));
+    }
+}

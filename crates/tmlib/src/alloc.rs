@@ -38,7 +38,12 @@ impl TmAlloc {
             let base = arenas.add(t * arena_words);
             s.write(ctl.add(t * 8), base.0);
         }
-        TmAlloc { ctl, arenas, arena_words, threads }
+        TmAlloc {
+            ctl,
+            arenas,
+            arena_words,
+            threads,
+        }
     }
 
     fn bump_addr(&self, tid: usize) -> Addr {

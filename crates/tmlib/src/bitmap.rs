@@ -65,7 +65,9 @@ impl Bitmap {
     pub fn count(&self, mem: &lockiller::flatmem::FlatMem) -> u64 {
         let nbits = mem.read(self.base.add(NBITS));
         let words = nbits.div_ceil(64);
-        (0..words).map(|w| mem.read(self.base.add(WORDS + w)).count_ones() as u64).sum()
+        (0..words)
+            .map(|w| mem.read(self.base.add(WORDS + w)).count_ones() as u64)
+            .sum()
     }
 }
 

@@ -67,7 +67,13 @@ impl HashTable {
     }
 
     /// Insert; false if the key is already present.
-    pub fn insert(&self, tx: &mut TxCtx, alloc: &TmAlloc, key: u64, data: u64) -> Result<bool, Abort> {
+    pub fn insert(
+        &self,
+        tx: &mut TxCtx,
+        alloc: &TmAlloc,
+        key: u64,
+        data: u64,
+    ) -> Result<bool, Abort> {
         self.bucket(key).insert(tx, alloc, key, data)
     }
 

@@ -90,7 +90,10 @@ pub(crate) mod testutil {
         setup: impl FnMut(&mut SetupCtx) + Send + Sync,
         body: impl Fn(&mut TxCtx) -> Result<(), Abort> + Send + Sync,
     ) -> FlatMem {
-        let mut prog = OneShot { setup_fn: setup, body };
+        let mut prog = OneShot {
+            setup_fn: setup,
+            body,
+        };
         let (_, mem) = Runner::new(SystemKind::LockillerTm)
             .threads(1)
             .config(SystemConfig::testing(2))

@@ -49,7 +49,13 @@ impl List {
     }
 
     /// Insert `key` with `data`; returns false if the key already exists.
-    pub fn insert(&self, tx: &mut TxCtx, alloc: &TmAlloc, key: u64, data: u64) -> Result<bool, Abort> {
+    pub fn insert(
+        &self,
+        tx: &mut TxCtx,
+        alloc: &TmAlloc,
+        key: u64,
+        data: u64,
+    ) -> Result<bool, Abort> {
         let (prev, cur) = self.locate(tx, key)?;
         if let Some(cur) = cur {
             if tx.load(cur.add(KEY))? == key {
@@ -156,9 +162,7 @@ mod tests {
     use crate::testutil::run_tx;
     use std::sync::Mutex;
 
-    fn with_list(
-        body: impl Fn(&mut TxCtx, &List, &TmAlloc) -> Result<(), Abort> + Send + Sync,
-    ) {
+    fn with_list(body: impl Fn(&mut TxCtx, &List, &TmAlloc) -> Result<(), Abort> + Send + Sync) {
         let handles: Mutex<Option<(List, TmAlloc)>> = Mutex::new(None);
         run_tx(
             |s| {
@@ -180,7 +184,10 @@ mod tests {
             assert!(list.insert(tx, alloc, 5, 50)?);
             assert!(list.insert(tx, alloc, 3, 30)?);
             assert!(list.insert(tx, alloc, 9, 90)?);
-            assert!(!list.insert(tx, alloc, 5, 55)?, "duplicate insert must fail");
+            assert!(
+                !list.insert(tx, alloc, 5, 55)?,
+                "duplicate insert must fail"
+            );
             assert_eq!(list.find(tx, 3)?, Some(30));
             assert_eq!(list.find(tx, 5)?, Some(50));
             assert_eq!(list.find(tx, 4)?, None);

@@ -131,7 +131,13 @@ impl RbTree {
     // -------------- insert --------------
 
     /// Insert; false if the key already exists.
-    pub fn insert(&self, tx: &mut TxCtx, alloc: &TmAlloc, key: u64, value: u64) -> Result<bool, Abort> {
+    pub fn insert(
+        &self,
+        tx: &mut TxCtx,
+        alloc: &TmAlloc,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, Abort> {
         // Standard BST descent.
         let mut parent = 0u64;
         let mut dir = LEFT;
@@ -263,7 +269,11 @@ impl RbTree {
     fn delete_fixup(&self, tx: &mut TxCtx, mut n: u64, mut parent: u64) -> Result<(), Abort> {
         while parent != 0 && self.color(tx, n)? == BLACK {
             let n_is_left = self.child(tx, parent, LEFT)? == n;
-            let (sib_dir, n_dir) = if n_is_left { (RIGHT, LEFT) } else { (LEFT, RIGHT) };
+            let (sib_dir, n_dir) = if n_is_left {
+                (RIGHT, LEFT)
+            } else {
+                (LEFT, RIGHT)
+            };
             let mut sib = self.child(tx, parent, sib_dir)?;
             debug_assert_ne!(sib, 0, "double-black node must have a sibling");
             if self.color(tx, sib)? == RED {
@@ -445,7 +455,8 @@ mod tests {
             }
             Ok(())
         });
-        t.check_invariants(&mem).expect("invariants after ascending inserts");
+        t.check_invariants(&mem)
+            .expect("invariants after ascending inserts");
         assert_eq!(t.snapshot(&mem).len(), 64);
     }
 
@@ -498,8 +509,9 @@ mod tests {
     fn random_workout_against_btreemap() {
         use std::collections::BTreeMap;
         let mut rng = sim_core::rng::SimRng::new(2024);
-        let ops: Vec<(u8, u64)> =
-            (0..400).map(|_| (rng.below(3) as u8, rng.below(80))).collect();
+        let ops: Vec<(u8, u64)> = (0..400)
+            .map(|_| (rng.below(3) as u8, rng.below(80)))
+            .collect();
         let ops2 = ops.clone();
         let results: Mutex<Vec<Option<u64>>> = Mutex::new(Vec::new());
         let results_ref = &results;
@@ -517,7 +529,8 @@ mod tests {
             *results_ref.lock().unwrap() = out;
             Ok(())
         });
-        t.check_invariants(&mem).expect("invariants after random workout");
+        t.check_invariants(&mem)
+            .expect("invariants after random workout");
         let mut oracle = BTreeMap::new();
         let mut want = Vec::new();
         for &(op, k) in &ops {

@@ -80,7 +80,11 @@ impl TMap {
         let nc = Addr(new_child);
         if s.read(nc.add(PRI)) > s.read(c.add(PRI)) {
             // Rotate nc above c.
-            let (take, give) = if dir == LEFT { (RIGHT, LEFT) } else { (LEFT, RIGHT) };
+            let (take, give) = if dir == LEFT {
+                (RIGHT, LEFT)
+            } else {
+                (LEFT, RIGHT)
+            };
             let moved = s.read(nc.add(take));
             s.write(c.add(give), moved);
             s.write(nc.add(take), cur);
@@ -123,7 +127,13 @@ impl TMap {
     }
 
     /// Insert; false if the key already exists.
-    pub fn insert(&self, tx: &mut TxCtx, alloc: &TmAlloc, key: u64, value: u64) -> Result<bool, Abort> {
+    pub fn insert(
+        &self,
+        tx: &mut TxCtx,
+        alloc: &TmAlloc,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, Abort> {
         // Descend recording the path (cell that points at each node).
         let mut path: Vec<(Addr, u64)> = Vec::new(); // (node, dir taken)
         let mut cur = tx.load(self.root)?;
@@ -157,7 +167,11 @@ impl TMap {
                 break;
             }
             // Rotate child above parent.
-            let (take, give) = if dir == LEFT { (RIGHT, LEFT) } else { (LEFT, RIGHT) };
+            let (take, give) = if dir == LEFT {
+                (RIGHT, LEFT)
+            } else {
+                (LEFT, RIGHT)
+            };
             let moved = tx.load(child.add(take))?;
             tx.store(parent.add(dir), moved)?;
             let _ = give;

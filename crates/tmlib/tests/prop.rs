@@ -36,7 +36,10 @@ fn run_tx(
             ctx.critical(|tx| (self.body)(tx));
         }
     }
-    let mut prog = P { setup_fn: setup, body };
+    let mut prog = P {
+        setup_fn: setup,
+        body,
+    };
     Runner::new(SystemKind::LockillerTm)
         .threads(1)
         .config(SystemConfig::testing(2))
@@ -171,7 +174,7 @@ proptest! {
         }
         let (t, _) = handles.lock().unwrap().unwrap();
         let mem = final_mem.lock().unwrap().take().unwrap();
-        t.check_invariants(&mem).map_err(|e| TestCaseError::fail(e))?;
+        t.check_invariants(&mem).map_err(TestCaseError::fail)?;
         // Oracle.
         let mut oracle = BTreeMap::new();
         let mut want = Vec::new();

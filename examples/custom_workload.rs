@@ -59,12 +59,14 @@ impl Program for Bank {
     }
 
     fn validate(&self, mem: &FlatMem) -> Result<(), String> {
-        let total: u64 = (0..self.accounts).map(|a| mem.read(self.base.add(a * 8))).sum();
+        let total: u64 = (0..self.accounts)
+            .map(|a| mem.read(self.base.add(a * 8)))
+            .sum();
         let want = self.accounts * self.initial_balance;
         if total == want {
             Ok(())
         } else {
-            Err(format!("money {} != {} — a transfer tore", total, want))
+            Err(format!("money {total} != {want} — a transfer tore"))
         }
     }
 }

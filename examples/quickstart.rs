@@ -12,7 +12,10 @@ fn main() {
     let workload = WorkloadKind::VacationHigh;
     let threads = 4;
 
-    println!("workload: {} / {threads} threads / Table-I hardware\n", workload.name());
+    println!(
+        "workload: {} / {threads} threads / Table-I hardware\n",
+        workload.name()
+    );
     println!(
         "{:<18} {:>12} {:>9} {:>8} {:>8} {:>12}",
         "system", "cycles", "commits", "aborts", "rejects", "commit rate"

@@ -27,7 +27,10 @@ fn main() {
         SystemKind::LockillerRwi,
         SystemKind::LockillerTm,
     ];
-    println!("workload: {} — speedup vs CGL (higher is better)\n", kind.name());
+    println!(
+        "workload: {} — speedup vs CGL (higher is better)\n",
+        kind.name()
+    );
     print!("{:<8}", "threads");
     for s in systems.iter().skip(1) {
         print!(" {:>16}", s.name());

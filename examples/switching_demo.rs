@@ -58,12 +58,26 @@ fn main() {
     cfg.mem.l1 = CacheGeometry { sets: 16, ways: 4 };
 
     println!("transaction footprint: 100 lines; L1 capacity: 64 lines\n");
-    for kind in [SystemKind::Baseline, SystemKind::LockillerRwil, SystemKind::LockillerTm] {
-        let mut prog = BigScan { lines: 100, rounds: 4, base: Addr::NULL };
-        let stats = Runner::new(kind).threads(2).config(cfg.clone()).run(&mut prog);
+    for kind in [
+        SystemKind::Baseline,
+        SystemKind::LockillerRwil,
+        SystemKind::LockillerTm,
+    ] {
+        let mut prog = BigScan {
+            lines: 100,
+            rounds: 4,
+            base: Addr::NULL,
+        };
+        let stats = Runner::new(kind)
+            .threads(2)
+            .config(cfg.clone())
+            .run(&mut prog);
         println!("{}:", kind.name());
         println!("  cycles                 {}", stats.cycles);
-        println!("  capacity (of) aborts   {}", stats.abort_count(AbortCause::Of));
+        println!(
+            "  capacity (of) aborts   {}",
+            stats.abort_count(AbortCause::Of)
+        );
         println!(
             "  fallback-lock sections {} (serialized)",
             stats.lock_commits

@@ -12,7 +12,11 @@ use lockillertm::stamp::{Scale, Workload, WorkloadKind};
 
 fn main() {
     let threads = 4;
-    for kind in [SystemKind::Baseline, SystemKind::LockillerRwi, SystemKind::LockillerTm] {
+    for kind in [
+        SystemKind::Baseline,
+        SystemKind::LockillerRwi,
+        SystemKind::LockillerTm,
+    ] {
         let mut prog = Workload::with_scale(WorkloadKind::KmeansHigh, threads, Scale::Tiny);
         let (stats, trace) = Runner::new(kind)
             .threads(threads)

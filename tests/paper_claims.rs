@@ -8,7 +8,11 @@ use lockillertm::sim_core::config::SystemConfig;
 use lockillertm::sim_core::stats::AbortCause;
 use lockillertm::stamp::{Scale, Workload, WorkloadKind};
 
-fn run(kind: SystemKind, w: WorkloadKind, threads: usize) -> lockillertm::sim_core::stats::RunStats {
+fn run(
+    kind: SystemKind,
+    w: WorkloadKind,
+    threads: usize,
+) -> lockillertm::sim_core::stats::RunStats {
     let mut prog = Workload::with_scale(w, threads, Scale::Tiny);
     Runner::new(kind)
         .threads(threads)
@@ -23,7 +27,11 @@ fn recovery_raises_commit_rate() {
     let mut base_sum = 0.0;
     let mut rwi_sum = 0.0;
     let mut n = 0.0;
-    for w in [WorkloadKind::Intruder, WorkloadKind::KmeansHigh, WorkloadKind::VacationHigh] {
+    for w in [
+        WorkloadKind::Intruder,
+        WorkloadKind::KmeansHigh,
+        WorkloadKind::VacationHigh,
+    ] {
         base_sum += run(SystemKind::Baseline, w, 4).commit_rate();
         rwi_sum += run(SystemKind::LockillerRwi, w, 4).commit_rate();
         n += 1.0;
@@ -44,8 +52,18 @@ fn htmlock_eliminates_mutex_aborts() {
     for w in [WorkloadKind::Yada, WorkloadKind::VacationHigh] {
         let rwil = run(SystemKind::LockillerRwil, w, 2);
         let full = run(SystemKind::LockillerTm, w, 2);
-        assert_eq!(rwil.abort_count(AbortCause::Mutex), 0, "{}: RWIL saw mutex aborts", w.name());
-        assert_eq!(full.abort_count(AbortCause::Mutex), 0, "{}: full saw mutex aborts", w.name());
+        assert_eq!(
+            rwil.abort_count(AbortCause::Mutex),
+            0,
+            "{}: RWIL saw mutex aborts",
+            w.name()
+        );
+        assert_eq!(
+            full.abort_count(AbortCause::Mutex),
+            0,
+            "{}: full saw mutex aborts",
+            w.name()
+        );
     }
 }
 
@@ -58,7 +76,10 @@ fn switching_mode_reduces_of_aborts() {
     cfg.mem.l1 = lockillertm::sim_core::config::CacheGeometry { sets: 4, ways: 2 };
     let run_small = |kind: SystemKind| {
         let mut prog = Workload::with_scale(WorkloadKind::Labyrinth, 2, Scale::Tiny);
-        Runner::new(kind).threads(2).config(cfg.clone()).run(&mut prog)
+        Runner::new(kind)
+            .threads(2)
+            .config(cfg.clone())
+            .run(&mut prog)
     };
     let rwil = run_small(SystemKind::LockillerRwil);
     let full = run_small(SystemKind::LockillerTm);
@@ -110,7 +131,11 @@ fn full_stack_determinism() {
 /// recovery configuration.
 #[test]
 fn no_wakeup_timeouts_anywhere() {
-    for w in [WorkloadKind::KmeansHigh, WorkloadKind::Intruder, WorkloadKind::VacationHigh] {
+    for w in [
+        WorkloadKind::KmeansHigh,
+        WorkloadKind::Intruder,
+        WorkloadKind::VacationHigh,
+    ] {
         for kind in [
             SystemKind::LosaTmSafu,
             SystemKind::LockillerRwi,
@@ -118,7 +143,13 @@ fn no_wakeup_timeouts_anywhere() {
             SystemKind::LockillerTm,
         ] {
             let s = run(kind, w, 4);
-            assert_eq!(s.wakeup_timeouts, 0, "{} / {}: lost wake-up", kind.name(), w.name());
+            assert_eq!(
+                s.wakeup_timeouts,
+                0,
+                "{} / {}: lost wake-up",
+                kind.name(),
+                w.name()
+            );
         }
     }
 }
@@ -129,7 +160,11 @@ fn no_wakeup_timeouts_anywhere() {
 fn lockillertm_beats_baseline_under_contention() {
     let mut full = 0u64;
     let mut base = 0u64;
-    for w in [WorkloadKind::KmeansHigh, WorkloadKind::VacationHigh, WorkloadKind::Yada] {
+    for w in [
+        WorkloadKind::KmeansHigh,
+        WorkloadKind::VacationHigh,
+        WorkloadKind::Yada,
+    ] {
         full += run(SystemKind::LockillerTm, w, 4).cycles;
         base += run(SystemKind::Baseline, w, 4).cycles;
     }
@@ -185,11 +220,23 @@ fn workload_characterization_classes() {
 /// correctness on every workload and never slow the contended handoffs.
 #[test]
 fn direct_response_topology_correct() {
-    for w in [WorkloadKind::KmeansHigh, WorkloadKind::Intruder, WorkloadKind::Genome] {
+    for w in [
+        WorkloadKind::KmeansHigh,
+        WorkloadKind::Intruder,
+        WorkloadKind::Genome,
+    ] {
         let mut cfg = SystemConfig::testing(4);
         cfg.mem.direct_rsp = true;
         let mut prog = Workload::with_scale(w, 4, Scale::Tiny);
-        let stats = Runner::new(SystemKind::LockillerTm).threads(4).config(cfg).run(&mut prog);
-        assert_eq!(stats.wakeup_timeouts, 0, "{}: lost wakeup under direct topology", w.name());
+        let stats = Runner::new(SystemKind::LockillerTm)
+            .threads(4)
+            .config(cfg)
+            .run(&mut prog);
+        assert_eq!(
+            stats.wakeup_timeouts,
+            0,
+            "{}: lost wakeup under direct topology",
+            w.name()
+        );
     }
 }

@@ -83,17 +83,21 @@ impl Program for RandomProgram {
 }
 
 fn crit_strategy() -> impl Strategy<Value = Crit> {
-    (
-        prop::collection::vec(0u8..6, 1..4),
-        1u64..10,
-        0u8..30,
-    )
-        .prop_map(|(cells, delta, work)| Crit { cells, delta, work })
+    (prop::collection::vec(0u8..6, 1..4), 1u64..10, 0u8..30).prop_map(|(cells, delta, work)| Crit {
+        cells,
+        delta,
+        work,
+    })
 }
 
 fn program_strategy(threads: usize) -> impl Strategy<Value = RandomProgram> {
-    prop::collection::vec(prop::collection::vec(crit_strategy(), 1..12), threads)
-        .prop_map(|scripts| RandomProgram { ncells: 6, scripts, base: Addr::NULL })
+    prop::collection::vec(prop::collection::vec(crit_strategy(), 1..12), threads).prop_map(
+        |scripts| RandomProgram {
+            ncells: 6,
+            scripts,
+            base: Addr::NULL,
+        },
+    )
 }
 
 proptest! {
