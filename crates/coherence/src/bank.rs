@@ -122,6 +122,10 @@ pub struct Bank {
     pub dir: FxHashMap<LineAddr, DirEntry>,
     pub hits: u64,
     pub misses: u64,
+    /// Requests that had to queue behind a busy directory entry.
+    pub queued: u64,
+    /// High-water mark of [`Bank::queue_depth`].
+    pub queue_peak: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -145,7 +149,29 @@ impl Bank {
             dir: FxHashMap::default(),
             hits: 0,
             misses: 0,
+            queued: 0,
+            queue_peak: 0,
         }
+    }
+
+    /// Queue a request behind the busy entry for its line, maintaining
+    /// the bank's queue-depth counters.
+    pub fn enqueue(&mut self, line: LineAddr, req: ReqInfo) {
+        self.entry(line).queue.push_back(req);
+        self.queued += 1;
+        let depth = self.queue_depth() as u64;
+        self.queue_peak = self.queue_peak.max(depth);
+    }
+
+    /// Requests currently queued behind busy directory entries.
+    pub fn queue_depth(&self) -> usize {
+        self.dir.values().map(|e| e.queue.len()).sum()
+    }
+
+    /// Directory entries with a request in flight (probes or unblock
+    /// outstanding).
+    pub fn busy_entries(&self) -> usize {
+        self.dir.values().filter(|e| e.busy()).count()
     }
 
     /// Access the tag array for `line`: returns `(hit, evicted)` where
@@ -328,6 +354,31 @@ mod tests {
         b.entry(line).pending = None;
         b.entry(line).unblock_wait = Some(2);
         assert!(b.is_busy(line), "unblock wait must also block");
+    }
+
+    #[test]
+    fn enqueue_tracks_depth_and_peak() {
+        let mut b = bank();
+        let req = |core| ReqInfo {
+            core,
+            kind: ReqKind::GetS,
+            line: LineAddr(5),
+            prio: 0,
+            mode: ReqMode::NonTx,
+            attempt: 0,
+        };
+        assert_eq!(b.queue_depth(), 0);
+        b.enqueue(LineAddr(5), req(1));
+        b.enqueue(LineAddr(5), req(2));
+        assert_eq!(b.queue_depth(), 2);
+        assert_eq!(b.queued, 2);
+        assert_eq!(b.queue_peak, 2);
+        b.entry(LineAddr(5)).queue.pop_front();
+        assert_eq!(b.queue_depth(), 1);
+        assert_eq!(b.queue_peak, 2, "peak is a high-water mark");
+        assert_eq!(b.busy_entries(), 0);
+        b.entry(LineAddr(5)).unblock_wait = Some(2);
+        assert_eq!(b.busy_entries(), 1);
     }
 
     #[test]

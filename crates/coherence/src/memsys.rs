@@ -27,6 +27,7 @@ use crate::msg::{
 };
 use noc::Mesh;
 use sim_core::config::{RejectAction, SystemConfig};
+use sim_core::obs::{Metric, MetricSpec};
 use sim_core::stats::AbortCause;
 use sim_core::types::{CoreId, Cycle, LineAddr};
 
@@ -124,6 +125,34 @@ struct PendingAccess {
     set_r: bool,
     set_w: bool,
     attempt: u64,
+}
+
+/// Per-bank end-of-run statistics (parallel vectors in bank order).
+#[derive(Clone, Debug, Default)]
+pub struct BankRunStats {
+    pub hits: Vec<u64>,
+    pub misses: Vec<u64>,
+    pub queued: Vec<u64>,
+    pub queue_peak: Vec<u64>,
+}
+
+/// Metric registrations for an `n`-bank LLC: directory queue depth and
+/// busy-entry gauges per bank.
+pub fn obs_metric_specs(banks: usize) -> Vec<MetricSpec> {
+    let mut specs = Vec::with_capacity(banks * 2);
+    for b in 0..banks {
+        specs.push(MetricSpec::new(
+            Metric::BankQueueDepth(b as u16),
+            "reqs",
+            "requests queued behind busy directory entries",
+        ));
+        specs.push(MetricSpec::new(
+            Metric::BankBusy(b as u16),
+            "entries",
+            "directory entries with probes or unblock outstanding",
+        ));
+    }
+    specs
 }
 
 /// Aggregate protocol statistics for a run.
@@ -235,6 +264,53 @@ impl MemSystem {
 
     pub fn noc_stats(&self) -> &noc::NocStats {
         self.mesh.stats()
+    }
+
+    /// Per-bank end-of-run statistics, in bank order: tag hits, tag
+    /// misses, requests that queued, and the queue-depth high-water mark.
+    pub fn bank_stats(&self) -> BankRunStats {
+        BankRunStats {
+            hits: self.banks.iter().map(|b| b.hits).collect(),
+            misses: self.banks.iter().map(|b| b.misses).collect(),
+            queued: self.banks.iter().map(|b| b.queued).collect(),
+            queue_peak: self.banks.iter().map(|b| b.queue_peak).collect(),
+        }
+    }
+
+    /// Cores currently in (HTM, lock-transaction, fallback) states, for
+    /// gauge sampling.
+    pub fn mode_counts(&self) -> (u64, u64, u64) {
+        let mut htm = 0;
+        let mut lock = 0;
+        let mut fallback = 0;
+        for m in &self.meta {
+            match m.mode {
+                TxMode::Htm => htm += 1,
+                TxMode::LockTl | TxMode::LockStl => lock += 1,
+                TxMode::None if m.in_fallback => fallback += 1,
+                TxMode::None => {}
+            }
+        }
+        (htm, lock, fallback)
+    }
+
+    /// Append one observability sample of the memory system's live state:
+    /// per-bank directory queue depths and busy-entry counts, plus the
+    /// NoC aggregate and per-link traffic counters. Read-only — sampling
+    /// can never perturb the simulation.
+    pub fn obs_sample(&self, out: &mut Vec<(Metric, u64)>) {
+        for (i, b) in self.banks.iter().enumerate() {
+            out.push((Metric::BankQueueDepth(i as u16), b.queue_depth() as u64));
+            out.push((Metric::BankBusy(i as u16), b.busy_entries() as u64));
+        }
+        let ns = self.mesh.stats();
+        out.push((Metric::NocMessages, ns.messages));
+        out.push((Metric::NocQueueCycles, ns.queue_cycles));
+        for (l, &busy) in ns.link_busy.iter().enumerate() {
+            if busy > 0 {
+                out.push((Metric::LinkBusy(l as u16), busy));
+            }
+        }
     }
 
     /// Mark the fallback-lock line so conflicts on it classify as `mutex`.
@@ -732,7 +808,7 @@ impl MemSystem {
     fn bank_req(&mut self, now: Cycle, req: ReqInfo) {
         let b = self.home_bank(req.line);
         if self.banks[b].is_busy(req.line) {
-            self.banks[b].entry(req.line).queue.push_back(req);
+            self.banks[b].enqueue(req.line, req);
             return;
         }
         self.bank_serve(now, b, req);

@@ -29,9 +29,35 @@ use coherence::msg::TxMode;
 use sim_core::config::{PriorityKind, RejectAction, SystemConfig};
 use sim_core::event::EventQueue;
 use sim_core::fxhash::FxHashSet;
+use sim_core::obs::{Metric, MetricSpec, ObsEvent, ObsHandle, SpanEnd, SpanKind, Track};
 use sim_core::stats::{AbortCause, Phase, PhaseTracker, RunStats};
 use sim_core::types::{Addr, CoreId, Cycle};
 use std::sync::mpsc::{Receiver, Sender};
+
+/// Metric registrations owned by the engine: core-occupancy gauges and
+/// the cumulative outcome counters sampled every observability tick.
+pub fn obs_metric_specs() -> Vec<MetricSpec> {
+    vec![
+        MetricSpec::new(
+            Metric::TxRunning,
+            "cores",
+            "cores in a speculative transaction",
+        ),
+        MetricSpec::new(
+            Metric::Parked,
+            "cores",
+            "cores parked by the recovery mechanism",
+        ),
+        MetricSpec::new(Metric::LockHeld, "cores", "cores in lock/fallback sections"),
+        MetricSpec::new(Metric::Commits, "txns", "cumulative speculative commits"),
+        MetricSpec::new(Metric::Aborts, "txns", "cumulative aborts, all causes"),
+        MetricSpec::new(
+            Metric::Fallbacks,
+            "txns",
+            "cumulative fallback-path entries",
+        ),
+    ]
+}
 
 #[derive(Debug)]
 enum Ev {
@@ -138,6 +164,12 @@ pub struct Engine {
     stats: RunStats,
     end_time: Cycle,
     pub trace: Trace,
+    /// Observability sink: `None` (the default) is the uninstrumented
+    /// fast path — every emission site is one `is_some()` branch, and
+    /// sinks are write-only, so the simulation is bit-identical either
+    /// way.
+    obs: Option<ObsHandle>,
+    next_sample: Cycle,
 }
 
 impl Engine {
@@ -167,7 +199,75 @@ impl Engine {
             stats: RunStats::new(threads),
             end_time: 0,
             trace: Trace::default(),
+            obs: None,
+            next_sample: 0,
             cfg,
+        }
+    }
+
+    /// Attach an observability sink (span tracing + periodic sampling).
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = Some(obs);
+    }
+
+    // ---------------- observability emission ----------------
+
+    #[inline]
+    fn obs_begin(&self, cycle: Cycle, core: CoreId, kind: SpanKind) {
+        if let Some(o) = &self.obs {
+            let track = if kind == SpanKind::HlaArb {
+                Track::Llc
+            } else {
+                Track::Core(core)
+            };
+            o.emit(ObsEvent::SpanBegin {
+                cycle,
+                track,
+                kind,
+                core,
+            });
+        }
+    }
+
+    #[inline]
+    fn obs_end(&self, cycle: Cycle, core: CoreId, kind: SpanKind, end: SpanEnd) {
+        if let Some(o) = &self.obs {
+            let track = if kind == SpanKind::HlaArb {
+                Track::Llc
+            } else {
+                Track::Core(core)
+            };
+            o.emit(ObsEvent::SpanEnd {
+                cycle,
+                track,
+                kind,
+                core,
+                end,
+            });
+        }
+    }
+
+    /// Emit one sample row: engine occupancy gauges and outcome counters,
+    /// then the memory system's bank/NoC metrics. Pure observation.
+    fn emit_samples(&self, at: Cycle) {
+        let Some(o) = &self.obs else { return };
+        let (htm, lock, fallback) = self.ms.mode_counts();
+        let parked = self.ctl.iter().filter(|c| c.parked.is_some()).count() as u64;
+        let mut out: Vec<(Metric, u64)> = vec![
+            (Metric::TxRunning, htm),
+            (Metric::Parked, parked),
+            (Metric::LockHeld, lock + fallback),
+            (Metric::Commits, self.stats.commits),
+            (Metric::Aborts, self.stats.total_aborts()),
+            (Metric::Fallbacks, self.stats.fallbacks),
+        ];
+        self.ms.obs_sample(&mut out);
+        for (metric, value) in out {
+            o.emit(ObsEvent::Sample {
+                cycle: at,
+                metric,
+                value,
+            });
         }
     }
 
@@ -283,6 +383,13 @@ impl Engine {
         }
         while self.done_count < self.threads {
             let (t, ev) = self.q.pop().expect("deadlock: no events but threads alive");
+            if let Some(every) = self.obs.as_ref().map(ObsHandle::sample_every) {
+                while t >= self.next_sample {
+                    let at = self.next_sample;
+                    self.emit_samples(at);
+                    self.next_sample += every;
+                }
+            }
             if t > max_cycles {
                 self.dump_state(t);
                 panic!("watchdog: simulation exceeded {max_cycles} cycles");
@@ -337,6 +444,7 @@ impl Engine {
                 Ev::Notice(n) => self.handle_notice(t, n),
                 Ev::Retry(c, seq) => {
                     if self.ctl[c].parked == Some(seq) {
+                        self.obs_end(t, c, SpanKind::Park, SpanEnd::Retried);
                         self.ctl[c].parked = None;
                         self.reissue(t, c);
                     }
@@ -347,6 +455,7 @@ impl Engine {
                         if self.cfg.check.enabled {
                             self.trace.record(t, c, TraceKind::WakeTimeout);
                         }
+                        self.obs_end(t, c, SpanKind::Park, SpanEnd::Timeout);
                         self.ctl[c].parked = None;
                         self.reissue(t, c);
                     }
@@ -354,6 +463,10 @@ impl Engine {
             }
         }
         self.end_time = self.q.now().max(self.end_time);
+        if let Some(o) = &self.obs {
+            self.emit_samples(self.end_time);
+            o.finish(self.end_time);
+        }
     }
 
     /// Consume the engine, producing run statistics.
@@ -369,6 +482,15 @@ impl Engine {
         let noc = self.ms.noc_stats();
         self.stats.messages = noc.messages;
         self.stats.hops = noc.hops;
+        self.stats.flit_hops = noc.flit_hops;
+        self.stats.noc_queue_cycles = noc.queue_cycles;
+        self.stats.noc_link_busy = noc.link_busy.clone();
+        let banks = self.ms.bank_stats();
+        self.stats.bank_hits = banks.hits;
+        self.stats.bank_misses = banks.misses;
+        self.stats.bank_queued = banks.queued;
+        self.stats.bank_queue_peak = banks.queue_peak;
+        self.stats.trace_dropped = self.trace.dropped();
         self.stats.threads = self.threads;
         (self.stats, self.mem)
     }
@@ -460,6 +582,7 @@ impl Engine {
             }
             GuestOp::TxBegin => {
                 self.trace.record(t, core, TraceKind::TxBegin);
+                self.obs_begin(t, core, SpanKind::Txn);
                 self.begin_txn(core);
                 self.stats.tx_starts += 1;
                 self.ms.begin_htm(core, 0);
@@ -497,6 +620,7 @@ impl Engine {
                 let buf = &mut self.bufs[core];
                 buf.commit(&mut self.mem);
                 self.trace.record(t, core, TraceKind::Commit);
+                self.obs_end(t, core, SpanKind::Txn, SpanEnd::Commit);
                 self.stats.commits += 1;
                 self.ctl[core].in_tx = false;
                 self.ctl[core].cur_txn = 0;
@@ -513,11 +637,13 @@ impl Engine {
                     // TL entry also needs the LLC's authorization when
                     // switchingMode may have an STL holder (§III-C).
                     self.ctl[core].tl_pending = true;
+                    self.obs_begin(t, core, SpanKind::HlaArb);
                     self.ms.hla_request(t, core, false);
                     self.drain_ms();
                 } else {
                     self.ms.enter_lock(core, false);
                     self.trace.record(t, core, TraceKind::HlBegin);
+                    self.obs_begin(t, core, SpanKind::TlLock);
                     self.begin_txn(core);
                     self.stats.fallbacks += 1;
                     self.set_phase(core, t, Phase::Lock);
@@ -526,6 +652,11 @@ impl Engine {
             }
             GuestOp::HlEnd => {
                 self.trace.record(t, core, TraceKind::HlEnd);
+                if self.ctl[core].is_stl {
+                    self.obs_end(t, core, SpanKind::StlLock, SpanEnd::Commit);
+                } else {
+                    self.obs_end(t, core, SpanKind::TlLock, SpanEnd::End);
+                }
                 if self.ctl[core].is_stl {
                     let (rs, ws) = self.ms.tx_set_sizes(core);
                     self.stats.rs_lines_sum += rs;
@@ -560,6 +691,7 @@ impl Engine {
             GuestOp::FallbackBegin => {
                 self.ms.set_fallback(core, true);
                 self.trace.record(t, core, TraceKind::Fallback);
+                self.obs_begin(t, core, SpanKind::Fallback);
                 self.begin_txn(core);
                 self.stats.fallbacks += 1;
                 self.set_phase(core, t, Phase::Lock);
@@ -570,6 +702,7 @@ impl Engine {
                 if self.cfg.check.enabled {
                     self.trace.record(t, core, TraceKind::FallbackEnd);
                 }
+                self.obs_end(t, core, SpanKind::Fallback, SpanEnd::End);
                 self.ctl[core].cur_txn = 0;
                 self.stats.lock_commits += 1;
                 self.set_phase(core, t, Phase::NonTran);
@@ -661,6 +794,7 @@ impl Engine {
         if can_switch {
             self.ctl[core].switch_tried = true;
             self.ctl[core].switch_pending = true;
+            self.obs_begin(t, core, SpanKind::HlaArb);
             self.ms.hla_request(t, core, true);
             self.drain_ms();
         } else {
@@ -807,6 +941,10 @@ impl Engine {
         }
         self.bufs[core].discard();
         self.attr(core, t);
+        if self.ctl[core].parked.is_some() {
+            self.obs_end(t, core, SpanKind::Park, SpanEnd::End);
+        }
+        self.obs_end(t, core, SpanKind::Txn, SpanEnd::Abort(cause));
         let c = &mut self.ctl[core];
         c.tracker.resolve_spec(Phase::Aborted);
         c.spec = false;
@@ -863,6 +1001,7 @@ impl Engine {
             CoreNotice::Wakeup { core } => {
                 if self.ctl[core].parked.is_some() {
                     self.trace.record(t, core, TraceKind::Woken);
+                    self.obs_end(t, core, SpanKind::Park, SpanEnd::Woken);
                     self.ctl[core].parked = None;
                     self.ctl[core].wakeup_banked = false;
                     self.reissue(t, core);
@@ -880,11 +1019,13 @@ impl Engine {
                         "TL authorization is granted or queued, never denied"
                     );
                     self.ctl[core].tl_pending = false;
+                    self.obs_end(t, core, SpanKind::HlaArb, SpanEnd::Granted);
                     self.ms.enter_lock(core, false);
                     // Record the grant so hlend releases the arbiter.
                     self.ms.finish_hla(t, core, true);
                     self.drain_ms();
                     self.trace.record(t, core, TraceKind::HlBegin);
+                    self.obs_begin(t, core, SpanKind::TlLock);
                     self.begin_txn(core);
                     self.stats.fallbacks += 1;
                     self.set_phase(core, t, Phase::Lock);
@@ -895,6 +1036,9 @@ impl Engine {
                         // Successful proactive switch: speculative state
                         // becomes permanent, priority becomes lock-level,
                         // and the blocked access retries in STL mode.
+                        self.obs_end(t, core, SpanKind::HlaArb, SpanEnd::Granted);
+                        self.obs_end(t, core, SpanKind::Txn, SpanEnd::Switched);
+                        self.obs_begin(t, core, SpanKind::StlLock);
                         self.ms.enter_lock(core, true);
                         self.bufs[core].commit(&mut self.mem);
                         self.ms.finish_hla(t, core, true);
@@ -904,6 +1048,7 @@ impl Engine {
                         self.stats.switches_granted += 1;
                         self.reissue(t, core);
                     } else {
+                        self.obs_end(t, core, SpanKind::HlaArb, SpanEnd::Denied);
                         self.ms.finish_hla(t, core, false);
                         self.drain_ms();
                         self.trace.record(t, core, TraceKind::SwitchDenied);
@@ -925,6 +1070,7 @@ impl Engine {
             RejectAction::RetryLater => {
                 let seq = self.next_seq();
                 self.ctl[core].parked = Some(seq);
+                self.obs_begin(t, core, SpanKind::Park);
                 self.q
                     .schedule_at(t + self.cfg.policy.retry_pause, Ev::Retry(core, seq));
             }
@@ -945,6 +1091,7 @@ impl Engine {
                 }
                 let seq = self.next_seq();
                 self.ctl[core].parked = Some(seq);
+                self.obs_begin(t, core, SpanKind::Park);
                 self.q.schedule_at(
                     t + self.cfg.policy.wakeup_timeout,
                     Ev::ParkTimeout(core, seq),

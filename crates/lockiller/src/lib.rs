@@ -34,4 +34,4 @@ pub use guest::{Abort, GuestCtx, TxCtx};
 pub use program::Program;
 pub use runner::Runner;
 pub use system::SystemKind;
-pub use trace::{render_timeline, Trace, TraceEvent, TraceKind};
+pub use trace::{render_timeline, Trace, TraceEvent, TraceKind, DEFAULT_TRACE_CAP};

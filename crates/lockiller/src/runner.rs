@@ -7,6 +7,7 @@ use crate::guest::{GuestCtx, GuestPolicy};
 use crate::program::Program;
 use crate::system::SystemKind;
 use sim_core::config::SystemConfig;
+use sim_core::obs::ObsHandle;
 use sim_core::rng::SimRng;
 use sim_core::stats::RunStats;
 use std::sync::mpsc::channel;
@@ -21,6 +22,7 @@ pub struct Runner {
     validate: bool,
     retries: Option<u32>,
     tracing: bool,
+    obs: Option<ObsHandle>,
 }
 
 impl Runner {
@@ -33,7 +35,16 @@ impl Runner {
             validate: true,
             retries: None,
             tracing: false,
+            obs: None,
         }
+    }
+
+    /// Attach an observability sink (span tracing + periodic metric
+    /// sampling; see `sim_core::obs`). Sinks are write-only, so attaching
+    /// one cannot change the simulated outcome.
+    pub fn obs(mut self, obs: ObsHandle) -> Runner {
+        self.obs = Some(obs);
+        self
     }
 
     /// Record a structured execution trace (see [`crate::trace`]);
@@ -150,6 +161,9 @@ impl Runner {
         let mut engine = Engine::new(cfg.clone(), mem, self.threads, lock_addr, mapped_pages);
         if self.tracing || cfg.check.enabled {
             engine.trace = crate::trace::Trace::enabled();
+        }
+        if let Some(h) = &self.obs {
+            engine.set_obs(h.clone());
         }
 
         let gpolicy = GuestPolicy {

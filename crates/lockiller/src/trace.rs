@@ -87,26 +87,60 @@ pub struct TraceEvent {
     pub kind: TraceKind,
 }
 
+/// Default event-storage bound: ~4M events (≈130 MB). Large enough for
+/// every checked-mode run the test suite performs; a hard ceiling so a
+/// long traced run degrades into a truncated trace plus a drop counter
+/// instead of unbounded memory growth.
+pub const DEFAULT_TRACE_CAP: usize = 4 << 20;
+
 /// Event sink owned by the engine; disabled by default (zero cost beyond
-/// a branch).
-#[derive(Debug, Default)]
+/// a branch). Storage is bounded: once `cap` events are held, further
+/// events are counted in `dropped` rather than stored, so the retained
+/// prefix stays contiguous (what the trace checkers analyze).
+#[derive(Debug)]
 pub struct Trace {
     enabled: bool,
+    cap: usize,
+    dropped: u64,
     events: Vec<TraceEvent>,
+}
+
+impl Default for Trace {
+    fn default() -> Trace {
+        Trace {
+            enabled: false,
+            cap: DEFAULT_TRACE_CAP,
+            dropped: 0,
+            events: Vec::new(),
+        }
+    }
 }
 
 impl Trace {
     pub fn enabled() -> Trace {
         Trace {
             enabled: true,
-            events: Vec::new(),
+            ..Trace::default()
+        }
+    }
+
+    /// Enabled trace with an explicit event-storage bound.
+    pub fn with_capacity(cap: usize) -> Trace {
+        Trace {
+            enabled: true,
+            cap,
+            ..Trace::default()
         }
     }
 
     #[inline]
     pub fn record(&mut self, cycle: Cycle, core: CoreId, kind: TraceKind) {
         if self.enabled {
-            self.events.push(TraceEvent { cycle, core, kind });
+            if self.events.len() < self.cap {
+                self.events.push(TraceEvent { cycle, core, kind });
+            } else {
+                self.dropped += 1;
+            }
         }
     }
 
@@ -120,6 +154,11 @@ impl Trace {
 
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Events discarded because the storage bound was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -172,6 +211,22 @@ mod tests {
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.events()[0].kind, TraceKind::TxBegin);
         assert_eq!(t.events()[1].cycle, 9);
+    }
+
+    #[test]
+    fn capped_trace_counts_drops_and_keeps_prefix() {
+        let mut t = Trace::with_capacity(2);
+        t.record(1, 0, TraceKind::TxBegin);
+        t.record(2, 0, TraceKind::Commit);
+        t.record(3, 0, TraceKind::TxBegin);
+        t.record(4, 0, TraceKind::Commit);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.events()[1].cycle, 2, "prefix retained, not a ring");
+        // Taking the events does not reset the drop counter: the engine
+        // reads it afterwards to populate `RunStats::trace_dropped`.
+        let _ = t.take();
+        assert_eq!(t.dropped(), 2);
     }
 
     #[test]

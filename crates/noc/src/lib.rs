@@ -14,5 +14,5 @@
 pub mod mesh;
 pub mod route;
 
-pub use mesh::{Mesh, NocStats};
+pub use mesh::{link_name, Mesh, NocStats};
 pub use route::{route_hops, NodeId, Position};

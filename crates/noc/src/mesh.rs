@@ -8,6 +8,7 @@
 //! traversal cycle.
 
 use crate::route::{route_path, NodeId};
+use sim_core::obs::{Metric, MetricSpec};
 use sim_core::types::Cycle;
 
 /// Four directed links per node is enough to name every mesh edge:
@@ -53,6 +54,36 @@ pub struct NocStats {
     pub flit_hops: u64,
     /// Cycles spent queueing behind busy links (contention delay).
     pub queue_cycles: u64,
+    /// Busy (flit-carrying) cycles per directed link, indexed
+    /// `node * 4 + direction` (E/W/N/S order, matching `link_index`).
+    pub link_busy: Vec<u64>,
+}
+
+/// Human-readable name for a directed link id (`node * 4 + dir`).
+pub fn link_name(link: usize) -> String {
+    let dir = ["E", "W", "N", "S"][link % 4];
+    format!("link{}{dir}", link / 4)
+}
+
+/// Metric registrations for a `width * height` mesh: the aggregate
+/// traffic counters plus one busy-cycle counter per directed link.
+pub fn obs_metric_specs(width: usize, height: usize) -> Vec<MetricSpec> {
+    let mut specs = vec![
+        MetricSpec::new(Metric::NocMessages, "msgs", "NoC messages injected"),
+        MetricSpec::new(
+            Metric::NocQueueCycles,
+            "cycles",
+            "cycles spent queueing behind busy links",
+        ),
+    ];
+    for l in 0..width * height * 4 {
+        specs.push(MetricSpec::new(
+            Metric::LinkBusy(l as u16),
+            "cycles",
+            "busy cycles of one directed mesh link",
+        ));
+    }
+    specs
 }
 
 /// The mesh timing model. See the crate docs for the contention model.
@@ -74,7 +105,10 @@ impl Mesh {
             height,
             link_latency,
             busy_until: vec![0; width * height * 4],
-            stats: NocStats::default(),
+            stats: NocStats {
+                link_busy: vec![0; width * height * 4],
+                ..NocStats::default()
+            },
         }
     }
 
@@ -110,6 +144,7 @@ impl Mesh {
             t = start + self.link_latency + flits as Cycle;
             self.stats.hops += 1;
             self.stats.flit_hops += flits as u64;
+            self.stats.link_busy[link] += flits as u64;
         }
         t
     }
@@ -129,7 +164,13 @@ impl Mesh {
     }
 
     pub fn take_stats(&mut self) -> NocStats {
-        std::mem::take(&mut self.stats)
+        std::mem::replace(
+            &mut self.stats,
+            NocStats {
+                link_busy: vec![0; self.busy_until.len()],
+                ..NocStats::default()
+            },
+        )
     }
 }
 
@@ -204,6 +245,42 @@ mod tests {
         assert_eq!(s.messages, 2);
         assert_eq!(s.hops, 2);
         assert_eq!(s.flit_hops, 6);
+    }
+
+    #[test]
+    fn per_link_busy_cycles_accumulate() {
+        let mut m = mesh();
+        // 0 -> 1 crosses exactly one link (east out of node 0).
+        m.send(0, 0, 1, 5);
+        m.send(10, 0, 1, 1);
+        let s = m.stats();
+        assert_eq!(s.link_busy.len(), 4 * 8 * 4);
+        assert_eq!(s.link_busy.iter().sum::<u64>(), 6);
+        assert_eq!(s.link_busy.iter().filter(|&&b| b > 0).count(), 1);
+        // Local delivery touches no link.
+        m.send(20, 3, 3, 5);
+        assert_eq!(m.stats().link_busy.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn take_stats_keeps_link_vector_sized() {
+        let mut m = mesh();
+        m.send(0, 0, 1, 5);
+        let taken = m.take_stats();
+        assert_eq!(taken.link_busy.iter().sum::<u64>(), 5);
+        // The mesh stays usable: the fresh vector is fully sized.
+        m.send(0, 0, 31, 1);
+        assert_eq!(m.stats().link_busy.len(), taken.link_busy.len());
+    }
+
+    #[test]
+    fn link_names_and_specs() {
+        assert_eq!(link_name(0), "link0E");
+        assert_eq!(link_name(7), "link1S");
+        let specs = obs_metric_specs(2, 2);
+        assert_eq!(specs.len(), 2 + 16);
+        assert!(specs.iter().any(|s| s.name == "noc.messages"));
+        assert_eq!(specs[2].name, Metric::LinkBusy(0).name());
     }
 
     #[test]

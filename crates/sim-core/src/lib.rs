@@ -9,12 +9,14 @@
 pub mod config;
 pub mod event;
 pub mod fxhash;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod types;
 
 pub use config::{CacheGeometry, MemConfig, PolicyConfig, SystemConfig};
 pub use event::EventQueue;
+pub use obs::{Metric, MetricSpec, ObsEvent, ObsHandle, ObsSink, SpanEnd, SpanKind, Track};
 pub use rng::SimRng;
 pub use stats::{AbortCause, Phase, RunStats};
 pub use types::{Addr, CoreId, Cycle, LineAddr, WORDS_PER_LINE};

@@ -161,6 +161,15 @@ impl PhaseTracker {
     }
 }
 
+/// `num / den` as f64, 0.0 when the denominator is 0 (never NaN).
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
 /// Aggregate statistics for one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
@@ -196,6 +205,25 @@ pub struct RunStats {
     pub messages: u64,
     /// Total NoC hop traversals.
     pub hops: u64,
+    /// Total NoC flit-hop traversals (hops weighted by message size).
+    pub flit_hops: u64,
+    /// Cycles NoC messages spent queueing behind busy links.
+    pub noc_queue_cycles: u64,
+    /// Busy (flit-carrying) cycles per directed mesh link, indexed
+    /// `node * 4 + direction` (E/W/N/S). Empty if the run recorded no
+    /// link-level traffic breakdown.
+    pub noc_link_busy: Vec<u64>,
+    /// LLC tag hits per bank.
+    pub bank_hits: Vec<u64>,
+    /// LLC tag misses per bank.
+    pub bank_misses: Vec<u64>,
+    /// Requests that queued behind a busy directory entry, per bank.
+    pub bank_queued: Vec<u64>,
+    /// High-water mark of the per-bank directory queue depth.
+    pub bank_queue_peak: Vec<u64>,
+    /// Trace events dropped because the bounded trace store filled up
+    /// (0 on untraced runs and on traced runs that fit the cap).
+    pub trace_dropped: u64,
     /// Sum over committed transactions of their read-set size (L1 lines).
     pub rs_lines_sum: u64,
     /// Sum over committed transactions of their write-set size (L1 lines).
@@ -231,14 +259,10 @@ impl RunStats {
     }
 
     /// Commit rate as defined in the paper's Fig. 8: committed speculative
-    /// attempts over all speculative attempts.
+    /// attempts over all speculative attempts. 0.0 on an empty run — every
+    /// ratio helper returns 0.0 rather than NaN when its denominator is 0.
     pub fn commit_rate(&self) -> f64 {
-        let attempts = self.commits + self.total_aborts();
-        if attempts == 0 {
-            1.0
-        } else {
-            self.commits as f64 / attempts as f64
-        }
+        ratio(self.commits, self.commits + self.total_aborts())
     }
 
     pub fn phase(&self, p: Phase) -> Cycle {
@@ -251,39 +275,47 @@ impl RunStats {
 
     /// Mean read-set size of committed transactions, in cache lines.
     pub fn avg_read_set(&self) -> f64 {
-        if self.commits == 0 {
-            0.0
-        } else {
-            self.rs_lines_sum as f64 / self.commits as f64
-        }
+        ratio(self.rs_lines_sum, self.commits)
     }
 
     /// Mean write-set size of committed transactions, in cache lines.
     pub fn avg_write_set(&self) -> f64 {
-        if self.commits == 0 {
-            0.0
-        } else {
-            self.ws_lines_sum as f64 / self.commits as f64
-        }
+        ratio(self.ws_lines_sum, self.commits)
     }
 
     /// Mean committed-transaction length in cycles.
     pub fn avg_tx_len(&self) -> f64 {
-        if self.commits == 0 {
-            0.0
-        } else {
-            self.tx_cycles_sum as f64 / self.commits as f64
-        }
+        ratio(self.tx_cycles_sum, self.commits)
     }
 
     /// Fraction of aborts attributed to `cause` (Fig. 10's y-axis).
     pub fn abort_fraction(&self, cause: AbortCause) -> f64 {
-        let t = self.total_aborts();
-        if t == 0 {
-            0.0
-        } else {
-            self.aborts[cause.index()] as f64 / t as f64
-        }
+        ratio(self.aborts[cause.index()], self.total_aborts())
+    }
+
+    /// Mean hops per NoC message.
+    pub fn avg_hops_per_msg(&self) -> f64 {
+        ratio(self.hops, self.messages)
+    }
+
+    /// Utilization of one directed mesh link: busy cycles over run cycles.
+    pub fn link_utilization(&self, link: usize) -> f64 {
+        let busy = self.noc_link_busy.get(link).copied().unwrap_or(0);
+        ratio(busy, self.cycles)
+    }
+
+    /// Utilization of the busiest mesh link (the NoC hot spot).
+    pub fn max_link_utilization(&self) -> f64 {
+        (0..self.noc_link_busy.len())
+            .map(|l| self.link_utilization(l))
+            .fold(0.0, f64::max)
+    }
+
+    /// Aggregate LLC tag hit rate across all banks.
+    pub fn llc_hit_rate(&self) -> f64 {
+        let hits: u64 = self.bank_hits.iter().sum();
+        let misses: u64 = self.bank_misses.iter().sum();
+        ratio(hits, hits + misses)
     }
 
     pub fn merge_core(&mut self, core: CoreId, tracker: &PhaseTracker) {
@@ -335,12 +367,47 @@ mod tests {
     #[test]
     fn commit_rate_math() {
         let mut s = RunStats::new(2);
-        assert_eq!(s.commit_rate(), 1.0);
         s.commits = 3;
         s.record_abort(AbortCause::Mc);
         assert!((s.commit_rate() - 0.75).abs() < 1e-12);
         assert!((s.abort_fraction(AbortCause::Mc) - 1.0).abs() < 1e-12);
         assert_eq!(s.abort_fraction(AbortCause::Of), 0.0);
+    }
+
+    #[test]
+    fn ratio_helpers_are_zero_not_nan_on_empty_runs() {
+        let s = RunStats::new(2);
+        let values = [
+            s.commit_rate(),
+            s.abort_fraction(AbortCause::Mc),
+            s.avg_read_set(),
+            s.avg_write_set(),
+            s.avg_tx_len(),
+            s.avg_hops_per_msg(),
+            s.link_utilization(0),
+            s.max_link_utilization(),
+            s.llc_hit_rate(),
+        ];
+        for v in values {
+            assert!(!v.is_nan(), "ratio helper returned NaN on empty run");
+            assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn noc_and_llc_ratio_helpers() {
+        let mut s = RunStats::new(2);
+        s.cycles = 1000;
+        s.messages = 4;
+        s.hops = 10;
+        s.noc_link_busy = vec![0, 500, 250];
+        s.bank_hits = vec![3, 1];
+        s.bank_misses = vec![1, 3];
+        assert!((s.avg_hops_per_msg() - 2.5).abs() < 1e-12);
+        assert!((s.link_utilization(1) - 0.5).abs() < 1e-12);
+        assert_eq!(s.link_utilization(99), 0.0, "out-of-range link is 0");
+        assert!((s.max_link_utilization() - 0.5).abs() < 1e-12);
+        assert!((s.llc_hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

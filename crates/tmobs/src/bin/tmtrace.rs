@@ -1,0 +1,149 @@
+//! Observability CLI: run one STAMP workload on one Table-II system with
+//! the recorder attached and write the artifacts to disk.
+//!
+//! ```text
+//! tmtrace [--workload NAME] [--system NAME] [--threads N]
+//!         [--scale tiny|small|full] [--seed HEX] [--sample CYCLES]
+//!         [--out DIR] [--timeline] [--validate] [-v]
+//! ```
+//!
+//! Defaults: intruder on LockillerTM, 4 threads, tiny scale, artifacts
+//! under `tmtrace-out/`. `--validate` re-parses the written Chrome trace
+//! and checks its structural invariants (exit status 1 on failure, so CI
+//! can gate on it). Load the `.trace.json` in <https://ui.perfetto.dev>.
+
+use lockiller::system::SystemKind;
+use stamp::{Scale, WorkloadKind};
+use tmobs::{run_trace, validate_chrome, TraceConfig};
+
+struct Args {
+    cfg: TraceConfig,
+    out: std::path::PathBuf,
+    timeline: bool,
+    validate: bool,
+    verbose: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tmtrace [--workload NAME] [--system NAME] [--threads N]\n\
+         \x20              [--scale tiny|small|full] [--seed HEX] [--sample CYCLES]\n\
+         \x20              [--out DIR] [--timeline] [--validate] [-v]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cfg: TraceConfig::new(WorkloadKind::Intruder, SystemKind::LockillerTm),
+        out: std::path::PathBuf::from("tmtrace-out"),
+        timeline: false,
+        validate: false,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--workload" | "-w" => {
+                let v = val();
+                let Some(k) = WorkloadKind::from_name(&v) else {
+                    eprintln!("unknown workload {v:?}");
+                    usage();
+                };
+                args.cfg.workload = k;
+            }
+            "--system" | "-s" => {
+                let v = val();
+                let Some(k) = SystemKind::from_name(&v) else {
+                    eprintln!("unknown system {v:?}");
+                    usage();
+                };
+                args.cfg.system = k;
+            }
+            "--threads" | "-t" => {
+                args.cfg.threads = val().parse().unwrap_or_else(|_| usage());
+            }
+            "--scale" => {
+                args.cfg.scale = match val().as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    _ => usage(),
+                };
+            }
+            "--seed" => {
+                let v = val();
+                let v = v.trim_start_matches("0x");
+                args.cfg.seed = u64::from_str_radix(v, 16).unwrap_or_else(|_| usage());
+            }
+            "--sample" => {
+                args.cfg.sample_every = val().parse().unwrap_or_else(|_| usage());
+            }
+            "--out" | "-o" => args.out = val().into(),
+            "--timeline" => args.timeline = true,
+            "--validate" => args.validate = true,
+            "-v" | "--verbose" => args.verbose = true,
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let art = run_trace(&args.cfg);
+
+    if let Err(e) = &art.validation {
+        eprintln!("workload validation FAILED: {e}");
+        std::process::exit(1);
+    }
+
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    let stem = format!(
+        "{}-{}",
+        args.cfg.workload.name(),
+        args.cfg.system.name().to_lowercase()
+    );
+    let trace_path = args.out.join(format!("{stem}.trace.json"));
+    let jsonl_path = args.out.join(format!("{stem}.metrics.jsonl"));
+    let summary_path = args.out.join(format!("{stem}.summary.txt"));
+    std::fs::write(&trace_path, &art.chrome_json).expect("write trace");
+    std::fs::write(&jsonl_path, &art.metrics_jsonl).expect("write metrics");
+    std::fs::write(&summary_path, &art.summary).expect("write summary");
+
+    print!("{}", art.summary);
+    if args.timeline {
+        print!("{}", art.timeline);
+    }
+    if args.verbose {
+        print!("{}", art.profile);
+    }
+    println!(
+        "wrote {} ({} spans, {} sample rows)",
+        trace_path.display(),
+        art.recorder.spans().len(),
+        art.recorder.samples().len()
+    );
+    println!("wrote {}", jsonl_path.display());
+    println!("wrote {}", summary_path.display());
+    println!("open the trace at https://ui.perfetto.dev");
+
+    if args.validate {
+        let written = std::fs::read_to_string(&trace_path).expect("re-read trace");
+        match validate_chrome(&written) {
+            Ok(s) => println!(
+                "validated: {} spans on {} tracks, {} counter samples in {} series",
+                s.spans, s.tracks, s.counters, s.counter_series
+            ),
+            Err(e) => {
+                eprintln!("trace validation FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # tmobs — observability for the LockillerTM simulator
+//!
+//! The emitting layers (`lockiller`, `coherence`, `noc`) speak the small
+//! vocabulary defined in `sim_core::obs`; this crate owns everything on
+//! the *consuming* side:
+//!
+//! - [`recorder::Recorder`] — an [`sim_core::obs::ObsSink`] that pairs
+//!   span begin/end events into closed [`recorder::Span`]s and groups
+//!   periodic metric samples into per-tick rows;
+//! - [`registry::MetricsRegistry`] — the union of every layer's metric
+//!   registrations, plus fixed-bucket [`registry::Histogram`]s (txn
+//!   length, park latency, bank queue depth) built from a recording;
+//! - exporters: [`chrome`] (Chrome trace-event JSON, loadable in
+//!   Perfetto — one track per core plus LLC and NoC tracks), [`jsonl`]
+//!   (metrics time series, one JSON object per sample tick), and
+//!   [`summary`] (terminal occupancy heatmap + abort/NoC/LLC tables);
+//! - [`session`] — a one-call harness running a STAMP workload on a
+//!   Table-II system with a recorder attached, returning all artifacts;
+//! - [`selfprof::SelfProfiler`] — host-side wall-clock accounting of the
+//!   simulator's own phases (setup / simulate / export);
+//! - the `tmtrace` CLI binary, which writes the artifacts to disk.
+//!
+//! Attaching a recorder never changes a simulation's outcome: sinks are
+//! write-only, and the engine's emission sites are dead branches when no
+//! sink is installed (see `sim_core::obs`).
+
+pub mod chrome;
+pub mod json;
+pub mod jsonl;
+pub mod recorder;
+pub mod registry;
+pub mod selfprof;
+pub mod session;
+pub mod summary;
+
+pub use chrome::{export_chrome, validate_chrome, ChromeSummary, TraceMeta};
+pub use jsonl::export_jsonl;
+pub use recorder::{Recorder, SampleRow, Span};
+pub use registry::{standard_histograms, Histogram, MetricsRegistry};
+pub use selfprof::SelfProfiler;
+pub use session::{run_trace, TraceArtifacts, TraceConfig};
+pub use summary::render_summary;

@@ -1,0 +1,245 @@
+//! The in-memory sink: pairs span begin/end events into closed spans and
+//! groups metric samples into per-tick rows.
+//!
+//! The recorder is deliberately tolerant: an end with no matching open
+//! span is counted (not an error), and spans still open when the run
+//! finishes are auto-closed at the final cycle with [`SpanEnd::End`].
+//! Both situations are legitimate — e.g. a park span closed by an abort
+//! racing its own wake-up, or a transaction still running when the last
+//! thread exits.
+
+use sim_core::obs::{Metric, ObsEvent, ObsHandle, ObsSink, SpanEnd, SpanKind, Track};
+use sim_core::types::{CoreId, Cycle};
+use std::sync::{Arc, Mutex};
+
+/// A closed span in simulated time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    pub track: Track,
+    pub kind: SpanKind,
+    /// The acting core (equals the track core on per-core tracks; the
+    /// requester on the LLC track).
+    pub core: CoreId,
+    pub start: Cycle,
+    pub end: Cycle,
+    pub outcome: SpanEnd,
+}
+
+impl Span {
+    pub fn duration(&self) -> Cycle {
+        self.end - self.start
+    }
+}
+
+/// Every metric observed at one sample tick, in emission order.
+#[derive(Clone, Debug)]
+pub struct SampleRow {
+    pub cycle: Cycle,
+    pub values: Vec<(Metric, u64)>,
+}
+
+/// An [`ObsSink`] that records everything for post-run export.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    spans: Vec<Span>,
+    /// Still-open spans, in open order. Linear search is fine: at most a
+    /// handful per core are ever open at once.
+    open: Vec<Span>,
+    samples: Vec<SampleRow>,
+    unmatched_ends: u64,
+    auto_closed: u64,
+    end_cycle: Cycle,
+    finished: bool,
+}
+
+impl Recorder {
+    /// A shared recorder plus the [`ObsHandle`] to hand to
+    /// `Runner::obs`. Keep the returned `Arc` to read the recording back
+    /// after the run.
+    pub fn shared(sample_every: Cycle) -> (ObsHandle, Arc<Mutex<Recorder>>) {
+        let rec = Arc::new(Mutex::new(Recorder::default()));
+        let handle = ObsHandle::new(rec.clone(), sample_every);
+        (handle, rec)
+    }
+
+    /// Closed spans, in close order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Sample rows, in emission (cycle) order.
+    pub fn samples(&self) -> &[SampleRow] {
+        &self.samples
+    }
+
+    /// End events that found no matching open span.
+    pub fn unmatched_ends(&self) -> u64 {
+        self.unmatched_ends
+    }
+
+    /// Spans force-closed at [`ObsSink::finish`].
+    pub fn auto_closed(&self) -> u64 {
+        self.auto_closed
+    }
+
+    /// Final simulated cycle (0 until `finish` runs).
+    pub fn end_cycle(&self) -> Cycle {
+        self.end_cycle
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Closed spans of one kind.
+    pub fn spans_of(&self, kind: SpanKind) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.kind == kind)
+    }
+}
+
+impl ObsSink for Recorder {
+    fn event(&mut self, ev: ObsEvent) {
+        match ev {
+            ObsEvent::SpanBegin {
+                cycle,
+                track,
+                kind,
+                core,
+            } => {
+                self.open.push(Span {
+                    track,
+                    kind,
+                    core,
+                    start: cycle,
+                    end: cycle,
+                    outcome: SpanEnd::End,
+                });
+            }
+            ObsEvent::SpanEnd {
+                cycle,
+                track,
+                kind,
+                core,
+                end,
+            } => {
+                // Most-recent matching open span wins (spans of one kind
+                // on one track never genuinely interleave, but closing
+                // LIFO keeps nesting sane if they ever did).
+                let found = self
+                    .open
+                    .iter()
+                    .rposition(|s| s.track == track && s.kind == kind && s.core == core);
+                if let Some(i) = found {
+                    let mut s = self.open.remove(i);
+                    s.end = cycle;
+                    s.outcome = end;
+                    self.spans.push(s);
+                } else {
+                    self.unmatched_ends += 1;
+                }
+            }
+            ObsEvent::Sample {
+                cycle,
+                metric,
+                value,
+            } => match self.samples.last_mut() {
+                Some(row) if row.cycle == cycle => row.values.push((metric, value)),
+                _ => self.samples.push(SampleRow {
+                    cycle,
+                    values: vec![(metric, value)],
+                }),
+            },
+        }
+    }
+
+    fn finish(&mut self, cycle: Cycle) {
+        self.end_cycle = self.end_cycle.max(cycle);
+        for mut s in self.open.drain(..) {
+            s.end = cycle.max(s.start);
+            s.outcome = SpanEnd::End;
+            self.spans.push(s);
+            self.auto_closed += 1;
+        }
+        self.finished = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn begin(cycle: Cycle, kind: SpanKind, core: CoreId) -> ObsEvent {
+        ObsEvent::SpanBegin {
+            cycle,
+            track: Track::Core(core),
+            kind,
+            core,
+        }
+    }
+
+    fn end(cycle: Cycle, kind: SpanKind, core: CoreId, how: SpanEnd) -> ObsEvent {
+        ObsEvent::SpanEnd {
+            cycle,
+            track: Track::Core(core),
+            kind,
+            core,
+            end: how,
+        }
+    }
+
+    #[test]
+    fn pairs_begin_and_end() {
+        let mut r = Recorder::default();
+        r.event(begin(10, SpanKind::Txn, 0));
+        r.event(begin(12, SpanKind::Txn, 1));
+        r.event(end(20, SpanKind::Txn, 0, SpanEnd::Commit));
+        r.finish(30);
+        assert_eq!(r.spans().len(), 2);
+        let s = &r.spans()[0];
+        assert_eq!((s.start, s.end, s.outcome), (10, 20, SpanEnd::Commit));
+        // Core 1's span was auto-closed at the final cycle.
+        let s = &r.spans()[1];
+        assert_eq!((s.core, s.end, s.outcome), (1, 30, SpanEnd::End));
+        assert_eq!(r.auto_closed(), 1);
+        assert_eq!(r.unmatched_ends(), 0);
+    }
+
+    #[test]
+    fn unmatched_end_is_counted_not_fatal() {
+        let mut r = Recorder::default();
+        r.event(end(5, SpanKind::Park, 0, SpanEnd::Woken));
+        assert_eq!(r.unmatched_ends(), 1);
+        assert!(r.spans().is_empty());
+    }
+
+    #[test]
+    fn samples_group_by_cycle() {
+        let mut r = Recorder::default();
+        for (cycle, metric, value) in [
+            (0, Metric::Commits, 0),
+            (0, Metric::Aborts, 0),
+            (2000, Metric::Commits, 7),
+        ] {
+            r.event(ObsEvent::Sample {
+                cycle,
+                metric,
+                value,
+            });
+        }
+        assert_eq!(r.samples().len(), 2);
+        assert_eq!(r.samples()[0].values.len(), 2);
+        assert_eq!(r.samples()[1].cycle, 2000);
+    }
+
+    #[test]
+    fn lifo_matching_of_same_key_spans() {
+        let mut r = Recorder::default();
+        r.event(begin(1, SpanKind::Park, 0));
+        r.event(begin(5, SpanKind::Park, 0));
+        r.event(end(6, SpanKind::Park, 0, SpanEnd::Retried));
+        r.finish(9);
+        // The inner (most recent) span closed first.
+        assert_eq!(r.spans()[0].start, 5);
+        assert_eq!(r.spans()[1].start, 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! The metrics registry (every layer's registrations in one place) and
+//! fixed-bucket histograms derived from a recording.
+
+use crate::recorder::Recorder;
+use sim_core::config::SystemConfig;
+use sim_core::obs::{Metric, MetricSpec, SpanKind};
+
+/// Union of the metric registrations contributed by the engine
+/// (`lockiller::engine`), the memory system (`coherence::memsys`), and
+/// the mesh (`noc::mesh`) for one hardware configuration.
+#[derive(Clone, Debug)]
+pub struct MetricsRegistry {
+    specs: Vec<MetricSpec>,
+}
+
+impl MetricsRegistry {
+    pub fn for_config(cfg: &SystemConfig) -> MetricsRegistry {
+        let mut specs = lockiller::engine::obs_metric_specs();
+        // One LLC bank per tile (the directory is banked across cores).
+        specs.extend(coherence::memsys::obs_metric_specs(cfg.num_cores));
+        specs.extend(noc::mesh::obs_metric_specs(cfg.noc.width, cfg.noc.height));
+        MetricsRegistry { specs }
+    }
+
+    pub fn specs(&self) -> &[MetricSpec] {
+        &self.specs
+    }
+
+    pub fn spec(&self, metric: Metric) -> Option<&MetricSpec> {
+        self.specs.iter().find(|s| s.metric == metric)
+    }
+
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+/// A fixed-bucket histogram: `bounds[i]` is the inclusive upper edge of
+/// bucket `i`; one overflow bucket catches the rest.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    pub name: &'static str,
+    pub unit: &'static str,
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    pub fn new(name: &'static str, unit: &'static str, bounds: Vec<u64>) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        let counts = vec![0; bounds.len() + 1];
+        Histogram {
+            name,
+            unit,
+            bounds,
+            counts,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    pub fn observe(&mut self, v: u64) {
+        let i = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// `(upper_bound, count)` per bucket; the final entry is the
+    /// overflow bucket with `u64::MAX` as its bound.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(u64::MAX))
+            .zip(self.counts.iter().copied())
+    }
+
+    /// Terminal rendering: one `#`-bar row per non-empty bucket.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} ({}): n={} mean={:.1} max={}\n",
+            self.name,
+            self.unit,
+            self.count,
+            self.mean(),
+            self.max
+        );
+        if self.count == 0 {
+            return out;
+        }
+        let peak = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        for (bound, n) in self.buckets() {
+            if n == 0 {
+                continue;
+            }
+            let bar = "#".repeat((n * 40 / peak).max(1) as usize);
+            let label = if bound == u64::MAX {
+                "   +inf".to_string()
+            } else {
+                format!("{bound:>7}")
+            };
+            out.push_str(&format!("  <= {label} {n:>8} {bar}\n"));
+        }
+        out
+    }
+}
+
+/// The standard histograms the issue calls out, built from a recording:
+/// transaction length, NACK-to-wake (park) latency, and per-bank queue
+/// depth as seen by the periodic sampler.
+pub fn standard_histograms(rec: &Recorder) -> Vec<Histogram> {
+    let mut txn = Histogram::new(
+        "txn_length",
+        "cycles",
+        vec![16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536],
+    );
+    for s in rec.spans_of(SpanKind::Txn) {
+        txn.observe(s.duration());
+    }
+    let mut park = Histogram::new(
+        "park_latency",
+        "cycles",
+        vec![8, 16, 32, 64, 128, 256, 512, 1024, 4096],
+    );
+    for s in rec.spans_of(SpanKind::Park) {
+        park.observe(s.duration());
+    }
+    let mut depth = Histogram::new("bank_queue_depth", "reqs", vec![0, 1, 2, 4, 8, 16, 32, 64]);
+    for row in rec.samples() {
+        for &(metric, value) in &row.values {
+            if matches!(metric, Metric::BankQueueDepth(_)) {
+                depth.observe(value);
+            }
+        }
+    }
+    vec![txn, park, depth]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_layers() {
+        let cfg = SystemConfig::table1();
+        let reg = MetricsRegistry::for_config(&cfg);
+        // 6 engine + 2 per bank + (2 global + 1 per link) NoC.
+        let links = cfg.noc.width * cfg.noc.height * 4;
+        assert_eq!(reg.len(), 6 + 2 * cfg.num_cores + 2 + links);
+        assert!(reg.spec(Metric::Commits).is_some());
+        assert!(reg.spec(Metric::BankQueueDepth(0)).is_some());
+        assert!(reg.spec(Metric::LinkBusy(0)).is_some());
+        // Names in specs match the canonical Metric names.
+        for s in reg.specs() {
+            assert_eq!(s.name, s.metric.name());
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new("t", "cycles", vec![10, 100]);
+        for v in [1, 10, 11, 1000] {
+            h.observe(v);
+        }
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets, vec![(10, 2), (100, 1), (u64::MAX, 1)]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 255.5).abs() < 1e-9);
+        assert!(h.render().contains("+inf"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_without_bars() {
+        let h = Histogram::new("t", "cycles", vec![10]);
+        assert_eq!(h.mean(), 0.0);
+        assert!(!h.render().contains('#'));
+    }
+}

@@ -1,0 +1,79 @@
+//! Host-side self-profiling: wall-clock time spent in each phase of a
+//! `tmtrace` invocation (setup, simulate, export, ...). This measures
+//! the *simulator*, not the simulated machine, so it can never perturb a
+//! run — it only wraps it.
+
+use std::time::{Duration, Instant};
+
+/// Lap-style wall-clock profiler: [`SelfProfiler::lap`] closes the
+/// current phase and starts the next.
+#[derive(Debug)]
+pub struct SelfProfiler {
+    started: Instant,
+    last: Instant,
+    phases: Vec<(String, Duration)>,
+}
+
+impl SelfProfiler {
+    pub fn start() -> SelfProfiler {
+        let now = Instant::now();
+        SelfProfiler {
+            started: now,
+            last: now,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Close the phase that ran since the previous lap (or start) under
+    /// `name`.
+    pub fn lap(&mut self, name: &str) {
+        let now = Instant::now();
+        self.phases.push((name.to_string(), now - self.last));
+        self.last = now;
+    }
+
+    pub fn total(&self) -> Duration {
+        self.last - self.started
+    }
+
+    pub fn phases(&self) -> &[(String, Duration)] {
+        &self.phases
+    }
+
+    /// One line per phase with its share of the total.
+    pub fn render(&self) -> String {
+        let total = self.total().as_secs_f64().max(1e-9);
+        let mut out = String::from("self-profile (host wall-clock):\n");
+        for (name, d) in &self.phases {
+            out.push_str(&format!(
+                "  {:<10} {:>9.3} ms ({:>5.1}%)\n",
+                name,
+                d.as_secs_f64() * 1e3,
+                d.as_secs_f64() / total * 100.0
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<10} {:>9.3} ms\n",
+            "total",
+            self.total().as_secs_f64() * 1e3
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_accumulate_to_total() {
+        let mut p = SelfProfiler::start();
+        p.lap("a");
+        p.lap("b");
+        let sum: Duration = p.phases().iter().map(|(_, d)| *d).sum();
+        assert_eq!(sum, p.total());
+        let r = p.render();
+        assert!(r.contains("a"));
+        assert!(r.contains("total"));
+    }
+}

@@ -1,0 +1,103 @@
+//! One-call tracing harness: run a STAMP workload on a Table-II system
+//! with a recorder attached and return every artifact (`tmtrace` is a
+//! thin CLI over this; tests drive it directly).
+
+use crate::chrome::{export_chrome, TraceMeta};
+use crate::jsonl::export_jsonl;
+use crate::recorder::Recorder;
+use crate::registry::MetricsRegistry;
+use crate::selfprof::SelfProfiler;
+use crate::summary::render_summary;
+use lockiller::system::SystemKind;
+use lockiller::Runner;
+use sim_core::config::SystemConfig;
+use sim_core::obs::ObsHandle;
+use sim_core::stats::RunStats;
+use sim_core::types::Cycle;
+use stamp::{Scale, Workload, WorkloadKind};
+
+/// What to run and how to sample it.
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    pub workload: WorkloadKind,
+    pub system: SystemKind,
+    pub threads: usize,
+    pub scale: Scale,
+    pub seed: u64,
+    /// Metric sampling interval in simulated cycles.
+    pub sample_every: Cycle,
+    /// Hardware configuration (Table I by default).
+    pub hw: SystemConfig,
+}
+
+impl TraceConfig {
+    pub fn new(workload: WorkloadKind, system: SystemKind) -> TraceConfig {
+        TraceConfig {
+            workload,
+            system,
+            threads: 4,
+            scale: Scale::Tiny,
+            seed: 0xC0FFEE,
+            sample_every: ObsHandle::DEFAULT_SAMPLE_EVERY,
+            hw: SystemConfig::table1(),
+        }
+    }
+}
+
+/// Everything a traced run produces.
+#[derive(Debug)]
+pub struct TraceArtifacts {
+    pub stats: RunStats,
+    pub recorder: Recorder,
+    /// Chrome trace-event JSON (load in Perfetto / chrome://tracing).
+    pub chrome_json: String,
+    /// Metrics time series (schema line + one JSON object per tick).
+    pub metrics_jsonl: String,
+    /// Terminal summary (occupancy heatmap, tables, histograms).
+    pub summary: String,
+    /// Event-glyph timeline from the engine's structured trace.
+    pub timeline: String,
+    /// Host wall-clock per simulator phase.
+    pub profile: String,
+    /// The workload's own post-run validation result.
+    pub validation: Result<(), String>,
+}
+
+/// Run `cfg` to completion and export all artifacts.
+pub fn run_trace(cfg: &TraceConfig) -> TraceArtifacts {
+    let mut prof = SelfProfiler::start();
+    let mut prog = Workload::with_scale(cfg.workload, cfg.threads, cfg.scale);
+    let (handle, rec) = Recorder::shared(cfg.sample_every);
+    let runner = Runner::new(cfg.system)
+        .config(cfg.hw.clone())
+        .threads(cfg.threads)
+        .seed(cfg.seed)
+        .obs(handle);
+    prof.lap("setup");
+    let (stats, mem, events) = runner.run_traced_raw(&mut prog);
+    prof.lap("simulate");
+    let validation = lockiller::Program::validate(&prog, &mem);
+    let recorder = std::mem::take(&mut *rec.lock().expect("recorder poisoned"));
+    let registry = MetricsRegistry::for_config(&cfg.hw);
+    let meta = TraceMeta {
+        workload: cfg.workload.name().to_string(),
+        system: cfg.system.name().to_string(),
+        threads: cfg.threads,
+        seed: cfg.seed,
+    };
+    let chrome_json = export_chrome(&recorder, &meta);
+    let metrics_jsonl = export_jsonl(&recorder, &registry);
+    let summary = render_summary(&recorder, &stats);
+    let timeline = lockiller::render_timeline(&events, cfg.threads, 100);
+    prof.lap("export");
+    TraceArtifacts {
+        stats,
+        recorder,
+        chrome_json,
+        metrics_jsonl,
+        summary,
+        timeline,
+        profile: prof.render(),
+        validation,
+    }
+}
