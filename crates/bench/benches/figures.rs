@@ -16,7 +16,8 @@ fn run_point(system: SystemKind, workload: WorkloadKind, threads: usize) -> u64 
     let stats = Runner::new(system)
         .threads(threads)
         .config(SystemConfig::testing(threads.max(2)))
-        .run(&mut prog);
+        .run(&mut prog)
+        .stats;
     stats.cycles
 }
 
@@ -149,6 +150,7 @@ fn bench_fig13(c: &mut Criterion) {
                         .threads(2)
                         .config(tiny_l1())
                         .run(&mut prog)
+                        .stats
                         .cycles
                 });
             },

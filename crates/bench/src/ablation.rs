@@ -28,7 +28,7 @@ fn cycles_with(
     if let Some(n) = retries {
         r = r.retries(n);
     }
-    r.run(&mut prog).cycles
+    r.run(&mut prog).stats.cycles
 }
 
 /// Retry-budget sweep on a contended workload: too few retries serialize
@@ -116,7 +116,7 @@ pub fn ablation_reject_action(scale: Scale) -> String {
         let mut row = vec![label.to_string()];
         for w in [WorkloadKind::KmeansHigh, WorkloadKind::VacationHigh] {
             let mut prog = Workload::with_scale(w, 8, scale);
-            let s = Runner::new(sys).threads(8).run(&mut prog);
+            let s = Runner::new(sys).threads(8).run(&mut prog).stats;
             row.push(format!("{} ({:.0}%)", s.cycles, s.commit_rate() * 100.0));
         }
         rows.push(row);
@@ -140,7 +140,8 @@ pub fn ablation_signature(scale: Scale) -> String {
         let s = Runner::new(SystemKind::LockillerTm)
             .threads(8)
             .config(cfg)
-            .run(&mut prog);
+            .run(&mut prog)
+            .stats;
         rows.push(vec![
             bits.to_string(),
             s.cycles.to_string(),

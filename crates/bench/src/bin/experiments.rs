@@ -1,12 +1,22 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--verbose] [--csv FILE] [table1|table2|fig1|fig7..fig13|headline|ablation|characterize|all]
+//! experiments [--quick] [--verbose] [--jobs N] [--no-cache]
+//!             [--cache FILE] [--csv FILE] [--bench-json FILE]
+//!             [table1|table2|fig1|fig7..fig13|headline|ablation|characterize|all]
 //! ```
 //!
 //! `--quick` runs the reduced thread sweep {2, 8, 32} at Small workload
 //! scale; the default runs {2,4,8,16,32} at Full scale (the numbers
 //! recorded in EXPERIMENTS.md).
+//!
+//! `--jobs N` (or `LOCKILLER_JOBS=N`) fans simulation points across N
+//! host threads; results are byte-identical for every N. Completed
+//! points persist in a run cache (default `target/tmlab/cache.jsonl`,
+//! override with `--cache FILE`, disable with `--no-cache`), so repeated
+//! invocations only simulate what changed. `--bench-json FILE` writes
+//! the host-side accounting (per-point wall-clock, cache hit rate,
+//! parallel efficiency) as JSON; default `BENCH_lab.json`.
 
 use lockiller_bench::experiments as ex;
 use lockiller_bench::lab::Lab;
@@ -16,11 +26,22 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let verbose = args.iter().any(|a| a == "--verbose");
-    let csv_path = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let no_cache = args.iter().any(|a| a == "--no-cache");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let csv_path = flag_value("--csv");
+    let cache_path = flag_value("--cache").unwrap_or_else(|| "target/tmlab/cache.jsonl".into());
+    let bench_json = flag_value("--bench-json").unwrap_or_else(|| "BENCH_lab.json".into());
+    let jobs = flag_value("--jobs")
+        .or_else(|| std::env::var("LOCKILLER_JOBS").ok())
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
+
+    let value_flags = ["--csv", "--cache", "--bench-json", "--jobs"];
     let mut skip_next = false;
     let what: Vec<&str> = args
         .iter()
@@ -29,7 +50,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--csv" {
+            if value_flags.contains(&a.as_str()) {
                 skip_next = true;
                 return false;
             }
@@ -42,6 +63,17 @@ fn main() {
     let scale = if quick { Scale::Small } else { Scale::Full };
     let mut lab = Lab::new(scale);
     lab.verbose = verbose;
+    lab.jobs(jobs);
+    if !no_cache {
+        match lab.with_cache(std::path::Path::new(&cache_path)) {
+            Ok(l) => {
+                if let Some(n) = l.disk_cached() {
+                    eprintln!("[run cache: {cache_path}, {n} points on disk]");
+                }
+            }
+            Err(e) => eprintln!("[run cache disabled: {cache_path}: {e}]"),
+        }
+    }
 
     for w in &what {
         match *w {
@@ -110,5 +142,19 @@ fn main() {
         std::fs::write(&path, lab.dump_csv()).expect("write csv");
         eprintln!("[csv written to {path}]");
     }
-    eprintln!("[{} simulation points run]", lab.runs_cached());
+    let report = lab.report();
+    std::fs::write(&bench_json, report.to_json()).expect("write bench json");
+    eprintln!(
+        "[{} simulation points run ({} unique, {} cache hits, {} simulated) \
+         in {:.1}s with {} jobs; hit rate {:.0}%, parallel efficiency {:.0}%; \
+         report in {bench_json}]",
+        lab.runs_cached(),
+        report.unique,
+        report.cache_hits,
+        report.simulated,
+        report.wall_ms / 1e3,
+        report.jobs,
+        report.cache_hit_rate() * 100.0,
+        report.parallel_efficiency() * 100.0,
+    );
 }

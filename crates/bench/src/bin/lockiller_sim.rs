@@ -93,9 +93,11 @@ fn main() {
         workload.name()
     );
     let (stats, trace) = if timeline {
-        runner.run_traced(&mut prog)
+        let mut out = runner.tracing().run(&mut prog);
+        let trace = out.take_trace_events();
+        (out.stats, trace)
     } else {
-        (runner.run(&mut prog), Vec::new())
+        (runner.run(&mut prog).stats, Vec::new())
     };
 
     println!("cycles                {}", stats.cycles);

@@ -3,7 +3,7 @@
 //! Each returns the rendered text it prints, so integration tests can
 //! assert on the series' *shape* (who wins, where) without re-parsing.
 
-use crate::lab::{ConfigPoint, Lab};
+use crate::lab::{ConfigPoint, Lab, Point};
 use crate::table::{pct, ratio, render};
 use lockiller::system::SystemKind;
 use sim_core::stats::{AbortCause, Phase};
@@ -21,6 +21,33 @@ fn thread_list(quick: bool) -> &'static [usize] {
     } else {
         &THREADS
     }
+}
+
+/// Cross-product of a figure's axes, handed to [`Lab::prefetch`] up front
+/// so the whole figure simulates as one parallel batch instead of one
+/// point per table cell.
+fn cross(
+    systems: &[SystemKind],
+    workloads: &[WorkloadKind],
+    threads: &[usize],
+    cfgs: &[ConfigPoint],
+) -> Vec<Point> {
+    let mut out = Vec::with_capacity(systems.len() * workloads.len() * threads.len() * cfgs.len());
+    for &cfg in cfgs {
+        for &t in threads {
+            for &w in workloads {
+                for &s in systems {
+                    out.push(Point {
+                        system: s,
+                        workload: w,
+                        threads: t,
+                        cfg,
+                    });
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Table I: the modelled system parameters.
@@ -117,6 +144,12 @@ pub fn table2() -> String {
 
 /// Fig. 1: speedup of requester-win best-effort HTM vs CGL, 2 threads.
 pub fn fig1(lab: &mut Lab) -> String {
+    lab.prefetch(&cross(
+        &[SystemKind::Cgl, SystemKind::Baseline],
+        &WorkloadKind::ALL,
+        &[2],
+        &[ConfigPoint::Typical],
+    ));
     let rows: Vec<Vec<String>> = WorkloadKind::ALL
         .iter()
         .map(|&w| {
@@ -139,6 +172,12 @@ pub fn fig7(lab: &mut Lab, quick: bool) -> String {
         .copied()
         .filter(|s| *s != SystemKind::Cgl)
         .collect();
+    lab.prefetch(&cross(
+        &SystemKind::ALL,
+        &WorkloadKind::ALL,
+        thread_list(quick),
+        &[ConfigPoint::Typical],
+    ));
     let mut out = String::from("FIG 7. Speedup vs CGL (typical cache)\n");
     for &w in &WorkloadKind::ALL {
         let mut rows = Vec::new();
@@ -159,6 +198,12 @@ pub fn fig7(lab: &mut Lab, quick: bool) -> String {
 
 /// Fig. 8: average transaction commit rate of the recovery systems.
 pub fn fig8(lab: &mut Lab, quick: bool) -> String {
+    lab.prefetch(&cross(
+        &SystemKind::FIG8,
+        &WorkloadKind::ALL,
+        thread_list(quick),
+        &[ConfigPoint::Typical],
+    ));
     let mut rows = Vec::new();
     for &t in thread_list(quick) {
         let mut row = vec![format!("{t}")];
@@ -182,6 +227,12 @@ pub fn fig8(lab: &mut Lab, quick: bool) -> String {
 }
 
 fn breakdown_figure(lab: &mut Lab, title: &str, systems: &[SystemKind], threads: usize) -> String {
+    lab.prefetch(&cross(
+        systems,
+        &WorkloadKind::ALL,
+        &[threads],
+        &[ConfigPoint::Typical],
+    ));
     let phases = Phase::ALL;
     let mut out = format!("{title}\n");
     for &w in &WorkloadKind::ALL {
@@ -232,6 +283,12 @@ pub fn fig10(lab: &mut Lab) -> String {
         SystemKind::LockillerRwil,
         SystemKind::LockillerTm,
     ];
+    lab.prefetch(&cross(
+        &systems,
+        &WorkloadKind::ALL,
+        &[2],
+        &[ConfigPoint::Typical],
+    ));
     let mut out = String::from("FIG 10. Abort causes at 2 threads (fraction of all aborts)\n");
     for &w in &WorkloadKind::ALL {
         let mut rows = Vec::new();
@@ -274,6 +331,12 @@ pub fn fig12(lab: &mut Lab, quick: bool) -> String {
         .copied()
         .filter(|s| *s != SystemKind::Cgl)
         .collect();
+    lab.prefetch(&cross(
+        &SystemKind::ALL,
+        &WorkloadKind::ALL,
+        thread_list(quick),
+        &[ConfigPoint::Typical],
+    ));
     let mut rows = Vec::new();
     for &t in thread_list(quick) {
         let mut row = vec![format!("{t}")];
@@ -299,6 +362,17 @@ pub fn fig13(lab: &mut Lab, quick: bool) -> String {
         SystemKind::LosaTmSafu,
         SystemKind::LockillerTm,
     ];
+    lab.prefetch(&cross(
+        &[
+            SystemKind::Cgl,
+            SystemKind::Baseline,
+            SystemKind::LosaTmSafu,
+            SystemKind::LockillerTm,
+        ],
+        &WorkloadKind::ALL,
+        thread_list(quick),
+        &[ConfigPoint::SmallCache, ConfigPoint::LargeCache],
+    ));
     let mut out = String::from("FIG 13. Average speedup vs CGL under cache sensitivity\n");
     for cfg in [ConfigPoint::SmallCache, ConfigPoint::LargeCache] {
         let mut rows = Vec::new();
@@ -322,6 +396,32 @@ pub fn fig13(lab: &mut Lab, quick: bool) -> String {
 pub fn plots(lab: &mut Lab, quick: bool, dir: &std::path::Path) -> std::io::Result<Vec<String>> {
     use crate::svgplot::{grouped_bars, line_chart, system_color, BarGroup, Series};
     std::fs::create_dir_all(dir)?;
+    let mut pts = cross(
+        &[SystemKind::Cgl, SystemKind::Baseline],
+        &WorkloadKind::ALL,
+        &[2],
+        &[ConfigPoint::Typical],
+    );
+    pts.extend(cross(
+        &[
+            SystemKind::Cgl,
+            SystemKind::Baseline,
+            SystemKind::LosaTmSafu,
+            SystemKind::LockillerRwi,
+            SystemKind::LockillerRwil,
+            SystemKind::LockillerTm,
+        ],
+        &WorkloadKind::ALL,
+        thread_list(quick),
+        &[ConfigPoint::Typical],
+    ));
+    pts.extend(cross(
+        &SystemKind::FIG8,
+        &WorkloadKind::ALL,
+        thread_list(quick),
+        &[ConfigPoint::Typical],
+    ));
+    lab.prefetch(&pts);
     let mut written = Vec::new();
 
     // Fig 1: baseline vs CGL bars per workload.
@@ -417,6 +517,12 @@ pub fn plots(lab: &mut Lab, quick: bool, dir: &std::path::Path) -> std::io::Resu
 /// class (DESIGN.md §8).
 pub fn characterize(lab: &mut Lab) -> String {
     let threads = 8;
+    lab.prefetch(&cross(
+        &[SystemKind::Baseline],
+        &WorkloadKind::ALL,
+        &[threads],
+        &[ConfigPoint::Typical],
+    ));
     let mut rows = Vec::new();
     for &w in &WorkloadKind::ALL {
         let s = lab.run(SystemKind::Baseline, w, threads, ConfigPoint::Typical);
@@ -455,6 +561,24 @@ pub fn characterize(lab: &mut Lab) -> String {
 /// maxima in the small-cache configuration.
 pub fn headline(lab: &mut Lab, quick: bool) -> String {
     let t_all = thread_list(quick);
+    let key_systems = [
+        SystemKind::LockillerTm,
+        SystemKind::Baseline,
+        SystemKind::LosaTmSafu,
+    ];
+    let mut pts = cross(
+        &key_systems,
+        &WorkloadKind::ALL,
+        t_all,
+        &[ConfigPoint::Typical],
+    );
+    pts.extend(cross(
+        &key_systems,
+        &WorkloadKind::ALL,
+        &[*t_all.last().unwrap()],
+        &[ConfigPoint::SmallCache],
+    ));
+    lab.prefetch(&pts);
     let mut over_base: Vec<f64> = Vec::new();
     let mut over_losa: Vec<f64> = Vec::new();
     for &t in t_all {

@@ -1,13 +1,24 @@
 //! Run cache: one simulation per (system, workload, threads, config)
 //! point, memoized so figures sharing points (every speedup figure needs
 //! the CGL baseline) do not re-simulate.
+//!
+//! `Lab` is the figure-facing layer over [`crate::tmlab`]: single-point
+//! lookups hit an in-memory memo; batches go through
+//! [`crate::tmlab::Executor`], which fans cache misses across host cores
+//! ([`Lab::jobs`]) and, when a persistent cache is attached
+//! ([`Lab::with_cache`]), serves previously-simulated points from disk —
+//! making repeated `experiments` invocations incremental. Figures call
+//! [`Lab::prefetch`] with their whole point list up front so the
+//! subsequent per-cell [`Lab::run`] calls are memo hits.
 
-use lockiller::runner::Runner;
+pub use crate::tmlab::Point;
+use crate::tmlab::{BatchReport, Executor, RunCache};
 use lockiller::system::SystemKind;
 use sim_core::config::SystemConfig;
 use sim_core::stats::RunStats;
-use stamp::{Scale, Workload, WorkloadKind};
+use stamp::{Scale, WorkloadKind};
 use std::collections::HashMap;
+use std::path::Path;
 
 /// Hardware configuration points used by the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -44,7 +55,10 @@ type Key = (SystemKind, WorkloadKind, usize, ConfigPoint);
 pub struct Lab {
     scale: Scale,
     seed: u64,
-    cache: HashMap<Key, RunStats>,
+    jobs: usize,
+    memo: HashMap<Key, RunStats>,
+    disk: Option<RunCache>,
+    report: BatchReport,
     pub verbose: bool,
 }
 
@@ -53,13 +67,82 @@ impl Lab {
         Lab {
             scale,
             seed: 0xC0FFEE,
-            cache: HashMap::new(),
+            jobs: 1,
+            memo: HashMap::new(),
+            disk: None,
+            report: BatchReport::default(),
             verbose: false,
         }
     }
 
     pub fn scale(&self) -> Scale {
         self.scale
+    }
+
+    /// Host worker threads used for batched points (default 1, i.e. the
+    /// sequential reference behaviour).
+    pub fn jobs(&mut self, n: usize) -> &mut Lab {
+        self.jobs = n.max(1);
+        self
+    }
+
+    /// Attach a persistent run cache at `path` (versioned JSONL; see
+    /// [`crate::tmlab::cache`]). Previously-simulated points load now and
+    /// everything simulated from here on is written back.
+    pub fn with_cache(&mut self, path: &Path) -> std::io::Result<&mut Lab> {
+        self.disk = Some(RunCache::open(path)?);
+        Ok(self)
+    }
+
+    /// Entries currently in the attached persistent cache, if any.
+    pub fn disk_cached(&self) -> Option<usize> {
+        self.disk.as_ref().map(RunCache::len)
+    }
+
+    /// Host-side accounting accumulated over every batch so far.
+    pub fn report(&self) -> &BatchReport {
+        &self.report
+    }
+
+    fn executor(&self) -> Executor {
+        Executor {
+            scale: self.scale,
+            seed: self.seed,
+            jobs: self.jobs,
+            verbose: self.verbose,
+        }
+    }
+
+    /// Run (or recall) a whole batch of points, in order. Memo hits cost
+    /// nothing; the rest go through the parallel executor (and the
+    /// persistent cache, when attached) in one fan-out.
+    pub fn run_many(&mut self, points: &[Point]) -> Vec<RunStats> {
+        let mut misses: Vec<Point> = Vec::new();
+        let mut seen: HashMap<Key, ()> = HashMap::new();
+        for p in points {
+            let key = (p.system, p.workload, p.threads, p.cfg);
+            if !self.memo.contains_key(&key) && seen.insert(key, ()).is_none() {
+                misses.push(*p);
+            }
+        }
+        if !misses.is_empty() {
+            let exec = self.executor();
+            let stats = exec.run(&misses, self.disk.as_mut(), &mut self.report);
+            for (p, s) in misses.iter().zip(stats) {
+                self.memo
+                    .insert((p.system, p.workload, p.threads, p.cfg), s);
+            }
+        }
+        points
+            .iter()
+            .map(|p| self.memo[&(p.system, p.workload, p.threads, p.cfg)].clone())
+            .collect()
+    }
+
+    /// Batch-run `points` for their side effect on the memo (figures call
+    /// this first so later per-cell lookups never simulate).
+    pub fn prefetch(&mut self, points: &[Point]) {
+        let _ = self.run_many(points);
     }
 
     /// Run (or recall) one simulation point.
@@ -71,7 +154,7 @@ impl Lab {
         cfg: ConfigPoint,
     ) -> RunStats {
         let key = (system, workload, threads, cfg);
-        if let Some(s) = self.cache.get(&key) {
+        if let Some(s) = self.memo.get(&key) {
             return s.clone();
         }
         if self.verbose {
@@ -83,18 +166,20 @@ impl Lab {
                 cfg.name()
             );
         }
-        let mut prog = Workload::with_scale(workload, threads, self.scale);
-        let stats = Runner::new(system)
-            .threads(threads)
-            .config(cfg.config())
-            .seed(self.seed)
-            .run(&mut prog);
-        self.cache.insert(key, stats.clone());
-        stats
+        self.run_many(&[Point {
+            system,
+            workload,
+            threads,
+            cfg,
+        }])
+        .pop()
+        .expect("run_many returns one result per point")
     }
 
     /// Speedup of `system` over CGL on the same point (the paper's
     /// speedup definition: same code, same threads, elision overloaded).
+    /// A degenerate zero-cycle run yields 0.0 (never NaN/inf), matching
+    /// the `RunStats` ratio helpers.
     pub fn speedup(
         &mut self,
         system: SystemKind,
@@ -104,7 +189,11 @@ impl Lab {
     ) -> f64 {
         let cgl = self.run(SystemKind::Cgl, workload, threads, cfg).cycles as f64;
         let sys = self.run(system, workload, threads, cfg).cycles as f64;
-        cgl / sys
+        if sys == 0.0 {
+            0.0
+        } else {
+            cgl / sys
+        }
     }
 
     /// Geometric mean of speedups over all nine workloads.
@@ -117,13 +206,13 @@ impl Lab {
     }
 
     pub fn runs_cached(&self) -> usize {
-        self.cache.len()
+        self.memo.len()
     }
 
     /// Export every cached simulation point as CSV (for external
     /// plotting). Columns are stable; one row per point.
     pub fn dump_csv(&self) -> String {
-        let mut rows: Vec<(&Key, &RunStats)> = self.cache.iter().collect();
+        let mut rows: Vec<(&Key, &RunStats)> = self.memo.iter().collect();
         rows.sort_by_key(|(k, _)| (k.1.name(), k.2, k.0.name(), format!("{:?}", k.3)));
         let mut out = String::from(
             "system,workload,threads,config,cycles,tx_starts,commits,stl_commits,\
@@ -186,6 +275,7 @@ mod tests {
         );
         assert_eq!(lab.runs_cached(), 1, "second call must hit the cache");
         assert_eq!(a.cycles, b.cycles);
+        assert_eq!(lab.report().simulated, 1, "one real simulation");
     }
 
     #[test]
@@ -198,6 +288,29 @@ mod tests {
             ConfigPoint::Typical,
         );
         assert!((s - 1.0).abs() < 1e-12, "CGL vs CGL must be 1.0");
+    }
+
+    #[test]
+    fn run_many_matches_sequential_runs() {
+        let points: Vec<Point> = [2usize, 4]
+            .iter()
+            .flat_map(|&t| {
+                [SystemKind::Cgl, SystemKind::Baseline].map(|system| Point {
+                    system,
+                    workload: WorkloadKind::KmeansLow,
+                    threads: t,
+                    cfg: ConfigPoint::Typical,
+                })
+            })
+            .collect();
+        let mut par = Lab::new(Scale::Tiny);
+        par.jobs(4);
+        let batched = par.run_many(&points);
+        let mut seq = Lab::new(Scale::Tiny);
+        for (p, b) in points.iter().zip(batched) {
+            let s = seq.run(p.system, p.workload, p.threads, p.cfg);
+            assert_eq!(s, b, "parallel batch diverged on {p:?}");
+        }
     }
 
     #[test]

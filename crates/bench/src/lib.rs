@@ -11,6 +11,8 @@ pub mod experiments;
 pub mod lab;
 pub mod svgplot;
 pub mod table;
+pub mod tmlab;
 
 pub use experiments::*;
-pub use lab::{ConfigPoint, Lab};
+pub use lab::{ConfigPoint, Lab, Point};
+pub use tmlab::{BatchReport, Executor, RunCache};

@@ -1,0 +1,285 @@
+//! Persistent run cache: completed simulation points as JSONL on disk,
+//! so repeated `experiments` invocations only simulate what changed.
+//!
+//! Format — one JSON object per line:
+//!
+//! ```text
+//! {"tmlab_cache":1,"config_schema":1,"stats_schema":1}          <- header
+//! {"key":"0x1a2b...","system":"Baseline","workload":"ssca2",
+//!  "threads":2,"seed":12648430,"scale":"tiny","stats":{...}}    <- entry
+//! ```
+//!
+//! The key is [`point_key`]: an FxHash over the *effective*
+//! `SystemConfig::stable_hash()` (policy already applied, so every knob
+//! that can change a run's outcome is folded in) plus the system name,
+//! workload name, thread count, seed, and workload scale. FxHash is
+//! process-independent, so keys are stable across invocations.
+//!
+//! Invalidation is wholesale: if the header's version triplet does not
+//! match this binary's ([`CACHE_VERSION`], [`SystemConfig::HASH_SCHEMA`],
+//! [`RunStats::JSON_SCHEMA`]), or any line fails to decode, the file is
+//! truncated and rebuilt — a run cache is always safe to throw away.
+
+use sim_core::config::SystemConfig;
+use sim_core::fxhash::{FxHashMap, FxHasher};
+use sim_core::json;
+use sim_core::stats::RunStats;
+use std::hash::Hasher;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Bump to orphan every existing cache file (entry layout changes).
+pub const CACHE_VERSION: u64 = 1;
+
+/// Identity of one simulation point, as recorded in cache entries.
+#[derive(Clone, Debug)]
+pub struct PointMeta {
+    pub system: String,
+    pub workload: String,
+    pub threads: usize,
+    pub seed: u64,
+    pub scale: String,
+}
+
+/// Stable cache key for one simulation point. `cfg` must be the
+/// *effective* configuration — after the system kind's policy (and any
+/// retry override) has been applied — so that everything influencing the
+/// simulated outcome is hashed.
+pub fn point_key(cfg: &SystemConfig, meta: &PointMeta) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(CACHE_VERSION);
+    h.write_u64(cfg.stable_hash());
+    h.write(meta.system.as_bytes());
+    h.write(meta.workload.as_bytes());
+    h.write_usize(meta.threads);
+    h.write_u64(meta.seed);
+    h.write(meta.scale.as_bytes());
+    h.finish()
+}
+
+/// The on-disk cache: an in-memory map mirrored by an append-only file.
+pub struct RunCache {
+    path: PathBuf,
+    entries: FxHashMap<u64, RunStats>,
+    file: std::fs::File,
+}
+
+impl RunCache {
+    /// Open (or create) the cache at `path`. A missing directory is
+    /// created; a stale or corrupt file is silently truncated.
+    pub fn open(path: &Path) -> std::io::Result<RunCache> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let entries = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| decode_all(&text));
+        match entries {
+            Some(entries) => {
+                let file = std::fs::OpenOptions::new().append(true).open(path)?;
+                Ok(RunCache {
+                    path: path.to_path_buf(),
+                    entries,
+                    file,
+                })
+            }
+            None => {
+                let mut file = std::fs::File::create(path)?;
+                writeln!(file, "{}", header_line())?;
+                file.flush()?;
+                Ok(RunCache {
+                    path: path.to_path_buf(),
+                    entries: FxHashMap::default(),
+                    file,
+                })
+            }
+        }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn get(&self, key: u64) -> Option<&RunStats> {
+        self.entries.get(&key)
+    }
+
+    /// Record one completed point, appending it to the file immediately
+    /// (an interrupted batch still keeps everything it finished).
+    pub fn put(&mut self, key: u64, meta: &PointMeta, stats: &RunStats) -> std::io::Result<()> {
+        if self.entries.contains_key(&key) {
+            return Ok(());
+        }
+        writeln!(
+            self.file,
+            "{{\"key\":\"{:#018x}\",\"system\":\"{}\",\"workload\":\"{}\",\
+             \"threads\":{},\"seed\":{},\"scale\":\"{}\",\"stats\":{}}}",
+            key,
+            json::escape(&meta.system),
+            json::escape(&meta.workload),
+            meta.threads,
+            meta.seed,
+            json::escape(&meta.scale),
+            stats.to_json()
+        )?;
+        self.file.flush()?;
+        self.entries.insert(key, stats.clone());
+        Ok(())
+    }
+}
+
+fn header_line() -> String {
+    format!(
+        "{{\"tmlab_cache\":{CACHE_VERSION},\"config_schema\":{},\"stats_schema\":{}}}",
+        SystemConfig::HASH_SCHEMA,
+        RunStats::JSON_SCHEMA
+    )
+}
+
+/// Decode a whole cache file; `None` means "treat as stale" (missing or
+/// mismatched header, or any undecodable line).
+fn decode_all(text: &str) -> Option<FxHashMap<u64, RunStats>> {
+    let mut lines = text.lines();
+    if lines.next()? != header_line() {
+        return None;
+    }
+    let mut entries = FxHashMap::default();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).ok()?;
+        let key = parse_key(v.get("key")?.as_str()?)?;
+        let stats = RunStats::from_json_value(v.get("stats")?).ok()?;
+        entries.insert(key, stats);
+    }
+    Some(entries)
+}
+
+fn parse_key(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
+}
+
+impl std::fmt::Debug for RunCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunCache")
+            .field("path", &self.path)
+            .field("entries", &self.entries.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::ConfigPoint;
+
+    fn meta(n: usize) -> PointMeta {
+        PointMeta {
+            system: "Baseline".into(),
+            workload: "ssca2".into(),
+            threads: n,
+            seed: 7,
+            scale: "tiny".into(),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tmlab-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn key_separates_every_component() {
+        let cfg = ConfigPoint::Typical.config();
+        let base = point_key(&cfg, &meta(2));
+        assert_eq!(base, point_key(&cfg, &meta(2)), "key must be stable");
+        assert_ne!(base, point_key(&cfg, &meta(4)));
+        let mut m = meta(2);
+        m.seed = 8;
+        assert_ne!(base, point_key(&cfg, &m));
+        let mut m = meta(2);
+        m.workload = "yada".into();
+        assert_ne!(base, point_key(&cfg, &m));
+        assert_ne!(base, point_key(&ConfigPoint::SmallCache.config(), &meta(2)));
+    }
+
+    #[test]
+    fn reopen_returns_byte_identical_stats() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("cache.jsonl");
+        let stats = RunStats {
+            cycles: 123_456,
+            commits: 42,
+            aborts: [1, 2, 3, 4, 5, 6],
+            per_core_cycles: vec![10, 20],
+            swmr_violation: Some("core 1 \"quoted\"\nline".into()),
+            ..RunStats::default()
+        };
+        let cfg = ConfigPoint::Typical.config();
+        let key = point_key(&cfg, &meta(2));
+        {
+            let mut c = RunCache::open(&path).unwrap();
+            assert!(c.is_empty());
+            c.put(key, &meta(2), &stats).unwrap();
+        }
+        let c = RunCache::open(&path).unwrap();
+        assert_eq!(c.len(), 1);
+        let got = c.get(key).unwrap();
+        assert_eq!(*got, stats);
+        assert_eq!(got.to_json(), stats.to_json(), "byte-identical re-encode");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_version_discards_the_file() {
+        let dir = tmpdir("stale");
+        let path = dir.join("cache.jsonl");
+        {
+            let mut c = RunCache::open(&path).unwrap();
+            let cfg = ConfigPoint::Typical.config();
+            c.put(point_key(&cfg, &meta(2)), &meta(2), &RunStats::default())
+                .unwrap();
+        }
+        // Rewrite the header as if an older binary had produced the file.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        let bogus = header_line().replace(
+            &format!("\"tmlab_cache\":{CACHE_VERSION}"),
+            "\"tmlab_cache\":0",
+        );
+        lines[0] = &bogus;
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let c = RunCache::open(&path).unwrap();
+        assert!(c.is_empty(), "stale cache must be dropped wholesale");
+        // And the file itself was reset to a fresh header.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert_eq!(text.lines().next().unwrap(), header_line());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_discards_the_file() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("cache.jsonl");
+        {
+            let _ = RunCache::open(&path).unwrap();
+        }
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"key\":\"0xnope\"}\n");
+        std::fs::write(&path, text).unwrap();
+        let c = RunCache::open(&path).unwrap();
+        assert!(c.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -60,7 +60,8 @@ fn main() {
             let s = Runner::new(kind)
                 .threads(threads)
                 .config(SystemConfig::testing(threads.max(2)))
-                .run(&mut p);
+                .run(&mut p)
+                .stats;
             println!(
                 "{} t={threads} cycles={} commits={} lock={} aborts={} rejects={} timeouts={}",
                 kind.name(),

@@ -15,7 +15,8 @@
 //!
 //! [`system::SystemKind`] names the nine Table-II systems; [`runner::Runner`]
 //! executes a [`program::Program`] (a multi-threaded guest workload) on a
-//! chosen system and returns [`sim_core::stats::RunStats`].
+//! chosen system and returns a [`runner::RunOutput`] (statistics, final
+//! memory image, optional event trace).
 //!
 //! Guest programs run on OS threads in strict rendezvous lockstep with the
 //! single-threaded discrete-event engine, which makes every simulation
@@ -32,6 +33,6 @@ pub mod trace;
 pub use flatmem::{FlatMem, SetupCtx};
 pub use guest::{Abort, GuestCtx, TxCtx};
 pub use program::Program;
-pub use runner::Runner;
+pub use runner::{RunOutput, Runner};
 pub use system::SystemKind;
 pub use trace::{render_timeline, Trace, TraceEvent, TraceKind, DEFAULT_TRACE_CAP};

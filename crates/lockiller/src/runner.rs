@@ -1,16 +1,62 @@
 //! One-call simulation driver: configure a Table-II system, run a
-//! [`Program`] on it, get [`RunStats`] back.
+//! [`Program`] on it, get a [`RunOutput`] back.
+//!
+//! [`Runner::run`] is the single entry point: it always returns the
+//! statistics, the final memory image, and — when tracing was requested
+//! via [`Runner::tracing`] or checked mode — the structured event trace.
+//! The historical `run_traced` / `run_raw` / `run_traced_raw` splits
+//! remain as deprecated shims for one release.
+//!
+//! `Runner` is plain data (`Send`), so batch executors like
+//! `lockiller_bench::tmlab` can build one per worker thread and fan
+//! simulation points out across host cores.
 
 use crate::engine::Engine;
 use crate::flatmem::{FlatMem, SetupCtx};
 use crate::guest::{GuestCtx, GuestPolicy};
 use crate::program::Program;
 use crate::system::SystemKind;
+use crate::trace::{Trace, TraceEvent};
 use sim_core::config::SystemConfig;
 use sim_core::obs::ObsHandle;
 use sim_core::rng::SimRng;
 use sim_core::stats::RunStats;
 use std::sync::mpsc::channel;
+
+/// Everything one simulation produces.
+///
+/// `stats` is the aggregate counters every caller wants; `mem` is the
+/// final simulated memory image (the serializability oracle fed to
+/// [`Program::validate`]); `trace` is the structured event trace,
+/// present iff tracing was enabled ([`Runner::tracing`] or
+/// `cfg.check.enabled`).
+#[must_use = "a RunOutput carries the run's statistics, memory image, and trace"]
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Aggregate statistics (cycles, commits, aborts, NoC/LLC counters).
+    pub stats: RunStats,
+    /// Structured event trace; `Some` iff tracing was enabled.
+    pub trace: Option<Trace>,
+    /// Final simulated memory image.
+    pub mem: FlatMem,
+}
+
+impl RunOutput {
+    /// Consume the output keeping only the statistics.
+    pub fn into_stats(self) -> RunStats {
+        self.stats
+    }
+
+    /// The traced events, or an empty slice on an untraced run.
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        self.trace.as_ref().map_or(&[], Trace::events)
+    }
+
+    /// Take ownership of the traced events (empty on an untraced run).
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.trace.as_mut().map(Trace::take).unwrap_or_default()
+    }
+}
 
 /// Builder for a simulation run.
 #[derive(Clone)]
@@ -48,7 +94,7 @@ impl Runner {
     }
 
     /// Record a structured execution trace (see [`crate::trace`]);
-    /// retrieve it with [`Runner::run_traced`].
+    /// retrieve it from [`RunOutput::trace`].
     pub fn tracing(mut self) -> Runner {
         self.tracing = true;
         self
@@ -89,11 +135,17 @@ impl Runner {
         self.kind
     }
 
-    /// Run `prog` to completion; panics if post-run validation fails.
-    pub fn run<P: Program>(&self, prog: &mut P) -> RunStats {
-        let (stats, mem) = self.run_raw(prog);
+    /// Run `prog` to completion.
+    ///
+    /// Unless [`Runner::no_validate`] was called, the program's post-run
+    /// invariant check runs on the final memory image and a failure
+    /// panics (tests rely on that). The returned [`RunOutput`] carries
+    /// the statistics, the memory image, and — iff tracing was enabled —
+    /// the event trace.
+    pub fn run<P: Program>(&self, prog: &mut P) -> RunOutput {
+        let out = self.run_full(prog);
         if self.validate {
-            if let Err(e) = prog.validate(&mem) {
+            if let Err(e) = prog.validate(&out.mem) {
                 panic!(
                     "validation failed: {} on {} ({} threads): {e}",
                     prog.name(),
@@ -102,43 +154,40 @@ impl Runner {
                 );
             }
         }
-        stats
+        out
     }
 
     /// Run with tracing enabled, returning the event trace too.
-    pub fn run_traced<P: Program>(
-        &self,
-        prog: &mut P,
-    ) -> (RunStats, Vec<crate::trace::TraceEvent>) {
-        let mut me = self.clone();
-        me.tracing = true;
-        let (stats, _mem, trace) = me.run_full(prog);
-        (stats, trace)
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run` (with `.tracing()`); it returns a RunOutput"
+    )]
+    pub fn run_traced<P: Program>(&self, prog: &mut P) -> (RunStats, Vec<TraceEvent>) {
+        let mut out = self.clone().tracing().run_full(prog);
+        let trace = out.take_trace_events();
+        (out.stats, trace)
     }
 
     /// Run and return both the statistics and the final memory image.
+    #[deprecated(since = "0.2.0", note = "use `run`; it returns a RunOutput")]
     pub fn run_raw<P: Program>(&self, prog: &mut P) -> (RunStats, FlatMem) {
-        let (stats, mem, _) = self.run_full(prog);
-        (stats, mem)
+        let out = self.run_full(prog);
+        (out.stats, out.mem)
     }
 
     /// Run with tracing enabled, returning statistics, the final memory
-    /// image, and the event trace. Checked-mode harnesses (tmcheck) use
-    /// this to validate program output and analyze the trace in one run;
-    /// no validation happens here.
-    pub fn run_traced_raw<P: Program>(
-        &self,
-        prog: &mut P,
-    ) -> (RunStats, FlatMem, Vec<crate::trace::TraceEvent>) {
-        let mut me = self.clone();
-        me.tracing = true;
-        me.run_full(prog)
+    /// image, and the event trace; no validation happens here.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run` (with `.tracing()`); it returns a RunOutput"
+    )]
+    pub fn run_traced_raw<P: Program>(&self, prog: &mut P) -> (RunStats, FlatMem, Vec<TraceEvent>) {
+        let mut out = self.clone().tracing().run_full(prog);
+        let trace = out.take_trace_events();
+        (out.stats, out.mem, trace)
     }
 
-    fn run_full<P: Program>(
-        &self,
-        prog: &mut P,
-    ) -> (RunStats, FlatMem, Vec<crate::trace::TraceEvent>) {
+    fn run_full<P: Program>(&self, prog: &mut P) -> RunOutput {
         let mut cfg = self.cfg.clone();
         cfg.policy = self.kind.policy();
         if let Some(r) = self.retries {
@@ -159,8 +208,9 @@ impl Runner {
         let (mem, mapped_pages) = setup.into_mem();
 
         let mut engine = Engine::new(cfg.clone(), mem, self.threads, lock_addr, mapped_pages);
-        if self.tracing || cfg.check.enabled {
-            engine.trace = crate::trace::Trace::enabled();
+        let traced = self.tracing || cfg.check.enabled;
+        if traced {
+            engine.trace = Trace::enabled();
         }
         if let Some(h) = &self.obs {
             engine.set_obs(h.clone());
@@ -201,11 +251,23 @@ impl Runner {
             engine.run();
         });
 
-        let trace = engine.trace.take();
-        let (stats, mem) = engine.into_stats();
-        (stats, mem, trace)
+        let trace = traced.then(|| std::mem::take(&mut engine.trace));
+        let (mut stats, mem) = engine.into_stats();
+        if let Some(t) = &trace {
+            // `into_stats` read the drop counter from the (already taken)
+            // engine-side trace; restore it from the real one.
+            stats.trace_dropped = t.dropped();
+        }
+        RunOutput { stats, trace, mem }
     }
 }
+
+// `Runner` must stay `Send`: the tmlab batch executor builds one per
+// worker thread. This fails to compile if a non-Send field sneaks in.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Runner>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -218,5 +280,32 @@ mod tests {
         let r = r.threads(4).seed(1);
         assert_eq!(r.threads, 4);
         assert_eq!(r.seed, 1);
+    }
+
+    #[test]
+    fn trace_is_none_unless_requested() {
+        struct Nop;
+        impl Program for Nop {
+            fn name(&self) -> &str {
+                "nop"
+            }
+            fn setup(&mut self, _s: &mut SetupCtx, _threads: usize) {}
+            fn run(&self, ctx: &mut GuestCtx) {
+                let _ = ctx;
+            }
+        }
+        let cfg = SystemConfig::testing(2);
+        let plain = Runner::new(SystemKind::Baseline)
+            .threads(1)
+            .config(cfg.clone())
+            .run(&mut Nop);
+        assert!(plain.trace.is_none());
+        assert!(plain.trace_events().is_empty());
+        let traced = Runner::new(SystemKind::Baseline)
+            .threads(1)
+            .config(cfg)
+            .tracing()
+            .run(&mut Nop);
+        assert!(traced.trace.is_some());
     }
 }

@@ -77,7 +77,7 @@ fn zero_retries_uses_fallback_only() {
         SystemKind::LockillerTm,
     ] {
         let mut prog = Counter::new(15);
-        let stats = runner(kind, 2).retries(0).run(&mut prog);
+        let stats = runner(kind, 2).retries(0).run(&mut prog).stats;
         assert_eq!(
             stats.commits,
             0,
@@ -102,7 +102,8 @@ fn mixed_tl_and_htm_execution_is_sound() {
     let mut prog = Counter::new(40);
     let stats = runner(SystemKind::LockillerRwil, 4)
         .retries(2)
-        .run(&mut prog);
+        .run(&mut prog)
+        .stats;
     assert!(
         stats.lock_commits > 0,
         "small budget must produce TL sections"
@@ -118,7 +119,7 @@ fn mixed_tl_and_htm_execution_is_sound() {
 #[test]
 fn rri_pause_retry_progresses() {
     let mut prog = Counter::new(30);
-    let stats = runner(SystemKind::LockillerRri, 4).run(&mut prog);
+    let stats = runner(SystemKind::LockillerRri, 4).run(&mut prog).stats;
     assert!(stats.rejects > 0, "recovery should reject under contention");
     assert_eq!(stats.wakeups, 0, "RRI must not use wake-ups");
 }
@@ -128,7 +129,7 @@ fn rri_pause_retry_progresses() {
 #[test]
 fn rai_self_abort_on_reject() {
     let mut prog = Counter::new(30);
-    let stats = runner(SystemKind::LockillerRai, 4).run(&mut prog);
+    let stats = runner(SystemKind::LockillerRai, 4).run(&mut prog).stats;
     assert!(stats.rejects > 0);
     assert!(
         stats.total_aborts() >= stats.rejects,
@@ -141,7 +142,7 @@ fn rai_self_abort_on_reject() {
 #[test]
 fn losatm_progression_priority_works() {
     let mut prog = Counter::new(40);
-    let stats = runner(SystemKind::LosaTmSafu, 4).run(&mut prog);
+    let stats = runner(SystemKind::LosaTmSafu, 4).run(&mut prog).stats;
     assert!(stats.rejects > 0);
     assert_eq!(stats.wakeup_timeouts, 0);
 }
@@ -152,7 +153,7 @@ fn losatm_progression_priority_works() {
 fn phase_accounting_is_complete() {
     for kind in SystemKind::ALL {
         let mut prog = Counter::new(20);
-        let stats = runner(kind, 4).run(&mut prog);
+        let stats = runner(kind, 4).run(&mut prog).stats;
         let phase_sum: u64 = Phase::ALL.iter().map(|p| stats.phase(*p)).sum();
         let core_sum: u64 = stats.per_core_cycles.iter().sum();
         assert_eq!(phase_sum, core_sum, "{}: phase cycles leaked", kind.name());
@@ -171,7 +172,7 @@ fn phase_accounting_is_complete() {
 #[test]
 fn uncontended_run_has_no_aborted_time() {
     let mut prog = Counter::new(20);
-    let stats = runner(SystemKind::LockillerTm, 1).run(&mut prog);
+    let stats = runner(SystemKind::LockillerTm, 1).run(&mut prog).stats;
     assert_eq!(stats.phase(Phase::Aborted), 0);
     assert_eq!(stats.phase(Phase::Rollback), 0);
     assert!(stats.phase(Phase::Htm) > 0);
@@ -186,6 +187,7 @@ fn seed_only_affects_workload_randomness() {
         runner(SystemKind::LockillerTm, 2)
             .seed(seed)
             .run(&mut prog)
+            .stats
             .cycles
     };
     assert_eq!(run(1), run(2), "counter program consumes no randomness");
@@ -234,7 +236,10 @@ fn no_validate_skips_oracle() {
             Err("intentional".into())
         }
     }
-    let stats = runner(SystemKind::Cgl, 1).no_validate().run(&mut Broken);
+    let stats = runner(SystemKind::Cgl, 1)
+        .no_validate()
+        .run(&mut Broken)
+        .stats;
     assert_eq!(stats.commits, 0);
 }
 
@@ -266,7 +271,7 @@ fn sequential_criticals_reset_guard() {
         }
     }
     let mut prog = TwoCrits { addr: Addr::NULL };
-    runner(SystemKind::LockillerTm, 1).run(&mut prog);
+    let _ = runner(SystemKind::LockillerTm, 1).run(&mut prog);
 }
 
 /// Trace events come out in causal order with matched begin/end pairs.
@@ -274,7 +279,9 @@ fn sequential_criticals_reset_guard() {
 fn trace_events_are_causally_ordered() {
     use lockiller::trace::TraceKind;
     let mut prog = Counter::new(10);
-    let (stats, trace) = runner(SystemKind::LockillerRwi, 2).run_traced(&mut prog);
+    let mut out = runner(SystemKind::LockillerRwi, 2).tracing().run(&mut prog);
+    let trace = out.take_trace_events();
+    let stats = out.stats;
     assert!(!trace.is_empty());
     // Cycles non-decreasing.
     for w in trace.windows(2) {

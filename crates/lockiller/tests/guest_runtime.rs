@@ -89,7 +89,11 @@ fn disjoint_data_blocked_by_lock_only_on_baseline() {
         // L1 of 8 lines: thread 0's 16-line criticals always overflow.
         let mut cfg = SystemConfig::testing(2);
         cfg.mem.l1 = sim_core::config::CacheGeometry { sets: 4, ways: 2 };
-        Runner::new(kind).threads(2).config(cfg).run(&mut prog)
+        Runner::new(kind)
+            .threads(2)
+            .config(cfg)
+            .run(&mut prog)
+            .stats
     };
     let base = run(SystemKind::Baseline);
     let rwil = run(SystemKind::LockillerRwil);
@@ -157,7 +161,8 @@ fn lock_transaction_conflicts_classified() {
         .threads(4)
         .config(SystemConfig::testing(4))
         .retries(2)
-        .run(&mut prog);
+        .run(&mut prog)
+        .stats;
     assert!(
         stats.fallbacks > 0,
         "retries(2) under contention must reach the fallback"
@@ -197,7 +202,8 @@ fn subscription_free_when_lock_idle() {
     let stats = Runner::new(SystemKind::Baseline)
         .threads(1)
         .config(SystemConfig::testing(2))
-        .run(&mut prog);
+        .run(&mut prog)
+        .stats;
     assert_eq!(stats.total_aborts(), 0);
     assert_eq!(stats.commits, 10);
     assert_eq!(stats.fallbacks, 0);

@@ -62,7 +62,7 @@ fn message_passing_is_ordered() {
             flag: Addr::NULL,
             result: Addr::NULL,
         };
-        Runner::new(SystemKind::Baseline)
+        let _ = Runner::new(SystemKind::Baseline)
             .threads(2)
             .config(SystemConfig::testing(2))
             .seed(seed)
@@ -122,7 +122,7 @@ fn no_store_buffering() {
             r0: Addr::NULL,
             r1: Addr::NULL,
         };
-        Runner::new(SystemKind::Baseline)
+        let _ = Runner::new(SystemKind::Baseline)
             .threads(2)
             .config(SystemConfig::testing(2))
             .seed(seed)
@@ -188,7 +188,7 @@ fn coherence_order_is_total() {
             x: Addr::NULL,
             obs: Addr::NULL,
         };
-        Runner::new(SystemKind::Baseline)
+        let _ = Runner::new(SystemKind::Baseline)
             .threads(4)
             .config(SystemConfig::testing(4))
             .seed(seed)
@@ -264,7 +264,7 @@ fn transactions_never_tear() {
             b: Addr::NULL,
             bad: Addr::NULL,
         };
-        Runner::new(kind)
+        let _ = Runner::new(kind)
             .threads(4)
             .config(SystemConfig::testing(4))
             .run(&mut prog);
@@ -281,7 +281,7 @@ fn litmus_hold_under_direct_topology() {
         b: Addr::NULL,
         bad: Addr::NULL,
     };
-    Runner::new(SystemKind::LockillerTm)
+    let _ = Runner::new(SystemKind::LockillerTm)
         .threads(4)
         .config(cfg.clone())
         .run(&mut prog);
@@ -294,7 +294,7 @@ fn litmus_hold_under_direct_topology() {
     cfg2.num_cores = 2;
     cfg2.noc.width = 2;
     cfg2.noc.height = 2;
-    Runner::new(SystemKind::Baseline)
+    let _ = Runner::new(SystemKind::Baseline)
         .threads(2)
         .config(cfg2)
         .run(&mut mp);

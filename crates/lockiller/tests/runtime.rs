@@ -106,7 +106,7 @@ fn counter_correct_on_every_system() {
     for kind in SystemKind::ALL {
         for threads in [1, 2, 4] {
             let mut prog = checked(25);
-            let stats = small_runner(kind, threads).run(&mut prog);
+            let stats = small_runner(kind, threads).run(&mut prog).stats;
             assert!(stats.cycles > 0, "{}: no cycles simulated", kind.name());
             let total = stats.commits + stats.lock_commits;
             assert_eq!(
@@ -124,7 +124,7 @@ fn counter_correct_on_every_system() {
 fn single_thread_uncontended_commits_everything() {
     for kind in SystemKind::ALL {
         let mut prog = checked(10);
-        let stats = small_runner(kind, 1).run(&mut prog);
+        let stats = small_runner(kind, 1).run(&mut prog).stats;
         if kind.uses_htm() {
             assert_eq!(
                 stats.commits,
@@ -148,7 +148,7 @@ fn runs_are_deterministic() {
     ] {
         let run = || {
             let mut prog = checked(20);
-            let s = small_runner(kind, 4).run(&mut prog);
+            let s = small_runner(kind, 4).run(&mut prog).stats;
             (s.cycles, s.commits, s.total_aborts(), s.rejects, s.wakeups)
         };
         assert_eq!(run(), run(), "{} not deterministic", kind.name());
@@ -158,7 +158,7 @@ fn runs_are_deterministic() {
 #[test]
 fn contention_causes_aborts_on_baseline() {
     let mut prog = checked(40);
-    let stats = small_runner(SystemKind::Baseline, 4).run(&mut prog);
+    let stats = small_runner(SystemKind::Baseline, 4).run(&mut prog).stats;
     assert!(
         stats.total_aborts() > 0,
         "4 threads hammering one counter must conflict (got {} aborts)",
@@ -169,8 +169,12 @@ fn contention_causes_aborts_on_baseline() {
 
 #[test]
 fn recovery_improves_commit_rate_under_contention() {
-    let base = small_runner(SystemKind::Baseline, 4).run(&mut checked(60));
-    let rwi = small_runner(SystemKind::LockillerRwi, 4).run(&mut checked(60));
+    let base = small_runner(SystemKind::Baseline, 4)
+        .run(&mut checked(60))
+        .stats;
+    let rwi = small_runner(SystemKind::LockillerRwi, 4)
+        .run(&mut checked(60))
+        .stats;
     assert!(
         rwi.commit_rate() >= base.commit_rate(),
         "recovery should not lower the commit rate: baseline {:.3} vs RWI {:.3}",
@@ -183,7 +187,7 @@ fn recovery_improves_commit_rate_under_contention() {
 #[test]
 fn cgl_serializes_with_waitlock_time() {
     let mut prog = checked(20);
-    let stats = small_runner(SystemKind::Cgl, 4).run(&mut prog);
+    let stats = small_runner(SystemKind::Cgl, 4).run(&mut prog).stats;
     assert_eq!(stats.commits, 0);
     assert_eq!(stats.lock_commits, 80);
     assert!(
@@ -250,7 +254,8 @@ fn capacity_overflow_falls_back_without_switching() {
     let stats = Runner::new(SystemKind::LockillerRwil)
         .threads(1)
         .config(tiny_l1(1))
-        .run(&mut prog);
+        .run(&mut prog)
+        .stats;
     assert!(
         stats.abort_count(AbortCause::Of) > 0,
         "big tx must overflow the 4-line L1"
@@ -273,7 +278,8 @@ fn switching_mode_rescues_overflowing_tx() {
     let stats = Runner::new(SystemKind::LockillerTm)
         .threads(1)
         .config(tiny_l1(1))
-        .run(&mut prog);
+        .run(&mut prog)
+        .stats;
     assert_eq!(
         stats.switches_granted, 3,
         "each round should switch to STL exactly once"
@@ -301,10 +307,12 @@ fn baseline_counts_mutex_aborts_but_htmlock_does_not() {
     // the subscription, so `mutex` disappears (Fig. 10's headline effect).
     let base = small_runner(SystemKind::Baseline, 4)
         .retries(1)
-        .run(&mut checked(80));
+        .run(&mut checked(80))
+        .stats;
     let rwil = small_runner(SystemKind::LockillerRwil, 4)
         .retries(1)
-        .run(&mut checked(80));
+        .run(&mut checked(80))
+        .stats;
     assert!(base.fallbacks > 0, "retry budget of 1 must force fallbacks");
     assert!(
         base.abort_count(AbortCause::Mutex) > 0,
@@ -354,7 +362,7 @@ fn faults_abort_htm_and_are_not_rescued_by_switching() {
             region: Addr::NULL,
             pages: 5,
         };
-        let stats = small_runner(kind, 2).run(&mut prog);
+        let stats = small_runner(kind, 2).run(&mut prog).stats;
         assert!(
             stats.abort_count(AbortCause::Fault) > 0,
             "{}: first page touches inside txs must fault-abort",
@@ -372,7 +380,9 @@ fn faults_abort_htm_and_are_not_rescued_by_switching() {
 #[test]
 fn phase_breakdown_accounts_all_cycles() {
     let mut prog = checked(30);
-    let stats = small_runner(SystemKind::LockillerTm, 4).run(&mut prog);
+    let stats = small_runner(SystemKind::LockillerTm, 4)
+        .run(&mut prog)
+        .stats;
     let sum: u64 = Phase::ALL.iter().map(|p| stats.phase(*p)).sum();
     let max_core = *stats.per_core_cycles.iter().max().unwrap();
     assert!(sum > 0);
@@ -391,7 +401,7 @@ fn memory_image_identical_across_htm_systems() {
     let digest = |kind: SystemKind| {
         let mut prog = checked(30);
         let r = small_runner(kind, 4);
-        let (_, mem) = r.run_raw(&mut prog);
+        let mem = r.run(&mut prog).mem;
         mem.digest()
     };
     let want = digest(SystemKind::Cgl);
@@ -424,5 +434,5 @@ fn barrier_synchronizes_threads() {
         }
     }
     let mut prog = BarrierProg { flags: Addr::NULL };
-    small_runner(SystemKind::Baseline, 4).run(&mut prog);
+    let _ = small_runner(SystemKind::Baseline, 4).run(&mut prog);
 }

@@ -9,12 +9,13 @@
 pub mod config;
 pub mod event;
 pub mod fxhash;
+pub mod json;
 pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod types;
 
-pub use config::{CacheGeometry, MemConfig, PolicyConfig, SystemConfig};
+pub use config::{CacheGeometry, ConfigError, MemConfig, PolicyConfig, SystemConfig};
 pub use event::EventQueue;
 pub use obs::{Metric, MetricSpec, ObsEvent, ObsHandle, ObsSink, SpanEnd, SpanKind, Track};
 pub use rng::SimRng;

@@ -273,7 +273,7 @@ mod tests {
             SystemKind::LockillerTm,
         ] {
             let mut w = Genome::new(Scale::Tiny, 2);
-            Runner::new(kind)
+            let _ = Runner::new(kind)
                 .threads(2)
                 .config(SystemConfig::testing(2))
                 .run(&mut w);

@@ -243,7 +243,7 @@ mod tests {
             SystemKind::LockillerRwil,
         ] {
             let mut w = Intruder::new(Scale::Tiny, 2);
-            Runner::new(kind)
+            let _ = Runner::new(kind)
                 .threads(2)
                 .config(SystemConfig::testing(2))
                 .run(&mut w);
@@ -256,7 +256,8 @@ mod tests {
         let stats = Runner::new(SystemKind::Baseline)
             .threads(4)
             .config(SystemConfig::testing(4))
-            .run(&mut w);
+            .run(&mut w)
+            .stats;
         assert!(stats.total_aborts() > 0, "queue head must cause conflicts");
     }
 }

@@ -264,7 +264,8 @@ mod tests {
             let stats = Runner::new(kind)
                 .threads(2)
                 .config(SystemConfig::testing(2))
-                .run(&mut w);
+                .run(&mut w)
+                .stats;
             assert!(stats.cycles > 0);
         }
     }
@@ -277,6 +278,7 @@ mod tests {
                 .threads(4)
                 .config(SystemConfig::testing(4))
                 .run(&mut w)
+                .into_stats()
         };
         let hi = run(true);
         let lo = run(false);

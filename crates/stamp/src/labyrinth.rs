@@ -304,7 +304,7 @@ mod tests {
             SystemKind::LockillerTm,
         ] {
             let mut w = Labyrinth::new(Scale::Tiny, 2);
-            Runner::new(kind)
+            let _ = Runner::new(kind)
                 .threads(2)
                 .config(SystemConfig::testing(2))
                 .run(&mut w);
@@ -321,7 +321,8 @@ mod tests {
         let stats = Runner::new(SystemKind::Baseline)
             .threads(2)
             .config(cfg)
-            .run(&mut w);
+            .run(&mut w)
+            .stats;
         assert!(
             stats.abort_count(AbortCause::Of) + stats.abort_count(AbortCause::Fault) > 0,
             "big routing txs must overflow a 8-line L1"

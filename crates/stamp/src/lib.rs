@@ -86,6 +86,17 @@ pub enum Scale {
     Full,
 }
 
+impl Scale {
+    /// Stable lowercase tag, used in run-cache keys and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Full => "full",
+        }
+    }
+}
+
 /// A boxed workload instance implementing [`Program`].
 pub struct Workload {
     inner: Box<dyn Program + Send + Sync>,
@@ -183,7 +194,7 @@ mod param_tests {
             },
             2,
         );
-        Runner::new(SystemKind::Baseline)
+        let _ = Runner::new(SystemKind::Baseline)
             .threads(2)
             .config(SystemConfig::testing(2))
             .run(&mut g);
@@ -197,7 +208,7 @@ mod param_tests {
             },
             2,
         );
-        Runner::new(SystemKind::LockillerTm)
+        let _ = Runner::new(SystemKind::LockillerTm)
             .threads(2)
             .config(SystemConfig::testing(2))
             .run(&mut k);
@@ -212,7 +223,7 @@ mod param_tests {
             2,
             true,
         );
-        Runner::new(SystemKind::LockillerRwil)
+        let _ = Runner::new(SystemKind::LockillerRwil)
             .threads(2)
             .config(SystemConfig::testing(2))
             .run(&mut v);
@@ -224,7 +235,7 @@ mod param_tests {
             },
             2,
         );
-        Runner::new(SystemKind::Cgl)
+        let _ = Runner::new(SystemKind::Cgl)
             .threads(2)
             .config(SystemConfig::testing(2))
             .run(&mut l);
@@ -237,7 +248,7 @@ mod param_tests {
             },
             2,
         );
-        Runner::new(SystemKind::LockillerTm)
+        let _ = Runner::new(SystemKind::LockillerTm)
             .threads(2)
             .config(SystemConfig::testing(2))
             .run(&mut y);
@@ -249,7 +260,7 @@ mod param_tests {
             },
             2,
         );
-        Runner::new(SystemKind::LosaTmSafu)
+        let _ = Runner::new(SystemKind::LosaTmSafu)
             .threads(2)
             .config(SystemConfig::testing(2))
             .run(&mut s2);
@@ -261,7 +272,7 @@ mod param_tests {
             },
             2,
         );
-        Runner::new(SystemKind::LockillerRri)
+        let _ = Runner::new(SystemKind::LockillerRri)
             .threads(2)
             .config(SystemConfig::testing(2))
             .run(&mut i);

@@ -144,7 +144,7 @@ mod tests {
             SystemKind::LockillerRwi,
         ] {
             let mut w = Ssca2::new(Scale::Tiny, 2);
-            Runner::new(kind)
+            let _ = Runner::new(kind)
                 .threads(2)
                 .config(SystemConfig::testing(2))
                 .run(&mut w);
@@ -159,7 +159,8 @@ mod tests {
         let stats = Runner::new(SystemKind::Baseline)
             .threads(4)
             .config(SystemConfig::testing(4))
-            .run(&mut w);
+            .run(&mut w)
+            .stats;
         assert!(
             stats.commit_rate() > 0.9,
             "ssca2 commit rate unexpectedly low: {:.3}",

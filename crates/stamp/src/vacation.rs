@@ -306,7 +306,7 @@ mod tests {
             SystemKind::LockillerTm,
         ] {
             let mut w = Vacation::new(Scale::Tiny, 2, true);
-            Runner::new(kind)
+            let _ = Runner::new(kind)
                 .threads(2)
                 .config(SystemConfig::testing(2))
                 .run(&mut w);
@@ -321,6 +321,7 @@ mod tests {
                 .threads(4)
                 .config(SystemConfig::testing(4))
                 .run(&mut w)
+                .into_stats()
         };
         let hi = run(true);
         let lo = run(false);

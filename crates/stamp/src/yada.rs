@@ -261,7 +261,7 @@ mod tests {
             SystemKind::LockillerTm,
         ] {
             let mut w = Yada::new(Scale::Tiny, 2);
-            Runner::new(kind)
+            let _ = Runner::new(kind)
                 .threads(2)
                 .config(SystemConfig::testing(2))
                 .run(&mut w);
@@ -274,7 +274,8 @@ mod tests {
         let stats = Runner::new(SystemKind::Baseline)
             .threads(2)
             .config(SystemConfig::testing(2))
-            .run(&mut w);
+            .run(&mut w)
+            .stats;
         assert!(
             stats.abort_count(AbortCause::Fault) > 0,
             "fresh allocation pages must fault inside transactions"

@@ -41,7 +41,9 @@ pub fn run_checked<P: Program>(
 ) -> CheckedRun {
     cfg.check.enabled = true;
     let runner = Runner::new(kind).threads(threads).seed(seed).config(cfg);
-    let (stats, mem, trace) = runner.run_traced_raw(prog);
+    let mut out = runner.tracing().no_validate().run(prog);
+    let trace = out.take_trace_events();
+    let (stats, mem) = (out.stats, out.mem);
     let opts = CheckOpts {
         wait_wakeup: kind.policy().reject_action == RejectAction::WaitWakeup,
     };

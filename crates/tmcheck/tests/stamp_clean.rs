@@ -142,7 +142,9 @@ fn lock_only_execution_clean() {
             addr: Addr::NULL,
         };
         let runner = Runner::new(kind).threads(4).retries(0).config(cfg);
-        let (stats, mem, trace) = runner.run_traced_raw(&mut prog);
+        let mut out = runner.tracing().no_validate().run(&mut prog);
+        let trace = out.take_trace_events();
+        let (stats, mem) = (out.stats, out.mem);
         let opts = tmcheck::CheckOpts {
             wait_wakeup: kind.policy().reject_action == RejectAction::WaitWakeup,
         };

@@ -94,10 +94,10 @@ pub(crate) mod testutil {
             setup_fn: setup,
             body,
         };
-        let (_, mem) = Runner::new(SystemKind::LockillerTm)
+        Runner::new(SystemKind::LockillerTm)
             .threads(1)
             .config(SystemConfig::testing(2))
-            .run_raw(&mut prog);
-        mem
+            .run(&mut prog)
+            .mem
     }
 }

@@ -40,7 +40,7 @@ fn run_tx(
         setup_fn: setup,
         body,
     };
-    Runner::new(SystemKind::LockillerTm)
+    let _ = Runner::new(SystemKind::LockillerTm)
         .threads(1)
         .config(SystemConfig::testing(2))
         .run(&mut prog);
@@ -166,11 +166,11 @@ proptest! {
                 }
             }
             let mut prog = P { ops: &ops2, handles: &handles, results: &results };
-            let (_, mem) = Runner::new(SystemKind::LockillerTm)
+            let out = Runner::new(SystemKind::LockillerTm)
                 .threads(1)
                 .config(SystemConfig::testing(2))
-                .run_raw(&mut prog);
-            *final_mem.lock().unwrap() = Some(mem);
+                .run(&mut prog);
+            *final_mem.lock().unwrap() = Some(out.mem);
         }
         let (t, _) = handles.lock().unwrap().unwrap();
         let mem = final_mem.lock().unwrap().take().unwrap();

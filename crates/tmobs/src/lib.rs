@@ -18,14 +18,16 @@
 //!   Table-II system with a recorder attached, returning all artifacts;
 //! - [`selfprof::SelfProfiler`] — host-side wall-clock accounting of the
 //!   simulator's own phases (setup / simulate / export);
+//! - [`batch::BatchProgress`] — thread-safe completion counter + stderr
+//!   progress lines for batch executors (the bench crate's `tmlab`);
 //! - the `tmtrace` CLI binary, which writes the artifacts to disk.
 //!
 //! Attaching a recorder never changes a simulation's outcome: sinks are
 //! write-only, and the engine's emission sites are dead branches when no
 //! sink is installed (see `sim_core::obs`).
 
+pub mod batch;
 pub mod chrome;
-pub mod json;
 pub mod jsonl;
 pub mod recorder;
 pub mod registry;
@@ -33,6 +35,12 @@ pub mod selfprof;
 pub mod session;
 pub mod summary;
 
+/// Minimal JSON support (escaping + a recursive-descent parser); lives in
+/// `sim_core` so statistics serialization can share it, re-exported here
+/// because the exporters and their callers historically used `tmobs::json`.
+pub use sim_core::json;
+
+pub use batch::BatchProgress;
 pub use chrome::{export_chrome, validate_chrome, ChromeSummary, TraceMeta};
 pub use jsonl::export_jsonl;
 pub use recorder::{Recorder, SampleRow, Span};

@@ -74,7 +74,9 @@ pub fn run_trace(cfg: &TraceConfig) -> TraceArtifacts {
         .seed(cfg.seed)
         .obs(handle);
     prof.lap("setup");
-    let (stats, mem, events) = runner.run_traced_raw(&mut prog);
+    let mut out = runner.tracing().no_validate().run(&mut prog);
+    let events = out.take_trace_events();
+    let (stats, mem) = (out.stats, out.mem);
     prof.lap("simulate");
     let validation = lockiller::Program::validate(&prog, &mem);
     let recorder = std::mem::take(&mut *rec.lock().expect("recorder poisoned"));

@@ -72,7 +72,9 @@ fn traced_run(kind: SystemKind) -> (RunStats, Vec<lockiller::TraceEvent>, Record
     let (handle, rec) = Recorder::shared(500);
     let mut prog = Counter::new(40, THREADS);
     let runner = Runner::new(kind).threads(THREADS).seed(SEED).obs(handle);
-    let (stats, mem, events) = runner.run_traced_raw(&mut prog);
+    let mut out = runner.tracing().no_validate().run(&mut prog);
+    let events = out.take_trace_events();
+    let (stats, mem) = (out.stats, out.mem);
     prog.validate(&mem).expect("counter total wrong");
     let rec = std::mem::take(&mut *rec.lock().unwrap());
     (stats, events, rec)
@@ -168,14 +170,19 @@ fn observability_does_not_perturb_the_simulation() {
         SystemKind::LockillerTm,
     ] {
         let mut prog = Counter::new(25, THREADS);
-        let plain = Runner::new(kind).threads(THREADS).seed(SEED).run(&mut prog);
+        let plain = Runner::new(kind)
+            .threads(THREADS)
+            .seed(SEED)
+            .run(&mut prog)
+            .stats;
         let (handle, _rec) = Recorder::shared(100);
         let mut prog = Counter::new(25, THREADS);
         let observed = Runner::new(kind)
             .threads(THREADS)
             .seed(SEED)
             .obs(handle)
-            .run(&mut prog);
+            .run(&mut prog)
+            .stats;
         assert_eq!(
             format!("{plain:?}"),
             format!("{observed:?}"),

@@ -84,7 +84,8 @@ fn main() {
         let stats = Runner::new(kind)
             .threads(4)
             .config(SystemConfig::table1())
-            .run(&mut bank); // panics if validation fails
+            .run(&mut bank)
+            .stats; // panics if validation fails
         println!(
             "{:<18} cycles={:>8}  commits={:>4}  aborts={:>4}  balance conserved ✓",
             kind.name(),

@@ -28,7 +28,7 @@ fn main() {
         SystemKind::LockillerTm,
     ] {
         let mut prog = Workload::with_scale(workload, threads, Scale::Small);
-        let stats = Runner::new(kind).threads(threads).run(&mut prog);
+        let stats = Runner::new(kind).threads(threads).run(&mut prog).stats;
         if kind == SystemKind::Cgl {
             cgl_cycles = stats.cycles;
         }

@@ -42,7 +42,7 @@ fn main() {
         print!("{threads:<8}");
         for &sys in &systems {
             let mut prog = Workload::with_scale(kind, threads, Scale::Small);
-            let stats = Runner::new(sys).threads(threads).run(&mut prog);
+            let stats = Runner::new(sys).threads(threads).run(&mut prog).stats;
             if sys == SystemKind::Cgl {
                 cgl = stats.cycles;
             } else {

@@ -71,7 +71,8 @@ fn main() {
         let stats = Runner::new(kind)
             .threads(2)
             .config(cfg.clone())
-            .run(&mut prog);
+            .run(&mut prog)
+            .stats;
         println!("{}:", kind.name());
         println!("  cycles                 {}", stats.cycles);
         println!(

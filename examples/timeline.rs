@@ -18,10 +18,13 @@ fn main() {
         SystemKind::LockillerTm,
     ] {
         let mut prog = Workload::with_scale(WorkloadKind::KmeansHigh, threads, Scale::Tiny);
-        let (stats, trace) = Runner::new(kind)
+        let mut out = Runner::new(kind)
             .threads(threads)
             .config(SystemConfig::testing(threads))
-            .run_traced(&mut prog);
+            .tracing()
+            .run(&mut prog);
+        let trace = out.take_trace_events();
+        let stats = out.stats;
         println!("=== {} ===", kind.name());
         println!(
             "commits={} aborts={} rejects={} wakeups={} cycles={}",

@@ -28,7 +28,8 @@
 //! let stats = Runner::new(SystemKind::LockillerTm)
 //!     .threads(2)
 //!     .config(SystemConfig::testing(2))
-//!     .run(&mut workload);
+//!     .run(&mut workload)
+//!     .into_stats();
 //! println!("simulated cycles: {}", stats.cycles);
 //! assert!(stats.commits > 0);
 //! ```

@@ -18,6 +18,7 @@ fn run(
         .threads(threads)
         .config(SystemConfig::testing(threads.max(2)))
         .run(&mut prog)
+        .into_stats()
 }
 
 /// §IV-B(a): recovery + insts-based priority raises the commit rate
@@ -80,6 +81,7 @@ fn switching_mode_reduces_of_aborts() {
             .threads(2)
             .config(cfg.clone())
             .run(&mut prog)
+            .into_stats()
     };
     let rwil = run_small(SystemKind::LockillerRwil);
     let full = run_small(SystemKind::LockillerTm);
@@ -185,6 +187,7 @@ fn workload_characterization_classes() {
             .threads(4)
             .config(SystemConfig::testing(4))
             .run(&mut prog)
+            .into_stats()
     };
     let lab = measure(WorkloadKind::Labyrinth);
     let km = measure(WorkloadKind::KmeansHigh);
@@ -231,7 +234,8 @@ fn direct_response_topology_correct() {
         let stats = Runner::new(SystemKind::LockillerTm)
             .threads(4)
             .config(cfg)
-            .run(&mut prog);
+            .run(&mut prog)
+            .stats;
         assert_eq!(
             stats.wakeup_timeouts,
             0,

@@ -106,19 +106,19 @@ proptest! {
     #[test]
     fn baseline_serializable(prog in program_strategy(3)) {
         let mut p = prog;
-        Runner::new(SystemKind::Baseline).threads(3).config(SystemConfig::testing(3)).run(&mut p);
+        let _ = Runner::new(SystemKind::Baseline).threads(3).config(SystemConfig::testing(3)).run(&mut p);
     }
 
     #[test]
     fn rwi_serializable(prog in program_strategy(3)) {
         let mut p = prog;
-        Runner::new(SystemKind::LockillerRwi).threads(3).config(SystemConfig::testing(3)).run(&mut p);
+        let _ = Runner::new(SystemKind::LockillerRwi).threads(3).config(SystemConfig::testing(3)).run(&mut p);
     }
 
     #[test]
     fn full_lockillertm_serializable(prog in program_strategy(3)) {
         let mut p = prog;
-        Runner::new(SystemKind::LockillerTm).threads(3).config(SystemConfig::testing(3)).run(&mut p);
+        let _ = Runner::new(SystemKind::LockillerTm).threads(3).config(SystemConfig::testing(3)).run(&mut p);
     }
 
     #[test]
@@ -128,12 +128,12 @@ proptest! {
         let mut cfg = SystemConfig::testing(3);
         cfg.mem.l1 = lockillertm::sim_core::config::CacheGeometry { sets: 4, ways: 2 };
         let mut p = prog;
-        Runner::new(SystemKind::LockillerTm).threads(3).config(cfg).run(&mut p);
+        let _ = Runner::new(SystemKind::LockillerTm).threads(3).config(cfg).run(&mut p);
     }
 
     #[test]
     fn losatm_serializable(prog in program_strategy(2)) {
         let mut p = prog;
-        Runner::new(SystemKind::LosaTmSafu).threads(2).config(SystemConfig::testing(2)).run(&mut p);
+        let _ = Runner::new(SystemKind::LosaTmSafu).threads(2).config(SystemConfig::testing(2)).run(&mut p);
     }
 }
