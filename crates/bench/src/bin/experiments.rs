@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [--quick] [--verbose] [--jobs N] [--no-cache]
 //!             [--cache FILE] [--csv FILE] [--bench-json FILE]
-//!             [table1|table2|fig1|fig7..fig13|headline|ablation|characterize|all]
+//!             [table1|table2|fig1|fig7..fig13|headline|ablation|characterize|forensics|all]
 //! ```
 //!
 //! `--quick` runs the reduced thread sweep {2, 8, 32} at Small workload
@@ -119,6 +119,10 @@ fn main() {
             "plots" => {
                 ex::plots(&mut lab, quick, std::path::Path::new("figures")).expect("write plots");
             }
+            "forensics" => {
+                ex::forensics(quick, std::path::Path::new("BENCH_forensics.json"))
+                    .expect("write forensics json");
+            }
             "all" => {
                 ex::table1();
                 ex::table2();
@@ -131,6 +135,8 @@ fn main() {
                 ex::fig12(&mut lab, quick);
                 ex::fig13(&mut lab, quick);
                 ex::headline(&mut lab, quick);
+                ex::forensics(quick, std::path::Path::new("BENCH_forensics.json"))
+                    .expect("write forensics json");
             }
             other => {
                 eprintln!("unknown experiment: {other}");

@@ -642,3 +642,88 @@ pub fn headline(lab: &mut Lab, quick: bool) -> String {
     println!("{out}");
     out
 }
+
+/// Conflict-forensics summary: who aborts whom and whether each reject
+/// action's recoveries save work, per system variant. Runs traced
+/// simulations through `tmobs` (recordings bypass the run cache), renders
+/// the per-variant ledger comparison, and writes the per-system blame
+/// reports as one JSON artifact (`BENCH_forensics.json`).
+pub fn forensics(quick: bool, json_out: &std::path::Path) -> std::io::Result<String> {
+    use stamp::Scale;
+    use tmobs::{run_trace, TraceConfig};
+
+    let systems = [
+        SystemKind::Baseline,
+        SystemKind::LockillerRai,
+        SystemKind::LockillerRri,
+        SystemKind::LockillerRwi,
+        SystemKind::LockillerTm,
+    ];
+    let workload = WorkloadKind::Intruder;
+    let threads = 8;
+    let scale = if quick { Scale::Tiny } else { Scale::Small };
+
+    let mut rows = Vec::new();
+    let mut blobs = Vec::new();
+    for &sys in &systems {
+        let mut cfg = TraceConfig::new(workload, sys);
+        cfg.threads = threads;
+        cfg.scale = scale;
+        let art = run_trace(&cfg);
+        if let Err(e) = &art.validation {
+            panic!("{} validation failed: {e}", sys.name());
+        }
+        let f = &art.forensics;
+        assert_eq!(
+            f.matrix.total_wasted(),
+            art.stats.aborted_cycles(),
+            "{}: forensics wasted-cycle total must reconcile with RunStats",
+            sys.name()
+        );
+        rows.push(vec![
+            sys.name().to_string(),
+            format!("{}", f.matrix.total_conflicts()),
+            format!("{}", f.ledger.nacks),
+            format!("{}", f.matrix.total_aborts()),
+            format!("{}", f.matrix.total_wasted()),
+            pct(art.stats.wasted_fraction()),
+            format!("{}", f.ledger.nacked_attempts),
+            pct(f.ledger.saved_fraction()),
+            pct(art.stats.commit_rate()),
+        ]);
+        blobs.push(format!(
+            "{{\"system\":\"{}\",\"blame\":{}}}",
+            sys.name(),
+            f.to_json(10).trim_end()
+        ));
+    }
+
+    let out = format!(
+        "FORENSICS. Conflict attribution + recovery outcomes ({} @ {threads} threads, {scale:?})\n{}",
+        workload.name(),
+        render(
+            &[
+                "system",
+                "conflicts",
+                "nacks",
+                "aborts",
+                "wasted",
+                "wasted%",
+                "nacked-tx",
+                "saved%",
+                "commit%",
+            ],
+            &rows
+        )
+    );
+    std::fs::write(
+        json_out,
+        format!(
+            "{{\"schema\":1,\"workload\":\"{}\",\"threads\":{threads},\"systems\":[{}]}}\n",
+            workload.name(),
+            blobs.join(",")
+        ),
+    )?;
+    println!("{out}");
+    Ok(out)
+}

@@ -27,7 +27,7 @@ use crate::msg::{
 };
 use noc::Mesh;
 use sim_core::config::{RejectAction, SystemConfig};
-use sim_core::obs::{Metric, MetricSpec};
+use sim_core::obs::{ConflictEdge, ConflictResolution, Metric, MetricSpec, RecoveryAction};
 use sim_core::stats::AbortCause;
 use sim_core::types::{CoreId, Cycle, LineAddr};
 
@@ -182,6 +182,12 @@ pub struct MemSystem {
     out_msgs: Vec<(Cycle, NetMsg)>,
     notices: Vec<(Cycle, CoreNotice)>,
     proto_events: Vec<(Cycle, ProtoEvent)>,
+    /// Conflict-edge observations for forensics; populated only when
+    /// [`MemSystem::set_record_conflicts`] armed them (the engine does so
+    /// iff an observability sink is attached). Write-only, like
+    /// [`ProtoEvent`]s: dropping them changes nothing.
+    conflicts: Vec<(Cycle, ConflictEdge)>,
+    record_conflicts: bool,
     pub stats: MemStats,
 }
 
@@ -215,6 +221,8 @@ impl MemSystem {
             out_msgs: Vec::new(),
             notices: Vec::new(),
             proto_events: Vec::new(),
+            conflicts: Vec::new(),
+            record_conflicts: false,
             stats: MemStats::default(),
             cfg,
         }
@@ -248,6 +256,24 @@ impl MemSystem {
         }
     }
 
+    fn conflict(&mut self, at: Cycle, edge: ConflictEdge) {
+        if self.record_conflicts {
+            self.conflicts.push((at, edge));
+        }
+    }
+
+    /// The rejected requester's follow-up under the configured reject
+    /// action, mirroring the engine's `handle_reject` dispatch: RAI only
+    /// applies to an in-HTM requester NACKed by a peer; signature rejects
+    /// and non-transactional requesters always park.
+    fn recovery_action_for(&self, mode: ReqMode, by_sig: bool) -> RecoveryAction {
+        match self.cfg.policy.reject_action {
+            RejectAction::SelfAbort if mode == ReqMode::Htm && !by_sig => RecoveryAction::Rai,
+            RejectAction::RetryLater => RecoveryAction::Rri,
+            _ => RecoveryAction::Rwi,
+        }
+    }
+
     /// Drain scheduled messages and notices accumulated by the last call.
     pub fn take_outputs(&mut self) -> Outputs {
         (
@@ -260,6 +286,18 @@ impl MemSystem {
     /// `cfg.check.enabled`).
     pub fn take_proto_events(&mut self) -> Vec<(Cycle, ProtoEvent)> {
         std::mem::take(&mut self.proto_events)
+    }
+
+    /// Arm (or disarm) conflict-edge recording for forensics. The engine
+    /// arms this when an observability sink is attached; recording is a
+    /// pure observation and cannot change protocol decisions.
+    pub fn set_record_conflicts(&mut self, on: bool) {
+        self.record_conflicts = on;
+    }
+
+    /// Drain recorded conflict edges (empty unless armed).
+    pub fn take_conflicts(&mut self) -> Vec<(Cycle, ConflictEdge)> {
+        std::mem::take(&mut self.conflicts)
     }
 
     pub fn noc_stats(&self) -> &noc::NocStats {
@@ -849,6 +887,27 @@ impl MemSystem {
                 if !self.sig_waiters.contains(&req.core) {
                     self.sig_waiters.push(req.core);
                 }
+                if self.record_conflicts {
+                    // The signatures belong to the (single) lock-mode
+                    // transaction; attribute the reject to it. Fall back
+                    // to a self-edge if it already exited.
+                    let holder = (0..self.meta.len())
+                        .find(|&c| self.meta[c].mode.is_lock())
+                        .unwrap_or(req.core);
+                    let action = self.recovery_action_for(req.mode, true);
+                    self.conflict(
+                        now,
+                        ConflictEdge {
+                            attacker: holder,
+                            victim: req.core,
+                            line,
+                            attacker_prio: PRIO_LOCK,
+                            victim_prio: req.prio,
+                            resolution: ConflictResolution::SigReject,
+                            action,
+                        },
+                    );
+                }
                 let at = now + self.cfg.mem.llc_hit;
                 self.send(
                     at,
@@ -1356,6 +1415,19 @@ impl MemSystem {
                         line,
                     },
                 );
+                let action = self.recovery_action_for(req.mode, false);
+                self.conflict(
+                    now,
+                    ConflictEdge {
+                        attacker: core,
+                        victim: req.core,
+                        line,
+                        attacker_prio: self.meta[core].prio,
+                        victim_prio: req.prio,
+                        resolution: ConflictResolution::Nack,
+                        action,
+                    },
+                );
                 if self.cfg.mem.direct_rsp {
                     // §III-A: the reject travels straight to the
                     // requester; the home still learns via the probe
@@ -1385,6 +1457,18 @@ impl MemSystem {
             }
             Winner::Requester => {
                 let cause = self.classify_conflict(&req);
+                self.conflict(
+                    now,
+                    ConflictEdge {
+                        attacker: req.core,
+                        victim: core,
+                        line,
+                        attacker_prio: req.prio,
+                        victim_prio: self.meta[core].prio,
+                        resolution: ConflictResolution::Abort(cause),
+                        action: RecoveryAction::None,
+                    },
+                );
                 self.abort_from_protocol(now, core, cause);
                 // The abort invalidated speculative (W) lines; an R-only
                 // line survives the abort and must still be invalidated

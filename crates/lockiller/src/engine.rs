@@ -206,8 +206,12 @@ impl Engine {
     }
 
     /// Attach an observability sink (span tracing + periodic sampling).
+    /// Also arms conflict-edge recording in the memory system so the
+    /// sink receives forensics events; recording is write-only and never
+    /// feeds back into protocol decisions.
     pub fn set_obs(&mut self, obs: ObsHandle) {
         self.obs = Some(obs);
+        self.ms.set_record_conflicts(true);
     }
 
     // ---------------- observability emission ----------------
@@ -366,6 +370,11 @@ impl Engine {
                     }
                 };
                 self.trace.record(at, from, kind);
+            }
+        }
+        if let Some(o) = &self.obs {
+            for (cycle, edge) in self.ms.take_conflicts() {
+                o.emit(ObsEvent::Conflict { cycle, edge });
             }
         }
     }

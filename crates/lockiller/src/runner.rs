@@ -4,8 +4,10 @@
 //! [`Runner::run`] is the single entry point: it always returns the
 //! statistics, the final memory image, and — when tracing was requested
 //! via [`Runner::tracing`] or checked mode — the structured event trace.
-//! The historical `run_traced` / `run_raw` / `run_traced_raw` splits
-//! remain as deprecated shims for one release.
+//! Nothing in this repository calls the deprecated `run_traced` /
+//! `run_raw` / `run_traced_raw` shims any more (CI builds with
+//! `-D deprecated` to keep it that way); they will be removed next
+//! release.
 //!
 //! `Runner` is plain data (`Send`), so batch executors like
 //! `lockiller_bench::tmlab` can build one per worker thread and fan

@@ -17,7 +17,7 @@
 //! and can never feed back into timing or protocol decisions.
 
 use crate::stats::AbortCause;
-use crate::types::{CoreId, Cycle};
+use crate::types::{CoreId, Cycle, LineAddr};
 use std::sync::{Arc, Mutex};
 
 /// Where a span lives in the exported trace: one track per core plus
@@ -99,6 +99,74 @@ impl SpanEnd {
             SpanEnd::End => "end",
         }
     }
+}
+
+/// How a detected conflict was resolved by the protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConflictResolution {
+    /// The victim's transaction was aborted (requester-wins outcome);
+    /// the cause is what [`crate::stats::RunStats`] records for it.
+    Abort(AbortCause),
+    /// The victim's request was NACKed by the line owner (recovery
+    /// systems: the requester must retry, park, or self-abort).
+    Nack,
+    /// The victim's request was rejected by the LLC overflow signatures
+    /// of a lock-mode transaction.
+    SigReject,
+}
+
+impl ConflictResolution {
+    pub fn name(self) -> &'static str {
+        match self {
+            ConflictResolution::Abort(_) => "abort",
+            ConflictResolution::Nack => "nack",
+            ConflictResolution::SigReject => "sig_reject",
+        }
+    }
+}
+
+/// The rejected requester's follow-up, per the paper's reject-action
+/// taxonomy (Lockiller-RAI / -RRI / -RWI).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Requester-abort-itself: the NACKed transaction aborts locally.
+    Rai,
+    /// Requester-retry-it: park for a fixed pause, then reissue.
+    Rri,
+    /// Requester-wait-it: park until a wake-up (or safety-net timeout).
+    Rwi,
+    /// No follow-up decision (the victim was aborted outright).
+    None,
+}
+
+impl RecoveryAction {
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryAction::Rai => "rai",
+            RecoveryAction::Rri => "rri",
+            RecoveryAction::Rwi => "rwi",
+            RecoveryAction::None => "-",
+        }
+    }
+}
+
+/// One conflict edge: `attacker` kept (or took) the cache line,
+/// `victim` lost the round. For an `Abort` resolution the attacker is
+/// the requester and the victim the aborted owner; for `Nack` /
+/// `SigReject` the attacker is the owner that rejected the `victim`'s
+/// request. Priorities are the raw arbitration inputs (`u64::MAX` is
+/// the lock-mode sentinel).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConflictEdge {
+    pub attacker: CoreId,
+    pub victim: CoreId,
+    pub line: LineAddr,
+    pub attacker_prio: u64,
+    pub victim_prio: u64,
+    pub resolution: ConflictResolution,
+    /// The rejected requester's follow-up; [`RecoveryAction::None`] for
+    /// `Abort` resolutions.
+    pub action: RecoveryAction,
 }
 
 /// One time-series metric. Indexed variants form families (one series
@@ -214,6 +282,8 @@ pub enum ObsEvent {
         metric: Metric,
         value: u64,
     },
+    /// A conflict edge resolved by the coherence protocol (forensics).
+    Conflict { cycle: Cycle, edge: ConflictEdge },
 }
 
 /// Write-only sink for observability events. Implementations must not
@@ -327,6 +397,30 @@ mod tests {
         let s = sink.lock().unwrap();
         assert_eq!(s.0, 1);
         assert_eq!(s.1, Some(7));
+    }
+
+    #[test]
+    fn conflict_vocabulary_names_are_stable() {
+        // ObsEvent must stay Copy: emission sites pass events by value.
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<ObsEvent>();
+        assert_eq!(ConflictResolution::Nack.name(), "nack");
+        assert_eq!(ConflictResolution::SigReject.name(), "sig_reject");
+        assert_eq!(ConflictResolution::Abort(AbortCause::Mc).name(), "abort");
+        assert_eq!(RecoveryAction::Rai.name(), "rai");
+        assert_eq!(RecoveryAction::Rri.name(), "rri");
+        assert_eq!(RecoveryAction::Rwi.name(), "rwi");
+        assert_eq!(RecoveryAction::None.name(), "-");
+        let e = ConflictEdge {
+            attacker: 1,
+            victim: 2,
+            line: LineAddr(0x40),
+            attacker_prio: 7,
+            victim_prio: 3,
+            resolution: ConflictResolution::Nack,
+            action: RecoveryAction::Rwi,
+        };
+        assert_eq!(e, e);
     }
 
     #[test]

@@ -300,6 +300,19 @@ impl RunStats {
         ratio(self.aborts[cause.index()], self.total_aborts())
     }
 
+    /// Speculative cycles thrown away by aborts — the forensics layer's
+    /// "wasted work" total (its conflict matrix must reconcile with this
+    /// exactly).
+    pub fn aborted_cycles(&self) -> Cycle {
+        self.phase(Phase::Aborted)
+    }
+
+    /// Fraction of all attributed cycles that were wasted in aborted
+    /// speculation. NaN-free: 0.0 on an empty run.
+    pub fn wasted_fraction(&self) -> f64 {
+        ratio(self.phase(Phase::Aborted), self.phases.iter().sum())
+    }
+
     /// Mean hops per NoC message.
     pub fn avg_hops_per_msg(&self) -> f64 {
         ratio(self.hops, self.messages)

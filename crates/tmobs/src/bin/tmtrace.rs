@@ -2,49 +2,71 @@
 //! the recorder attached and write the artifacts to disk.
 //!
 //! ```text
-//! tmtrace [--workload NAME] [--system NAME] [--threads N]
-//!         [--scale tiny|small|full] [--seed HEX] [--sample CYCLES]
-//!         [--out DIR] [--timeline] [--validate] [-v]
+//! tmtrace [run]  [--workload NAME] [--system NAME] [--threads N]
+//!                [--scale tiny|small|full] [--seed HEX] [--sample CYCLES]
+//!                [--out DIR] [--timeline] [--validate] [-v]
+//! tmtrace blame  [same options] [--top N]
+//! tmtrace diff   A.json B.json [--threshold PCT]
 //! ```
 //!
 //! Defaults: intruder on LockillerTM, 4 threads, tiny scale, artifacts
 //! under `tmtrace-out/`. `--validate` re-parses the written Chrome trace
 //! and checks its structural invariants (exit status 1 on failure, so CI
 //! can gate on it). Load the `.trace.json` in <https://ui.perfetto.dev>.
+//!
+//! `blame` additionally renders the conflict forensics (attacker/victim
+//! matrix, per-line hotspots, recovery ledger), writes `<stem>.blame.json`,
+//! and fails (exit 1) if the matrix's wasted-cycle total does not
+//! reconcile with the run's aborted-cycle statistics. Both `run` and
+//! `blame` write `<stem>.stats.json` so a later `tmtrace diff` can gate
+//! on run-to-run regressions: `diff` exits 0 when no numeric leaf differs
+//! beyond the threshold (default 0%: any change), 1 otherwise.
 
 use lockiller::system::SystemKind;
 use stamp::{Scale, WorkloadKind};
-use tmobs::{run_trace, validate_chrome, TraceConfig};
+use tmobs::{diff_docs, run_trace, validate_chrome, TraceConfig};
+
+enum Cmd {
+    Run,
+    Blame,
+}
 
 struct Args {
+    cmd: Cmd,
     cfg: TraceConfig,
     out: std::path::PathBuf,
     timeline: bool,
     validate: bool,
     verbose: bool,
+    top: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tmtrace [--workload NAME] [--system NAME] [--threads N]\n\
+        "usage: tmtrace [run]  [--workload NAME] [--system NAME] [--threads N]\n\
          \x20              [--scale tiny|small|full] [--seed HEX] [--sample CYCLES]\n\
-         \x20              [--out DIR] [--timeline] [--validate] [-v]"
+         \x20              [--out DIR] [--timeline] [--validate] [-v]\n\
+         \x20      tmtrace blame [same options] [--top N]\n\
+         \x20      tmtrace diff  A.json B.json [--threshold PCT]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> Args {
+fn parse_args(mut it: std::env::Args) -> Args {
     let mut args = Args {
+        cmd: Cmd::Run,
         cfg: TraceConfig::new(WorkloadKind::Intruder, SystemKind::LockillerTm),
         out: std::path::PathBuf::from("tmtrace-out"),
         timeline: false,
         validate: false,
         verbose: false,
+        top: 10,
     };
-    let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| usage());
         match a.as_str() {
+            "run" => args.cmd = Cmd::Run,
+            "blame" => args.cmd = Cmd::Blame,
             "--workload" | "-w" => {
                 let v = val();
                 let Some(k) = WorkloadKind::from_name(&v) else {
@@ -80,6 +102,7 @@ fn parse_args() -> Args {
             "--sample" => {
                 args.cfg.sample_every = val().parse().unwrap_or_else(|_| usage());
             }
+            "--top" => args.top = val().parse().unwrap_or_else(|_| usage()),
             "--out" | "-o" => args.out = val().into(),
             "--timeline" => args.timeline = true,
             "--validate" => args.validate = true,
@@ -94,8 +117,77 @@ fn parse_args() -> Args {
     args
 }
 
+/// `tmtrace diff A.json B.json [--threshold PCT]`: exit 0 when every
+/// numeric leaf agrees within the threshold, 1 when any delta is flagged.
+fn cmd_diff(mut it: std::env::Args) -> ! {
+    let mut files: Vec<String> = Vec::new();
+    let mut threshold = 0.0f64;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "-h" | "--help" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("diff needs exactly two JSON files");
+        usage();
+    }
+    let read = |p: &str| -> String {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (a, b) = (read(&files[0]), read(&files[1]));
+    match diff_docs(&a, &b, threshold) {
+        Ok(deltas) if deltas.is_empty() => {
+            println!(
+                "no deltas beyond {threshold}% between {} and {}",
+                files[0], files[1]
+            );
+            std::process::exit(0);
+        }
+        Ok(deltas) => {
+            println!(
+                "{} delta(s) beyond {threshold}% between {} and {}:",
+                deltas.len(),
+                files[0],
+                files[1]
+            );
+            for d in &deltas {
+                println!("  {}", d.render());
+            }
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("diff FAILED: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
-    let args = parse_args();
+    let mut it = std::env::args();
+    it.next(); // argv[0]
+               // `diff` has its own grammar (positional files); dispatch before the
+               // flag parser sees it.
+    let args = if std::env::args().nth(1).as_deref() == Some("diff") {
+        it.next();
+        cmd_diff(it)
+    } else {
+        parse_args(it)
+    };
+
     let art = run_trace(&args.cfg);
 
     if let Err(e) = &art.validation {
@@ -112,11 +204,35 @@ fn main() {
     let trace_path = args.out.join(format!("{stem}.trace.json"));
     let jsonl_path = args.out.join(format!("{stem}.metrics.jsonl"));
     let summary_path = args.out.join(format!("{stem}.summary.txt"));
+    let stats_path = args.out.join(format!("{stem}.stats.json"));
     std::fs::write(&trace_path, &art.chrome_json).expect("write trace");
     std::fs::write(&jsonl_path, &art.metrics_jsonl).expect("write metrics");
     std::fs::write(&summary_path, &art.summary).expect("write summary");
+    std::fs::write(&stats_path, art.stats.to_json()).expect("write stats");
 
-    print!("{}", art.summary);
+    if matches!(args.cmd, Cmd::Blame) {
+        let blame_path = args.out.join(format!("{stem}.blame.json"));
+        let doc = art.forensics.to_json(args.top);
+        if let Err(e) = tmobs::json::parse(&doc) {
+            eprintln!("blame JSON validation FAILED: {e}");
+            std::process::exit(1);
+        }
+        std::fs::write(&blame_path, &doc).expect("write blame");
+        print!("{}", art.forensics.render(args.top));
+        match art.forensics.reconcile(&art.stats) {
+            Ok(()) => println!(
+                "\nreconciled: matrix wasted cycles == RunStats aborted cycles ({})",
+                art.stats.aborted_cycles()
+            ),
+            Err(e) => {
+                eprintln!("\nblame reconciliation FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        println!("wrote {}", blame_path.display());
+    } else {
+        print!("{}", art.summary);
+    }
     if args.timeline {
         print!("{}", art.timeline);
     }
@@ -124,21 +240,23 @@ fn main() {
         print!("{}", art.profile);
     }
     println!(
-        "wrote {} ({} spans, {} sample rows)",
+        "wrote {} ({} spans, {} sample rows, {} conflict edges)",
         trace_path.display(),
         art.recorder.spans().len(),
-        art.recorder.samples().len()
+        art.recorder.samples().len(),
+        art.recorder.conflicts().len()
     );
     println!("wrote {}", jsonl_path.display());
     println!("wrote {}", summary_path.display());
+    println!("wrote {}", stats_path.display());
     println!("open the trace at https://ui.perfetto.dev");
 
     if args.validate {
         let written = std::fs::read_to_string(&trace_path).expect("re-read trace");
         match validate_chrome(&written) {
             Ok(s) => println!(
-                "validated: {} spans on {} tracks, {} counter samples in {} series",
-                s.spans, s.tracks, s.counters, s.counter_series
+                "validated: {} spans on {} tracks, {} counter samples in {} series, {} instants",
+                s.spans, s.tracks, s.counters, s.counter_series, s.instants
             ),
             Err(e) => {
                 eprintln!("trace validation FAILED: {e}");

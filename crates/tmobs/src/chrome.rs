@@ -65,6 +65,21 @@ pub fn export_chrome(rec: &Recorder, meta: &TraceMeta) -> String {
     for s in rec.spans() {
         events.push(span_event(s, meta.threads));
     }
+    // Conflict edges as thread-scoped instant events on the victim's
+    // track, so blame shows up inline with the aborted/parked spans.
+    for c in rec.conflicts() {
+        let e = &c.edge;
+        events.push(format!(
+            "{{\"name\":\"conflict:{}\",\"cat\":\"conflict\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"ts\":{},\"args\":{{\"attacker\":{},\"victim\":{},\"line\":\"{:?}\",\"action\":\"{}\"}}}}",
+            e.resolution.name(),
+            tid(Track::Core(e.victim), meta.threads),
+            c.cycle,
+            e.attacker,
+            e.victim,
+            e.line,
+            e.action.name(),
+        ));
+    }
     for row in rec.samples() {
         for &(metric, value) in &row.values {
             events.push(format!(
@@ -92,6 +107,7 @@ pub struct ChromeSummary {
     pub counters: usize,
     pub tracks: usize,
     pub counter_series: usize,
+    pub instants: usize,
 }
 
 /// Parse an exported document back and check the structural invariants
@@ -150,6 +166,12 @@ pub fn validate_chrome(doc: &str) -> Result<ChromeSummary, String> {
                     series.push(name);
                 }
                 summary.counters += 1;
+            }
+            "i" => {
+                if ev.get("ts").and_then(Json::as_f64).is_none() {
+                    return Err(format!("event {i}: i without ts"));
+                }
+                summary.instants += 1;
             }
             "M" => {}
             other => return Err(format!("event {i}: unexpected ph {other:?}")),

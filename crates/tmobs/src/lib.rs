@@ -14,6 +14,11 @@
 //!   Perfetto — one track per core plus LLC and NoC tracks), [`jsonl`]
 //!   (metrics time series, one JSON object per sample tick), and
 //!   [`summary`] (terminal occupancy heatmap + abort/NoC/LLC tables);
+//! - [`forensics`] — conflict forensics derived from a recording: the
+//!   attacker/victim matrix with wasted-cycle weights, the per-line
+//!   hotspot table, and the recovery-outcome ledger (`tmtrace blame`);
+//! - [`diff`] — schema-agnostic numeric JSON diff used as a run-to-run
+//!   regression detector (`tmtrace diff`, bench, CI);
 //! - [`session`] — a one-call harness running a STAMP workload on a
 //!   Table-II system with a recorder attached, returning all artifacts;
 //! - [`selfprof::SelfProfiler`] — host-side wall-clock accounting of the
@@ -28,6 +33,8 @@
 
 pub mod batch;
 pub mod chrome;
+pub mod diff;
+pub mod forensics;
 pub mod jsonl;
 pub mod recorder;
 pub mod registry;
@@ -42,8 +49,10 @@ pub use sim_core::json;
 
 pub use batch::BatchProgress;
 pub use chrome::{export_chrome, validate_chrome, ChromeSummary, TraceMeta};
+pub use diff::{diff_docs, diff_values, MetricDelta};
+pub use forensics::{analyze, ConflictMatrix, ForensicsReport, LineHotspot, RecoveryLedger};
 pub use jsonl::export_jsonl;
-pub use recorder::{Recorder, SampleRow, Span};
+pub use recorder::{ConflictEvent, Recorder, SampleRow, Span};
 pub use registry::{standard_histograms, Histogram, MetricsRegistry};
 pub use selfprof::SelfProfiler;
 pub use session::{run_trace, TraceArtifacts, TraceConfig};

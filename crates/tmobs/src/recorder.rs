@@ -8,7 +8,7 @@
 //! racing its own wake-up, or a transaction still running when the last
 //! thread exits.
 
-use sim_core::obs::{Metric, ObsEvent, ObsHandle, ObsSink, SpanEnd, SpanKind, Track};
+use sim_core::obs::{ConflictEdge, Metric, ObsEvent, ObsHandle, ObsSink, SpanEnd, SpanKind, Track};
 use sim_core::types::{CoreId, Cycle};
 use std::sync::{Arc, Mutex};
 
@@ -31,6 +31,14 @@ impl Span {
     }
 }
 
+/// A recorded conflict edge, stamped with the simulated cycle of the
+/// arbitration decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConflictEvent {
+    pub cycle: Cycle,
+    pub edge: ConflictEdge,
+}
+
 /// Every metric observed at one sample tick, in emission order.
 #[derive(Clone, Debug)]
 pub struct SampleRow {
@@ -46,6 +54,13 @@ pub struct Recorder {
     /// handful per core are ever open at once.
     open: Vec<Span>,
     samples: Vec<SampleRow>,
+    conflicts: Vec<ConflictEvent>,
+    /// Closed-span storage bound; `None` (the default) is unbounded.
+    /// When the cap is hit, further closing spans are dropped (counted in
+    /// [`Recorder::dropped_spans`]); pairing state keeps working, so the
+    /// kept prefix is still well-formed.
+    span_cap: Option<usize>,
+    dropped_spans: u64,
     unmatched_ends: u64,
     auto_closed: u64,
     end_cycle: Cycle,
@@ -62,9 +77,35 @@ impl Recorder {
         (handle, rec)
     }
 
+    /// A recorder that keeps at most `cap` closed spans (bounded memory
+    /// for long runs); see [`Recorder::dropped_spans`].
+    pub fn with_span_cap(cap: usize) -> Recorder {
+        Recorder {
+            span_cap: Some(cap),
+            ..Recorder::default()
+        }
+    }
+
+    fn push_span(&mut self, s: Span) {
+        match self.span_cap {
+            Some(cap) if self.spans.len() >= cap => self.dropped_spans += 1,
+            _ => self.spans.push(s),
+        }
+    }
+
     /// Closed spans, in close order.
     pub fn spans(&self) -> &[Span] {
         &self.spans
+    }
+
+    /// Conflict edges, in emission order.
+    pub fn conflicts(&self) -> &[ConflictEvent] {
+        &self.conflicts
+    }
+
+    /// Closing spans discarded because the span cap was reached.
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped_spans
     }
 
     /// Sample rows, in emission (cycle) order.
@@ -133,7 +174,7 @@ impl ObsSink for Recorder {
                     let mut s = self.open.remove(i);
                     s.end = cycle;
                     s.outcome = end;
-                    self.spans.push(s);
+                    self.push_span(s);
                 } else {
                     self.unmatched_ends += 1;
                 }
@@ -149,15 +190,18 @@ impl ObsSink for Recorder {
                     values: vec![(metric, value)],
                 }),
             },
+            ObsEvent::Conflict { cycle, edge } => {
+                self.conflicts.push(ConflictEvent { cycle, edge });
+            }
         }
     }
 
     fn finish(&mut self, cycle: Cycle) {
         self.end_cycle = self.end_cycle.max(cycle);
-        for mut s in self.open.drain(..) {
+        for mut s in std::mem::take(&mut self.open) {
             s.end = cycle.max(s.start);
             s.outcome = SpanEnd::End;
-            self.spans.push(s);
+            self.push_span(s);
             self.auto_closed += 1;
         }
         self.finished = true;
@@ -229,6 +273,46 @@ mod tests {
         assert_eq!(r.samples().len(), 2);
         assert_eq!(r.samples()[0].values.len(), 2);
         assert_eq!(r.samples()[1].cycle, 2000);
+    }
+
+    #[test]
+    fn span_cap_drops_and_counts() {
+        let mut r = Recorder::with_span_cap(2);
+        for i in 0..4u64 {
+            r.event(begin(i * 10, SpanKind::Txn, 0));
+            r.event(end(i * 10 + 5, SpanKind::Txn, 0, SpanEnd::Commit));
+        }
+        r.event(begin(100, SpanKind::Park, 1));
+        r.finish(200);
+        // Two kept, two dropped at close time, one dropped at auto-close.
+        assert_eq!(r.spans().len(), 2);
+        assert_eq!(r.dropped_spans(), 3);
+        assert_eq!(r.auto_closed(), 1);
+        assert_eq!(r.spans()[0].start, 0);
+        assert_eq!(r.spans()[1].start, 10);
+    }
+
+    #[test]
+    fn conflicts_are_recorded_in_order() {
+        use sim_core::obs::{ConflictResolution, RecoveryAction};
+        use sim_core::types::LineAddr;
+        let mut r = Recorder::default();
+        for c in 0..3u64 {
+            r.event(ObsEvent::Conflict {
+                cycle: c,
+                edge: ConflictEdge {
+                    attacker: 0,
+                    victim: 1,
+                    line: LineAddr(c),
+                    attacker_prio: 1,
+                    victim_prio: 0,
+                    resolution: ConflictResolution::Nack,
+                    action: RecoveryAction::Rwi,
+                },
+            });
+        }
+        assert_eq!(r.conflicts().len(), 3);
+        assert_eq!(r.conflicts()[2].edge.line, LineAddr(2));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! thin CLI over this; tests drive it directly).
 
 use crate::chrome::{export_chrome, TraceMeta};
+use crate::forensics::{self, ForensicsReport};
 use crate::jsonl::export_jsonl;
 use crate::recorder::Recorder;
 use crate::registry::MetricsRegistry;
@@ -61,6 +62,9 @@ pub struct TraceArtifacts {
     pub profile: String,
     /// The workload's own post-run validation result.
     pub validation: Result<(), String>,
+    /// Conflict forensics (attacker/victim matrix, hotspots, recovery
+    /// ledger) derived from the recording; `tmtrace blame` renders it.
+    pub forensics: ForensicsReport,
 }
 
 /// Run `cfg` to completion and export all artifacts.
@@ -91,6 +95,7 @@ pub fn run_trace(cfg: &TraceConfig) -> TraceArtifacts {
     let metrics_jsonl = export_jsonl(&recorder, &registry);
     let summary = render_summary(&recorder, &stats);
     let timeline = lockiller::render_timeline(&events, cfg.threads, 100);
+    let forensics = forensics::analyze(&recorder, cfg.threads);
     prof.lap("export");
     TraceArtifacts {
         stats,
@@ -101,5 +106,6 @@ pub fn run_trace(cfg: &TraceConfig) -> TraceArtifacts {
         timeline,
         profile: prof.render(),
         validation,
+        forensics,
     }
 }

@@ -103,15 +103,26 @@ pub fn render_summary(rec: &Recorder, stats: &RunStats) -> String {
         out.push_str("| (mean park fraction per core)\n");
     }
 
-    // Abort causes.
+    // Abort causes, labeled by the taxonomy's display names with a
+    // NaN-free share column (`abort_fraction` returns 0.0 on empty runs,
+    // and zero-count causes are skipped anyway).
     if stats.total_aborts() > 0 {
         out.push_str("\naborts by cause:\n");
         for cause in AbortCause::ALL {
             let n = stats.aborts[cause.index()];
             if n > 0 {
-                out.push_str(&format!("  {:<9} {n}\n", cause.name()));
+                out.push_str(&format!(
+                    "  {:<9} {n:>8} {:>5.1}%\n",
+                    cause.name(),
+                    stats.abort_fraction(cause) * 100.0
+                ));
             }
         }
+        out.push_str(&format!(
+            "  wasted speculation: {} cycles ({:.1}% of attributed time)\n",
+            stats.aborted_cycles(),
+            stats.wasted_fraction() * 100.0
+        ));
     }
 
     // NoC and LLC.
