@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [--quick] [--verbose] [--jobs N] [--no-cache]
 //!             [--cache FILE] [--csv FILE] [--bench-json FILE]
-//!             [table1|table2|fig1|fig7..fig13|headline|ablation|characterize|forensics|all]
+//!             [table1|table2|fig1|fig7..fig13|headline|ablation|characterize|forensics|verify|all]
 //! ```
 //!
 //! `--quick` runs the reduced thread sweep {2, 8, 32} at Small workload
@@ -123,6 +123,14 @@ fn main() {
                 ex::forensics(quick, std::path::Path::new("BENCH_forensics.json"))
                     .expect("write forensics json");
             }
+            "verify" => {
+                lockiller_bench::verify::run(
+                    quick,
+                    jobs,
+                    std::path::Path::new("BENCH_verify.json"),
+                )
+                .expect("write verify json");
+            }
             "all" => {
                 ex::table1();
                 ex::table2();
@@ -137,6 +145,12 @@ fn main() {
                 ex::headline(&mut lab, quick);
                 ex::forensics(quick, std::path::Path::new("BENCH_forensics.json"))
                     .expect("write forensics json");
+                lockiller_bench::verify::run(
+                    quick,
+                    jobs,
+                    std::path::Path::new("BENCH_verify.json"),
+                )
+                .expect("write verify json");
             }
             other => {
                 eprintln!("unknown experiment: {other}");

@@ -1,0 +1,105 @@
+//! Exploration-budget accounting for the `tmverify` model checker.
+//!
+//! `experiments verify` runs a fixed battery of small configurations
+//! through exhaustive schedule exploration and writes the budget
+//! statistics (schedules executed, reduction effectiveness, wall
+//! clock) to `BENCH_verify.json`, the same convention as
+//! `BENCH_lab.json` / `BENCH_forensics.json`: a regression in these
+//! numbers means the state space or the pruning changed.
+
+use lockiller::SystemKind;
+use std::io::Write;
+use std::path::Path;
+use tmverify::progs::ProgSpec;
+use tmverify::Explorer;
+
+struct Entry {
+    name: &'static str,
+    system: SystemKind,
+    prog: &'static str,
+    inject_drop_wakeups: bool,
+    expect_clean: bool,
+}
+
+const SUITE: &[Entry] = &[
+    Entry {
+        name: "ring-2c2l-rwi",
+        system: SystemKind::LockillerRwi,
+        prog: "2/c:L0,S1/c:L1,S0",
+        inject_drop_wakeups: false,
+        expect_clean: true,
+    },
+    Entry {
+        name: "ring-3c3l-rwi",
+        system: SystemKind::LockillerRwi,
+        prog: "3/c:L0,S1/c:L1,S2/c:L2,S0",
+        inject_drop_wakeups: false,
+        expect_clean: true,
+    },
+    Entry {
+        name: "ring-3c3l-tm",
+        system: SystemKind::LockillerTm,
+        prog: "3/c:L0,S1/c:L1,S2/c:L2,S0",
+        inject_drop_wakeups: false,
+        expect_clean: true,
+    },
+    Entry {
+        name: "ring-4c2l-rwi",
+        system: SystemKind::LockillerRwi,
+        prog: "2/c:L0,S1/c:L1,S0/c:L0,S1/c:L1,S0",
+        inject_drop_wakeups: false,
+        expect_clean: true,
+    },
+    Entry {
+        name: "detector-drop-wakeups",
+        system: SystemKind::LockillerRwi,
+        prog: "2/c:L0,S1/c:L1,S0",
+        inject_drop_wakeups: true,
+        expect_clean: false,
+    },
+];
+
+/// Run the battery and write `BENCH_verify.json`; panics if a config's
+/// verdict flips (a clean config finding a violation, or the detector
+/// row going blind).
+pub fn run(quick: bool, jobs: usize, path: &Path) -> std::io::Result<()> {
+    let mut rows = Vec::new();
+    for e in SUITE {
+        if quick && e.name.starts_with("ring-4c") {
+            continue;
+        }
+        let spec = ProgSpec::parse(e.prog).expect("suite specs are valid");
+        let mut ex = Explorer::new(e.system, spec);
+        ex.no_safety_net = true;
+        ex.jobs = jobs.max(1);
+        ex.inject.drop_wakeups = e.inject_drop_wakeups;
+        let start = std::time::Instant::now();
+        let rep = ex.explore();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            rep.is_clean(),
+            e.expect_clean,
+            "{}: verdict flipped:\n{}",
+            e.name,
+            rep.render()
+        );
+        assert!(rep.complete(), "{}: space no longer drains", e.name);
+        eprintln!(
+            "[verify {}: {} schedule(s), {} sleep-pruned, {} deduped, {:.0} ms]",
+            e.name, rep.schedules, rep.pruned_sleep, rep.pruned_dedup, wall_ms
+        );
+        rows.push(format!(
+            "  {{\"name\": \"{}\", \"system\": \"{}\", \"prog\": \"{}\", \
+             \"wall_ms\": {:.3}, \"report\": {}}}",
+            e.name,
+            e.system.name(),
+            e.prog,
+            wall_ms,
+            rep.to_json()
+        ));
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{\"verify\": [\n{}\n]}}", rows.join(",\n"))?;
+    eprintln!("[verification budget report in {}]", path.display());
+    Ok(())
+}

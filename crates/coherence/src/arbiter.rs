@@ -31,6 +31,10 @@ pub enum HlaDecision {
 pub struct HlaArbiter {
     holder: Option<(CoreId, bool)>, // (core, is_stl)
     queued_tl: Option<CoreId>,
+    /// Extra concurrent holders that exist only under the `double_grant`
+    /// fault injection (see [`HlaArbiter::inject_double_grant`]).
+    rogue: Vec<CoreId>,
+    double_grant: bool,
     pub grants: u64,
     pub denials: u64,
 }
@@ -38,6 +42,15 @@ pub struct HlaArbiter {
 impl HlaArbiter {
     pub fn new() -> HlaArbiter {
         HlaArbiter::default()
+    }
+
+    /// Enable the seeded `double_grant` protocol bug: STL requests that
+    /// should be denied while a lock transaction is active are granted
+    /// instead, and the mismatched releases that follow are tolerated
+    /// rather than treated as fatal. The checkers must catch the
+    /// resulting concurrent lock-mode critical sections.
+    pub fn inject_double_grant(&mut self) {
+        self.double_grant = true;
     }
 
     pub fn holder(&self) -> Option<(CoreId, bool)> {
@@ -53,6 +66,11 @@ impl HlaArbiter {
                 HlaDecision::Granted
             }
             (Some(_), true) => {
+                if self.double_grant {
+                    self.rogue.push(core);
+                    self.grants += 1;
+                    return HlaDecision::Granted;
+                }
                 self.denials += 1;
                 HlaDecision::Denied
             }
@@ -72,6 +90,10 @@ impl HlaArbiter {
     /// Release by the current holder. Returns a queued TL core that must
     /// now be granted (the caller sends it the grant message).
     pub fn release(&mut self, core: CoreId) -> Option<CoreId> {
+        if let Some(i) = self.rogue.iter().position(|&c| c == core) {
+            self.rogue.remove(i);
+            return None;
+        }
         match self.holder {
             Some((h, _)) if h == core => {
                 self.holder = None;
@@ -82,6 +104,7 @@ impl HlaArbiter {
                 }
                 None
             }
+            _ if self.double_grant => None,
             other => panic!("release by non-holder {core} (holder: {other:?})"),
         }
     }
@@ -154,5 +177,20 @@ mod tests {
         a.request(0, true);
         a.request(1, false);
         a.request(2, false);
+    }
+
+    #[test]
+    fn double_grant_fault_breaks_exclusivity() {
+        let mut a = HlaArbiter::new();
+        a.inject_double_grant();
+        assert_eq!(a.request(0, false), HlaDecision::Granted);
+        // An STL request while a TL holder is active must be denied; the
+        // injected bug grants it anyway.
+        assert_eq!(a.request(1, true), HlaDecision::Granted);
+        assert_eq!(a.grants, 2);
+        // Both releases are tolerated in either order.
+        assert_eq!(a.release(1), None);
+        assert_eq!(a.release(0), None);
+        assert_eq!(a.holder(), None);
     }
 }

@@ -216,7 +216,13 @@ impl MemSystem {
             sig_rd: Signature::new(cfg.mem.signature_bits, cfg.mem.signature_hashes),
             sig_wr: Signature::new(cfg.mem.signature_bits, cfg.mem.signature_hashes),
             sig_waiters: Vec::new(),
-            arbiter: HlaArbiter::new(),
+            arbiter: {
+                let mut a = HlaArbiter::new();
+                if cfg.check.fault.double_grant {
+                    a.inject_double_grant();
+                }
+                a
+            },
             mutex_line: None,
             out_msgs: Vec::new(),
             notices: Vec::new(),
@@ -1599,6 +1605,31 @@ impl MemSystem {
         }
         self.l1s[core].touch(line);
         self.notice(now, CoreNotice::AccessDone { core });
+    }
+
+    /// Fold the behaviourally relevant memory-system state into `h`
+    /// (for the schedule explorer's state fingerprint; see
+    /// `lockiller::sched`). Uses `Debug` renderings of the component
+    /// state machines: two runs in the *same* state always hash equal
+    /// except where hash-map iteration order diverges across insertion
+    /// histories, and such a miss only costs the explorer pruning — it
+    /// can never merge genuinely different states.
+    pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        for (i, l1) in self.l1s.iter().enumerate() {
+            format!("l1[{i}]={l1:?}").hash(h);
+        }
+        for (i, m) in self.meta.iter().enumerate() {
+            format!("meta[{i}]={m:?}").hash(h);
+        }
+        for (i, b) in self.banks.iter().enumerate() {
+            format!("bank[{i}]={b:?}").hash(h);
+        }
+        format!("mesh={:?}", self.mesh).hash(h);
+        format!("sig=({:?},{:?})", self.sig_rd, self.sig_wr).hash(h);
+        format!("waiters={:?}", self.sig_waiters).hash(h);
+        format!("arbiter={:?}", self.arbiter).hash(h);
+        format!("mutex={:?}", self.mutex_line).hash(h);
     }
 
     /// Debug invariant: single-writer/multiple-reader — no line may be

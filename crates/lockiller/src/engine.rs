@@ -23,16 +23,23 @@
 
 use crate::flatmem::{FlatMem, WriteBuffer};
 use crate::guest::{GuestOp, GuestResp, TTEST_HTM, TTEST_STL, TTEST_TL};
+use crate::sched::{EvClass, EvDesc, RunEnd, Scheduler};
 use crate::trace::{Trace, TraceKind};
 use coherence::memsys::{AccessKind, AccessResult, CoreNotice, MemSystem};
-use coherence::msg::TxMode;
+use coherence::msg::{NetMsg, TxMode};
 use sim_core::config::{PriorityKind, RejectAction, SystemConfig};
 use sim_core::event::EventQueue;
-use sim_core::fxhash::FxHashSet;
+use sim_core::fxhash::{FxHashSet, FxHasher};
 use sim_core::obs::{Metric, MetricSpec, ObsEvent, ObsHandle, SpanEnd, SpanKind, Track};
 use sim_core::stats::{AbortCause, Phase, PhaseTracker, RunStats};
 use sim_core::types::{Addr, CoreId, Cycle};
+use std::hash::{Hash, Hasher};
 use std::sync::mpsc::{Receiver, Sender};
+
+/// Decay origin for the `prio_decay` seeded bug: large enough that the
+/// inverted priorities stay positive and below the lock-priority
+/// sentinel for any realistic transaction length.
+const PRIO_DECAY_BASE: u64 = 1 << 20;
 
 /// Metric registrations owned by the engine: core-occupancy gauges and
 /// the cumulative outcome counters sampled every observability tick.
@@ -59,11 +66,11 @@ pub fn obs_metric_specs() -> Vec<MetricSpec> {
     ]
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum Ev {
     Recv(CoreId),
     Respond(CoreId, GuestResp),
-    Net(coherence::msg::NetMsg),
+    Net(NetMsg),
     Notice(CoreNotice),
     Retry(CoreId, u64),
     ParkTimeout(CoreId, u64),
@@ -105,6 +112,18 @@ struct Ctl {
     /// A wake-up that arrived before its reject (shorter NoC route);
     /// consumed instead of parking when the reject lands.
     wakeup_banked: bool,
+    /// Next guest op, pre-received at a scheduler pick point so the
+    /// candidate `Recv` event can be described with a precise footprint
+    /// (the guest computes in zero simulated time, so its op is fixed
+    /// the moment the previous response is delivered — pulling it early
+    /// cannot change the simulation).
+    staged_op: Option<GuestOp>,
+    /// Rolling hash of every response delivered to this guest: a
+    /// deterministic guest's position and local state are a pure
+    /// function of its response history, so folding this into the state
+    /// fingerprint makes engine-state equality imply guest-state
+    /// equality (see `state_fingerprint`).
+    resp_hash: u64,
     switch_pending: bool,
     tl_pending: bool,
     /// Resolve the pending speculative bucket into this phase at the next
@@ -137,6 +156,8 @@ impl Ctl {
             deferred_op: None,
             parked: None,
             wakeup_banked: false,
+            staged_op: None,
+            resp_hash: 0,
             switch_pending: false,
             tl_pending: false,
             resolve: None,
@@ -170,6 +191,10 @@ pub struct Engine {
     /// way.
     obs: Option<ObsHandle>,
     next_sample: Cycle,
+    /// Programmatic cycle budget ([`Engine::set_max_cycles`]): exceeding
+    /// it ends the run with [`RunEnd::CycleLimit`] instead of panicking
+    /// (the `LOCKILLER_MAX_CYCLES` env watchdog still panics).
+    max_cycles: Option<Cycle>,
 }
 
 impl Engine {
@@ -201,8 +226,16 @@ impl Engine {
             trace: Trace::default(),
             obs: None,
             next_sample: 0,
+            max_cycles: None,
             cfg,
         }
+    }
+
+    /// Set a cycle budget: a run that exceeds it returns
+    /// [`RunEnd::CycleLimit`] (used by the schedule explorer to bound
+    /// divergent replays instead of hanging).
+    pub fn set_max_cycles(&mut self, limit: Cycle) {
+        self.max_cycles = Some(limit);
     }
 
     /// Attach an observability sink (span tracing + periodic sampling).
@@ -328,6 +361,14 @@ impl Engine {
     fn respond(&mut self, core: CoreId, now: Cycle, resp: GuestResp) {
         self.trace(now, core, &format!("resp {resp:?}"));
         self.attr(core, now);
+        {
+            // Fold the delivered response into the core's history hash
+            // (see `state_fingerprint`). Values only, not cycles: timing
+            // differences already show in the queue fingerprint.
+            let mut h = FxHasher::default();
+            (self.ctl[core].resp_hash, format!("{resp:?}")).hash(&mut h);
+            self.ctl[core].resp_hash = h.finish();
+        }
         if let Some(res) = self.ctl[core].resolve.take() {
             self.ctl[core].tracker.resolve_spec(res);
             self.ctl[core].spec = false;
@@ -381,9 +422,33 @@ impl Engine {
 
     // ---------------- main loop ----------------
 
-    /// Run until every guest thread has exited.
+    /// Run until every guest thread has exited; panics on deadlock or a
+    /// blown cycle budget (callers that want to observe those outcomes
+    /// use [`Engine::run_with`]).
     pub fn run(&mut self) {
-        let max_cycles: Cycle = std::env::var("LOCKILLER_MAX_CYCLES")
+        match self.run_with(None) {
+            RunEnd::Done => {}
+            RunEnd::Deadlock { stuck } => {
+                panic!("deadlock: no events but threads alive (cores {stuck:?} unfinished)")
+            }
+            RunEnd::CycleLimit { at } => {
+                panic!("cycle budget exhausted at cycle {at}")
+            }
+        }
+    }
+
+    /// Run until every guest thread has exited, the event queue drains
+    /// with live threads (deadlock), or the cycle budget runs out. When
+    /// a [`Scheduler`] is supplied it resolves every same-cycle FIFO
+    /// tie-break (the simulation's only nondeterminism; see
+    /// [`crate::sched`]).
+    ///
+    /// On a non-[`RunEnd::Done`] outcome guest threads are still blocked
+    /// on their channels; the caller must call
+    /// [`Engine::release_guests`] (after marking the run abandoned) so
+    /// they unblock instead of hanging, and absorb their panics.
+    pub fn run_with(&mut self, mut sched: Option<&mut dyn Scheduler>) -> RunEnd {
+        let env_max: Cycle = std::env::var("LOCKILLER_MAX_CYCLES")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(Cycle::MAX);
@@ -391,7 +456,17 @@ impl Engine {
             self.q.schedule_at(0, Ev::Recv(c));
         }
         while self.done_count < self.threads {
-            let (t, ev) = self.q.pop().expect("deadlock: no events but threads alive");
+            let popped = match sched.as_deref_mut() {
+                Some(s) => self.pick_next(s),
+                None => self.q.pop(),
+            };
+            let Some((t, ev)) = popped else {
+                self.end_time = self.q.now().max(self.end_time);
+                let stuck: Vec<usize> = (0..self.threads)
+                    .filter(|&c| !self.ctl[c].finished)
+                    .collect();
+                return RunEnd::Deadlock { stuck };
+            };
             if let Some(every) = self.obs.as_ref().map(ObsHandle::sample_every) {
                 while t >= self.next_sample {
                     let at = self.next_sample;
@@ -399,9 +474,13 @@ impl Engine {
                     self.next_sample += every;
                 }
             }
-            if t > max_cycles {
+            if t > env_max {
                 self.dump_state(t);
-                panic!("watchdog: simulation exceeded {max_cycles} cycles");
+                panic!("watchdog: simulation exceeded {env_max} cycles");
+            }
+            if self.max_cycles.is_some_and(|limit| t > limit) {
+                self.end_time = self.q.now().max(self.end_time);
+                return RunEnd::CycleLimit { at: t };
             }
             if std::env::var_os("LOCKILLER_CHECK").is_some() {
                 if let Err(e) = self.ms.check_swmr() {
@@ -418,21 +497,10 @@ impl Engine {
             }
             match ev {
                 Ev::Recv(c) => {
-                    let rx = self.ctl[c]
-                        .from_guest
-                        .as_ref()
-                        .expect("core not registered");
-                    let op = if let Ok(secs) = std::env::var("LOCKILLER_WALL_TIMEOUT") {
-                        let dur = std::time::Duration::from_secs(secs.parse().unwrap_or(30));
-                        match rx.recv_timeout(dur) {
-                            Ok(op) => op,
-                            Err(e) => {
-                                self.dump_state(t);
-                                panic!("guest {c} unresponsive ({e:?}) — lost response?");
-                            }
-                        }
+                    let op = if let Some(op) = self.ctl[c].staged_op.take() {
+                        op
                     } else {
-                        rx.recv().expect("guest thread terminated without Exit")
+                        self.recv_op(t, c)
                     };
                     self.handle_op(t, c, op);
                 }
@@ -476,6 +544,301 @@ impl Engine {
             self.emit_samples(self.end_time);
             o.finish(self.end_time);
         }
+        RunEnd::Done
+    }
+
+    /// Blocking-receive the next op from `core`'s guest thread.
+    fn recv_op(&mut self, t: Cycle, c: CoreId) -> GuestOp {
+        let rx = self.ctl[c]
+            .from_guest
+            .as_ref()
+            .expect("core not registered");
+        if let Ok(secs) = std::env::var("LOCKILLER_WALL_TIMEOUT") {
+            let dur = std::time::Duration::from_secs(secs.parse().unwrap_or(30));
+            match rx.recv_timeout(dur) {
+                Ok(op) => op,
+                Err(e) => {
+                    self.dump_state(t);
+                    panic!("guest {c} unresponsive ({e:?}) — lost response?");
+                }
+            }
+        } else {
+            rx.recv().expect("guest thread terminated without Exit")
+        }
+    }
+
+    /// Drop every guest channel endpoint. Guests blocked in `recv` (or a
+    /// later `send`) get a channel error and panic out of their run
+    /// closure; the runner marks the run abandoned *first* and then
+    /// absorbs those panics. Call on every non-[`RunEnd::Done`] outcome
+    /// before joining the guest threads.
+    pub fn release_guests(&mut self) {
+        for c in &mut self.ctl {
+            c.to_guest = None;
+            c.from_guest = None;
+        }
+    }
+
+    // ---------------- scheduler seam ----------------
+
+    /// Pop the next event, letting `s` resolve same-cycle ties. Recv
+    /// candidates get their guest op pre-received ("staged") so the
+    /// descriptor carries the op's precise footprint; the op content
+    /// cannot depend on the tie-break (guests run in zero simulated
+    /// time), so staging never changes the simulation.
+    fn pick_next(&mut self, s: &mut dyn Scheduler) -> Option<(Cycle, Ev)> {
+        match self.q.front_len() {
+            0 => None,
+            1 => {
+                let (t, ev) = self.q.pop()?;
+                if let Ev::Recv(c) = ev {
+                    self.stage_op(c);
+                }
+                let d = self.describe(&ev);
+                s.observe(t, &d);
+                Some((t, ev))
+            }
+            _ => {
+                let front = self.q.front_snapshot();
+                for ev in &front {
+                    if let Ev::Recv(c) = ev {
+                        self.stage_op(*c);
+                    }
+                }
+                let descs: Vec<EvDesc> = front.iter().map(|e| self.describe(e)).collect();
+                let at = self.q.peek_time().expect("front is non-empty");
+                let fp = self.state_fingerprint();
+                let idx = s.pick(at, &descs, fp).min(descs.len() - 1);
+                let (t, ev) = self.q.pop_nth_front(idx).expect("front is non-empty");
+                s.observe(t, &descs[idx]);
+                Some((t, ev))
+            }
+        }
+    }
+
+    /// Pre-receive `core`'s next op into the staging slot (idempotent).
+    fn stage_op(&mut self, core: CoreId) {
+        if self.ctl[core].staged_op.is_some() {
+            return;
+        }
+        let rx = self.ctl[core]
+            .from_guest
+            .as_ref()
+            .expect("core not registered");
+        let op = rx.recv().expect("guest thread terminated without Exit");
+        self.ctl[core].staged_op = Some(op);
+    }
+
+    /// Describe an event's footprint for the dependence relation. The
+    /// mapping errs conservative: anything that can touch state shared
+    /// beyond one core + one LLC bank is marked `global`.
+    fn describe(&self, ev: &Ev) -> EvDesc {
+        let bank_of = |line: sim_core::types::LineAddr| (line.0 as usize) % self.cfg.num_banks();
+        let mut d = match ev {
+            Ev::Recv(c) => {
+                let mut d = EvDesc {
+                    class: EvClass::Recv,
+                    cores: 1 << c,
+                    line: None,
+                    bank: None,
+                    global: false,
+                    id: 0,
+                };
+                match self.ctl[*c].staged_op {
+                    Some(GuestOp::Load(a) | GuestOp::Store(a, _) | GuestOp::Cas(a, ..)) => {
+                        d.line = Some(a.line());
+                        d.bank = Some(bank_of(a.line()));
+                    }
+                    Some(GuestOp::Compute(_) | GuestOp::TTest | GuestOp::TxBegin)
+                    | Some(GuestOp::SpinBegin | GuestOp::SpinEnd) => {}
+                    // Commit/abort/lock transitions fan wake-ups and HLA
+                    // traffic out to arbitrary cores; barrier and page
+                    // faults touch engine-global state. None (unstaged)
+                    // only happens on the unscheduled path.
+                    _ => d.global = true,
+                }
+                d
+            }
+            Ev::Respond(c, _) => EvDesc {
+                class: EvClass::Respond,
+                cores: 1 << c,
+                line: None,
+                bank: None,
+                global: false,
+                id: 0,
+            },
+            Ev::Net(m) => self.describe_net(m),
+            Ev::Notice(n) => {
+                let (core, global) = match n {
+                    CoreNotice::AccessDone { core }
+                    | CoreNotice::AccessRejected { core, .. }
+                    | CoreNotice::TxAborted { core, .. }
+                    | CoreNotice::Wakeup { core } => (*core, false),
+                    // HlaResult triggers enter_lock / finish_hla, which
+                    // release or acquire globally shared lock state.
+                    CoreNotice::HlaResult { core, .. } => (*core, true),
+                };
+                EvDesc {
+                    class: EvClass::Notice,
+                    cores: 1 << core,
+                    line: None,
+                    bank: None,
+                    global,
+                    id: 0,
+                }
+            }
+            Ev::Retry(c, _) | Ev::ParkTimeout(c, _) => {
+                // A firing retry reissues the parked access.
+                let line = match self.ctl[*c].cur_op {
+                    Some(GuestOp::Load(a) | GuestOp::Store(a, _) | GuestOp::Cas(a, ..)) => {
+                        Some(a.line())
+                    }
+                    _ => None,
+                };
+                EvDesc {
+                    class: if matches!(ev, Ev::Retry(..)) {
+                        EvClass::Retry
+                    } else {
+                        EvClass::ParkTimeout
+                    },
+                    cores: 1 << c,
+                    line,
+                    bank: line.map(bank_of),
+                    global: false,
+                    id: 0,
+                }
+            }
+        };
+        d.id = self.event_id(ev);
+        d
+    }
+
+    fn describe_net(&self, m: &NetMsg) -> EvDesc {
+        let bank_of = |line: sim_core::types::LineAddr| (line.0 as usize) % self.cfg.num_banks();
+        let mut d = EvDesc {
+            class: EvClass::Net,
+            cores: 0,
+            line: None,
+            bank: None,
+            global: false,
+            id: 0,
+        };
+        match m {
+            NetMsg::Req(req) => {
+                d.cores = 1 << req.core;
+                d.line = Some(req.line);
+            }
+            NetMsg::PutM { core, line }
+            | NetMsg::PutClean { core, line }
+            | NetMsg::SpecWb { core, line }
+            | NetMsg::Unblock { core, line } => {
+                d.cores = 1 << core;
+                d.line = Some(*line);
+            }
+            // Overflow signatures are consulted by every HTM request.
+            NetMsg::SigAdd { line, .. } => {
+                d.line = Some(*line);
+                d.global = true;
+            }
+            NetMsg::FwdGetS { to, req } | NetMsg::Inv { to, req, .. } => {
+                d.cores = (1 << to) | (1 << req.core);
+                d.line = Some(req.line);
+            }
+            NetMsg::ProbeRsp { from, req, .. } => {
+                d.cores = (1 << from) | (1 << req.core);
+                d.line = Some(req.line);
+            }
+            NetMsg::Grant { to, line, .. }
+            | NetMsg::RspReject { to, line, .. }
+            | NetMsg::DirectData { to, line, .. } => {
+                d.cores = 1 << to;
+                d.line = Some(*line);
+            }
+            NetMsg::Wakeup { to } => d.cores = 1 << to,
+            // HLA arbiter traffic serializes at one global point.
+            NetMsg::HlaReq { core, .. } | NetMsg::HlaRel { core } => {
+                d.cores = 1 << core;
+                d.global = true;
+            }
+            NetMsg::HlaRsp { to, .. } => {
+                d.cores = 1 << to;
+                d.global = true;
+            }
+        }
+        d.bank = d.line.map(bank_of);
+        d
+    }
+
+    /// Stable identity hash for an event: used by the explorer to match
+    /// "the same" event across replays of one decision prefix. Park/
+    /// retry sequence tags are volatile (they depend on unrelated
+    /// scheduling) and are normalized to whether they match the core's
+    /// current park.
+    fn event_id(&self, ev: &Ev) -> u64 {
+        let mut h = FxHasher::default();
+        match ev {
+            Ev::Recv(c) => ("recv", c, format!("{:?}", self.ctl[*c].staged_op)).hash(&mut h),
+            Ev::Respond(c, resp) => ("respond", c, format!("{resp:?}")).hash(&mut h),
+            Ev::Net(m) => ("net", format!("{m:?}")).hash(&mut h),
+            Ev::Notice(n) => ("notice", format!("{n:?}")).hash(&mut h),
+            Ev::Retry(c, seq) => ("retry", c, self.ctl[*c].parked == Some(*seq)).hash(&mut h),
+            Ev::ParkTimeout(c, seq) => ("park", c, self.ctl[*c].parked == Some(*seq)).hash(&mut h),
+        }
+        h.finish()
+    }
+
+    /// FxHash fingerprint of the architectural state: per-core controller
+    /// state (volatile accounting excluded), write buffers, flat memory,
+    /// the pending event queue (volatile sequence tags normalized), and
+    /// the memory subsystem. Guest-thread state is covered by each
+    /// core's response-history hash (`resp_hash`): a deterministic
+    /// guest's position is a pure function of the responses it has seen.
+    ///
+    /// Used by the schedule explorer to merge states reached by
+    /// different interleavings; a collision-free fingerprint match
+    /// implies identical continuations.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut h = FxHasher::default();
+        for (i, c) in self.ctl.iter().enumerate() {
+            (i, c.in_tx, c.is_stl, c.tx_insts, c.tx_refs).hash(&mut h);
+            (
+                c.switch_tried,
+                c.respond_scheduled,
+                c.parked.is_some(),
+                c.wakeup_banked,
+                c.switch_pending,
+                c.tl_pending,
+                c.finished,
+                c.resp_hash,
+            )
+                .hash(&mut h);
+            format!(
+                "{:?}|{:?}|{:?}|{:?}",
+                c.doomed, c.cur_op, c.deferred_op, c.staged_op
+            )
+            .hash(&mut h);
+        }
+        for (i, b) in self.bufs.iter().enumerate() {
+            (i, b.len()).hash(&mut h);
+            b.for_each_sorted(|a, v| (a.0, v).hash(&mut h));
+        }
+        self.mem.digest().hash(&mut h);
+        self.barrier_waiting.hash(&mut h);
+        self.done_count.hash(&mut h);
+        // Pages are monotone; XOR keeps the fold order-independent.
+        let mut pages = 0u64;
+        for p in &self.touched_pages {
+            let mut ph = FxHasher::default();
+            p.hash(&mut ph);
+            pages ^= ph.finish();
+        }
+        pages.hash(&mut h);
+        self.q.for_each_sorted(|at, ev| {
+            at.hash(&mut h);
+            self.event_id(ev).hash(&mut h);
+        });
+        self.ms.fingerprint(&mut h);
+        h.finish()
     }
 
     /// Consume the engine, producing run statistics.
@@ -545,6 +908,14 @@ impl Engine {
             PriorityKind::InstsBased => self.ctl[core].tx_insts,
             PriorityKind::ProgressionBased => self.ctl[core].tx_refs,
             PriorityKind::RequesterWins | PriorityKind::Fcfs => 0,
+        };
+        // Seeded bug for checker validation: priorities decay as the
+        // transaction makes progress instead of accumulating, violating
+        // the monotonicity the recovery argument depends on.
+        let p = if self.cfg.check.fault.prio_decay {
+            PRIO_DECAY_BASE.saturating_sub(p)
+        } else {
+            p
         };
         self.ms.set_prio(core, p);
     }
@@ -1101,10 +1472,15 @@ impl Engine {
                 let seq = self.next_seq();
                 self.ctl[core].parked = Some(seq);
                 self.obs_begin(t, core, SpanKind::Park);
-                self.q.schedule_at(
-                    t + self.cfg.policy.wakeup_timeout,
-                    Ev::ParkTimeout(core, seq),
-                );
+                // wakeup_timeout == Cycle::MAX disables the safety net
+                // entirely (schedule-explorer mode: a lost wake-up must
+                // surface as a deadlock, not a silent timeout recovery).
+                if self.cfg.policy.wakeup_timeout != Cycle::MAX {
+                    self.q.schedule_at(
+                        t + self.cfg.policy.wakeup_timeout,
+                        Ev::ParkTimeout(core, seq),
+                    );
+                }
             }
         }
     }

@@ -100,6 +100,16 @@ impl WriteBuffer {
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
     }
+
+    /// Visit pending writes in address order (deterministic — used for
+    /// state fingerprinting).
+    pub fn for_each_sorted(&self, mut f: impl FnMut(Addr, u64)) {
+        let mut entries: Vec<(Addr, u64)> = self.pending.iter().map(|(a, v)| (*a, *v)).collect();
+        entries.sort_by_key(|(a, _)| a.0);
+        for (a, v) in entries {
+            f(a, v);
+        }
+    }
 }
 
 /// Setup-phase view of memory: a bump allocator with direct (un-timed)

@@ -27,6 +27,7 @@ pub mod flatmem;
 pub mod guest;
 pub mod program;
 pub mod runner;
+pub mod sched;
 pub mod system;
 pub mod trace;
 
@@ -34,5 +35,6 @@ pub use flatmem::{FlatMem, SetupCtx};
 pub use guest::{Abort, GuestCtx, TxCtx};
 pub use program::Program;
 pub use runner::{RunOutput, Runner};
+pub use sched::{EvClass, EvDesc, RunEnd, Scheduler};
 pub use system::SystemKind;
 pub use trace::{render_timeline, Trace, TraceEvent, TraceKind, DEFAULT_TRACE_CAP};

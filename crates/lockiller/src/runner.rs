@@ -17,12 +17,16 @@ use crate::engine::Engine;
 use crate::flatmem::{FlatMem, SetupCtx};
 use crate::guest::{GuestCtx, GuestPolicy};
 use crate::program::Program;
+use crate::sched::{RunEnd, Scheduler};
 use crate::system::SystemKind;
 use crate::trace::{Trace, TraceEvent};
-use sim_core::config::SystemConfig;
+use sim_core::config::{PolicyConfig, SystemConfig};
 use sim_core::obs::ObsHandle;
 use sim_core::rng::SimRng;
 use sim_core::stats::RunStats;
+use sim_core::types::Cycle;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::channel;
 
 /// Everything one simulation produces.
@@ -41,6 +45,10 @@ pub struct RunOutput {
     pub trace: Option<Trace>,
     /// Final simulated memory image.
     pub mem: FlatMem,
+    /// How the run terminated. Always [`RunEnd::Done`] from
+    /// [`Runner::run`] (which panics otherwise); [`Runner::run_scheduled`]
+    /// reports deadlocks and blown cycle budgets here instead.
+    pub end: RunEnd,
 }
 
 impl RunOutput {
@@ -69,6 +77,8 @@ pub struct Runner {
     seed: u64,
     validate: bool,
     retries: Option<u32>,
+    policy: Option<PolicyConfig>,
+    max_cycles: Option<Cycle>,
     tracing: bool,
     obs: Option<ObsHandle>,
 }
@@ -82,6 +92,8 @@ impl Runner {
             seed: 0xC0FFEE,
             validate: true,
             retries: None,
+            policy: None,
+            max_cycles: None,
             tracing: false,
             obs: None,
         }
@@ -106,6 +118,25 @@ impl Runner {
     /// retry-budget ablation study.
     pub fn retries(mut self, n: u32) -> Runner {
         self.retries = Some(n);
+        self
+    }
+
+    /// Replace the whole policy block. The run normally derives its
+    /// policy from the [`SystemKind`] (any policy inside
+    /// [`Runner::config`] is overwritten); this override is applied *on
+    /// top* of the kind's policy, for callers that need to tweak policy
+    /// knobs — e.g. the schedule explorer disabling the wake-up safety
+    /// net. Prefer starting from `kind.policy()` when building one.
+    pub fn policy(mut self, p: PolicyConfig) -> Runner {
+        self.policy = Some(p);
+        self
+    }
+
+    /// Bound the run to `limit` simulated cycles; exceeding it ends the
+    /// run with [`RunEnd::CycleLimit`] (only observable through
+    /// [`Runner::run_scheduled`] — [`Runner::run`] panics on it).
+    pub fn max_cycles(mut self, limit: Cycle) -> Runner {
+        self.max_cycles = Some(limit);
         self
     }
 
@@ -146,7 +177,35 @@ impl Runner {
     /// the event trace.
     pub fn run<P: Program>(&self, prog: &mut P) -> RunOutput {
         let out = self.run_full(prog);
+        match &out.end {
+            RunEnd::Done => {}
+            RunEnd::Deadlock { stuck } => {
+                panic!("deadlock: no events but threads alive (cores {stuck:?} unfinished)")
+            }
+            RunEnd::CycleLimit { at } => panic!("cycle budget exhausted at cycle {at}"),
+        }
         if self.validate {
+            if let Err(e) = prog.validate(&out.mem) {
+                panic!(
+                    "validation failed: {} on {} ({} threads): {e}",
+                    prog.name(),
+                    self.kind.name(),
+                    self.threads
+                );
+            }
+        }
+        out
+    }
+
+    /// Run `prog` with `sched` resolving every same-cycle tie-break (see
+    /// [`crate::sched`]). Unlike [`Runner::run`], a deadlocked or
+    /// budget-limited run returns normally with the outcome in
+    /// [`RunOutput::end`] — the schedule explorer treats those as
+    /// verification results, not harness failures — and post-run
+    /// validation only applies to completed runs.
+    pub fn run_scheduled<P: Program>(&self, prog: &mut P, sched: &mut dyn Scheduler) -> RunOutput {
+        let out = self.run_inner(prog, Some(sched));
+        if self.validate && out.end.is_done() {
             if let Err(e) = prog.validate(&out.mem) {
                 panic!(
                     "validation failed: {} on {} ({} threads): {e}",
@@ -190,8 +249,15 @@ impl Runner {
     }
 
     fn run_full<P: Program>(&self, prog: &mut P) -> RunOutput {
+        self.run_inner(prog, None)
+    }
+
+    fn run_inner<P: Program>(&self, prog: &mut P, sched: Option<&mut dyn Scheduler>) -> RunOutput {
         let mut cfg = self.cfg.clone();
         cfg.policy = self.kind.policy();
+        if let Some(p) = &self.policy {
+            cfg.policy = p.clone();
+        }
         if let Some(r) = self.retries {
             cfg.policy.max_retries = r;
         }
@@ -210,6 +276,9 @@ impl Runner {
         let (mem, mapped_pages) = setup.into_mem();
 
         let mut engine = Engine::new(cfg.clone(), mem, self.threads, lock_addr, mapped_pages);
+        if let Some(limit) = self.max_cycles {
+            engine.set_max_cycles(limit);
+        }
         let traced = self.tracing || cfg.check.enabled;
         if traced {
             engine.trace = Trace::enabled();
@@ -242,15 +311,34 @@ impl Runner {
             ));
         }
 
-        std::thread::scope(|s| {
+        // Guests whose run ends early (deadlock / cycle budget) panic on
+        // their closed rendezvous channels; the `abandoned` flag marks
+        // those panics as expected so the scope doesn't re-raise them.
+        let abandoned = AtomicBool::new(false);
+        let end = std::thread::scope(|s| {
             for mut g in guests {
                 let p: &P = prog;
+                let ab = &abandoned;
                 s.spawn(move || {
-                    p.run(&mut g);
-                    g.exit();
+                    let r = catch_unwind(AssertUnwindSafe(move || {
+                        p.run(&mut g);
+                        g.exit();
+                    }));
+                    if let Err(e) = r {
+                        if !ab.load(Ordering::SeqCst) {
+                            resume_unwind(e);
+                        }
+                    }
                 });
             }
-            engine.run();
+            let end = engine.run_with(sched);
+            if !end.is_done() {
+                // Order matters: mark abandonment before closing the
+                // channels, so no guest can observe the hang-up first.
+                abandoned.store(true, Ordering::SeqCst);
+                engine.release_guests();
+            }
+            end
         });
 
         let trace = traced.then(|| std::mem::take(&mut engine.trace));
@@ -260,7 +348,12 @@ impl Runner {
             // engine-side trace; restore it from the real one.
             stats.trace_dropped = t.dropped();
         }
-        RunOutput { stats, trace, mem }
+        RunOutput {
+            stats,
+            trace,
+            mem,
+            end,
+        }
     }
 }
 

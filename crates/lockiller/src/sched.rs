@@ -1,0 +1,166 @@
+//! Scheduler seam: the engine's nondeterministic pick points, exposed.
+//!
+//! The discrete-event queue orders events by `(cycle, seq)`; the FIFO
+//! tie-break among same-cycle events is the **only** nondeterminism in a
+//! simulation (guests compute in zero simulated time and every latency is
+//! deterministic). A [`Scheduler`] intercepts exactly those tie-breaks:
+//! whenever two or more events are pending at the minimum cycle, the
+//! engine describes each candidate as an [`EvDesc`] and asks the
+//! scheduler which one fires first. Replaying the same decision sequence
+//! reproduces the run bit-for-bit; enumerating alternative decisions
+//! enumerates every schedule the model can exhibit.
+//!
+//! [`EvDesc`] also carries a conservative *footprint* (cores touched,
+//! cache line, home LLC bank, or "global") from which
+//! [`EvDesc::conflicts`] derives the dependence relation used by the
+//! `tmverify` partial-order reduction: two events are independent only if
+//! their footprints are provably disjoint, so commuting independent
+//! events can never change the resulting state.
+
+use sim_core::types::{Cycle, LineAddr};
+
+/// Coarse event category (mirrors the engine's private event enum).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvClass {
+    /// Rendezvous: receive the core's next operation.
+    Recv,
+    /// Deliver a previously scheduled guest response.
+    Respond,
+    /// A NoC message arrives at the memory subsystem.
+    Net,
+    /// A memory-subsystem notification lands at a core controller.
+    Notice,
+    /// Recovery-mechanism retry (RetryLater pause elapsed).
+    Retry,
+    /// Wake-up safety-net timeout.
+    ParkTimeout,
+}
+
+/// One schedulable event, described by its footprint.
+///
+/// `cores` is a bitmask of the core controllers the event can read or
+/// write; `line`/`bank` locate the cache line (and its home LLC bank —
+/// events on different lines of the same bank still couple through tag
+/// LRU and the blocking directory, so dependence is keyed per bank);
+/// `global` marks events that touch state shared beyond one bank (HLA
+/// arbiter, overflow signatures, commit/abort wake-up fan-out, barrier).
+#[derive(Clone, Debug)]
+pub struct EvDesc {
+    pub class: EvClass,
+    /// Bitmask of cores whose controller state the event touches.
+    pub cores: u64,
+    /// Cache line accessed, if the event is line-addressed.
+    pub line: Option<LineAddr>,
+    /// Home LLC bank of `line` (same-bank events are dependent).
+    pub bank: Option<usize>,
+    /// Touches globally shared state; dependent with everything.
+    pub global: bool,
+    /// Stable identity hash (class + payload, volatile tags excluded);
+    /// used to match the "same" event across replays of one prefix.
+    pub id: u64,
+}
+
+impl EvDesc {
+    /// Conservative dependence: `true` unless the footprints are provably
+    /// disjoint. Independent events commute — executing them in either
+    /// order reaches the same state — so a schedule explorer only needs
+    /// to branch on dependent pairs.
+    pub fn conflicts(&self, other: &EvDesc) -> bool {
+        self.global
+            || other.global
+            || (self.cores & other.cores) != 0
+            || (self.bank.is_some() && self.bank == other.bank)
+    }
+
+    /// Compact human-readable label for witness/debug rendering.
+    pub fn label(&self) -> String {
+        let mut s = format!("{:?}", self.class);
+        if self.cores != 0 && self.cores != u64::MAX {
+            s.push_str(":c");
+            for c in 0..64 {
+                if self.cores & (1 << c) != 0 {
+                    s.push_str(&c.to_string());
+                }
+            }
+        }
+        if let Some(l) = self.line {
+            s.push_str(&format!(":L{}", l.0));
+        }
+        if self.global {
+            s.push_str(":g");
+        }
+        s
+    }
+}
+
+/// A tie-break policy driven by the engine at every nondeterministic
+/// pick point (see module docs). `pick` receives the same-cycle
+/// candidates in FIFO (schedule) order — index 0 is what the default
+/// deterministic engine would fire — plus a fingerprint of the current
+/// architectural state. `observe` is called for **every** dispatched
+/// event, including forced single-candidate fronts, so a partial-order
+/// reducer can maintain its sleep sets.
+pub trait Scheduler {
+    /// Choose which of `options` fires first; returns an index into
+    /// `options` (out-of-range picks are clamped to the last candidate).
+    fn pick(&mut self, at: Cycle, options: &[EvDesc], state_fp: u64) -> usize;
+
+    /// Notification that `ev` was just dispatched at cycle `at`.
+    fn observe(&mut self, at: Cycle, ev: &EvDesc) {
+        let _ = (at, ev);
+    }
+}
+
+/// How a scheduled run terminated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunEnd {
+    /// Every guest thread exited.
+    Done,
+    /// Event queue drained with live threads: the listed cores wait for
+    /// events (wake-ups) that can never arrive.
+    Deadlock { stuck: Vec<usize> },
+    /// The configured cycle budget ran out ([`crate::Runner::max_cycles`]).
+    CycleLimit { at: Cycle },
+}
+
+impl RunEnd {
+    pub fn is_done(&self) -> bool {
+        matches!(self, RunEnd::Done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(cores: u64, bank: Option<usize>, global: bool) -> EvDesc {
+        EvDesc {
+            class: EvClass::Net,
+            cores,
+            line: bank.map(|b| LineAddr(b as u64)),
+            bank,
+            global,
+            id: 0,
+        }
+    }
+
+    #[test]
+    fn dependence_relation() {
+        // Disjoint cores, different banks, nothing global: independent.
+        assert!(!desc(0b01, Some(0), false).conflicts(&desc(0b10, Some(1), false)));
+        // Overlapping cores are dependent.
+        assert!(desc(0b01, None, false).conflicts(&desc(0b11, None, false)));
+        // Same bank is dependent even with disjoint cores.
+        assert!(desc(0b01, Some(1), false).conflicts(&desc(0b10, Some(1), false)));
+        // Global events are dependent with everything.
+        assert!(desc(0b01, None, true).conflicts(&desc(0b10, Some(1), false)));
+    }
+
+    #[test]
+    fn labels_render() {
+        let d = desc(0b10, Some(3), false);
+        assert_eq!(d.label(), "Net:c1:L3");
+        let g = desc(0, None, true);
+        assert_eq!(g.label(), "Net:g");
+    }
+}

@@ -244,12 +244,26 @@ pub struct FaultInject {
     /// dropped. Breaks liveness (parked cores only resume via the
     /// safety-net timeout).
     pub drop_wakeups: bool,
+    /// The HLA arbiter grants an STL switch request even while another
+    /// core already holds the lock transaction (and tolerates the
+    /// resulting mismatched releases). Breaks TL/STL grant exclusivity —
+    /// two cores run lock-mode critical sections concurrently.
+    pub double_grant: bool,
+    /// Conflict-arbitration priorities decay instead of accumulating:
+    /// the priority written on each access is `BASE - p` rather than
+    /// `p`. Breaks the paper's priority-monotonicity invariant (a
+    /// transaction's priority must never decrease while it runs).
+    pub prio_decay: bool,
 }
 
 impl FaultInject {
     /// True if any mutation knob is set.
     pub fn any(&self) -> bool {
-        self.ignore_conflicts || self.drop_nack || self.drop_wakeups
+        self.ignore_conflicts
+            || self.drop_nack
+            || self.drop_wakeups
+            || self.double_grant
+            || self.prio_decay
     }
 }
 
@@ -326,7 +340,7 @@ impl SystemConfig {
     /// Schema version folded into [`SystemConfig::stable_hash`]; bump it
     /// whenever a field is added, removed, or its meaning changes so
     /// stale persisted results can never alias a new configuration.
-    pub const HASH_SCHEMA: u64 = 1;
+    pub const HASH_SCHEMA: u64 = 2;
 
     /// A process-independent 64-bit fingerprint of every modelled
     /// parameter (memory, NoC, policy, checked-mode switches, penalties).
@@ -383,6 +397,8 @@ impl SystemConfig {
         h.write_u8(u8::from(self.check.fault.ignore_conflicts));
         h.write_u8(u8::from(self.check.fault.drop_nack));
         h.write_u8(u8::from(self.check.fault.drop_wakeups));
+        h.write_u8(u8::from(self.check.fault.double_grant));
+        h.write_u8(u8::from(self.check.fault.prio_decay));
         // Penalties.
         h.write_u64(self.abort_penalty);
         h.write_u64(self.commit_penalty);
@@ -841,6 +857,12 @@ mod tests {
         cfgs.push(c);
         let mut c = base.clone();
         c.check.fault.drop_nack = true;
+        cfgs.push(c);
+        let mut c = base.clone();
+        c.check.fault.double_grant = true;
+        cfgs.push(c);
+        let mut c = base.clone();
+        c.check.fault.prio_decay = true;
         cfgs.push(c);
         let mut c = base.clone();
         c.abort_penalty += 1;

@@ -100,6 +100,59 @@ impl<E> EventQueue<E> {
     pub fn len(&self) -> usize {
         self.heap.len()
     }
+
+    /// Number of events pending at the earliest cycle (the "front").
+    ///
+    /// Same-cycle events fire in schedule order by default; when the
+    /// front is wider than one event, that FIFO tie-break is the only
+    /// nondeterminism in the simulation, so a schedule explorer need
+    /// only consider alternative orders of the front.
+    pub fn front_len(&self) -> usize {
+        let Some(at) = self.peek_time() else { return 0 };
+        self.heap.iter().filter(|e| e.at == at).count()
+    }
+
+    /// Clones of the front events in schedule (seq) order.
+    pub fn front_snapshot(&self) -> Vec<E>
+    where
+        E: Clone,
+    {
+        let Some(at) = self.peek_time() else {
+            return Vec::new();
+        };
+        let mut front: Vec<&Entry<E>> = self.heap.iter().filter(|e| e.at == at).collect();
+        front.sort_by_key(|e| e.seq);
+        front.into_iter().map(|e| e.payload.clone()).collect()
+    }
+
+    /// Pop the `n`-th front event (0-based, schedule order), advancing
+    /// time to the front cycle. The other front events keep their
+    /// original sequence numbers, so the residual FIFO order among them
+    /// is preserved. `n` out of range picks the last front event.
+    pub fn pop_nth_front(&mut self, n: usize) -> Option<(Cycle, E)> {
+        let at = self.peek_time()?;
+        let mut front = Vec::new();
+        while self.heap.peek().is_some_and(|e| e.at == at) {
+            front.push(self.heap.pop().expect("peeked entry"));
+        }
+        front.sort_by_key(|e| e.seq);
+        let chosen = front.remove(n.min(front.len() - 1));
+        for rest in front {
+            self.heap.push(rest);
+        }
+        self.now = at;
+        Some((at, chosen.payload))
+    }
+
+    /// Visit every pending event in deterministic `(cycle, seq)` order
+    /// (used for state fingerprinting).
+    pub fn for_each_sorted(&self, mut f: impl FnMut(Cycle, &E)) {
+        let mut entries: Vec<&Entry<E>> = self.heap.iter().collect();
+        entries.sort_by_key(|e| (e.at, e.seq));
+        for e in entries {
+            f(e.at, &e.payload);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +213,38 @@ mod tests {
         assert_eq!(q.pop(), Some((2, 2)));
         assert_eq!(q.pop(), Some((3, 3)));
         assert_eq!(q.pop(), Some((4, 4)));
+    }
+
+    #[test]
+    fn front_enumeration_and_nth_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5, "a");
+        q.schedule_at(5, "b");
+        q.schedule_at(5, "c");
+        q.schedule_at(9, "late");
+        assert_eq!(q.front_len(), 3);
+        assert_eq!(q.front_snapshot(), vec!["a", "b", "c"]);
+        // Pop the middle front event; the rest stay FIFO.
+        assert_eq!(q.pop_nth_front(1), Some((5, "b")));
+        assert_eq!(q.now(), 5);
+        assert_eq!(q.front_snapshot(), vec!["a", "c"]);
+        assert_eq!(q.pop(), Some((5, "a")));
+        assert_eq!(q.pop(), Some((5, "c")));
+        assert_eq!(q.front_len(), 1);
+        assert_eq!(q.pop_nth_front(7), Some((9, "late")));
+        assert_eq!(q.front_len(), 0);
+        assert_eq!(q.pop_nth_front(0), None);
+    }
+
+    #[test]
+    fn sorted_visit_matches_pop_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(4, 40u32);
+        q.schedule_at(2, 20u32);
+        q.schedule_at(2, 21u32);
+        let mut seen = Vec::new();
+        q.for_each_sorted(|at, e| seen.push((at, *e)));
+        assert_eq!(seen, vec![(2, 20), (2, 21), (4, 40)]);
     }
 
     #[test]

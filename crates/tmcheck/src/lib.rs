@@ -13,6 +13,7 @@
 pub mod dsg;
 pub mod harness;
 pub mod invariants;
+pub mod space;
 
 use std::fmt;
 
@@ -33,6 +34,14 @@ pub enum CheckKind {
     /// A rejected request was never woken (lost wake-up, safety-net
     /// timeout, or a NACK with no matching wake-up).
     Liveness,
+    /// The event queue drained with guest threads still alive: some core
+    /// waits forever for an event that can never arrive. Only reachable
+    /// with the wake-up safety net disabled (the timeout would otherwise
+    /// mask the hang); reported per schedule by the `tmverify` explorer.
+    Deadlock,
+    /// The HLA arbiter handed out two concurrent TL/STL grants: two
+    /// cores were inside arbiter-granted lock transactions at once.
+    GrantExclusivity,
 }
 
 impl CheckKind {
@@ -43,6 +52,8 @@ impl CheckKind {
             CheckKind::LockOccupancy => "lock-occupancy",
             CheckKind::Priority => "priority",
             CheckKind::Liveness => "liveness",
+            CheckKind::Deadlock => "deadlock",
+            CheckKind::GrantExclusivity => "grant-exclusivity",
         }
     }
 }

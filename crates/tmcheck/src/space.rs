@@ -1,0 +1,196 @@
+//! Whole-space properties for the `tmverify` schedule explorer.
+//!
+//! The per-trace checkers in [`crate::invariants`] and [`crate::dsg`]
+//! judge one execution; exhaustive exploration adds two properties that
+//! only make sense quantified over *every* reachable schedule:
+//!
+//! - **deadlock-freedom** — no schedule drains the event queue while
+//!   guest threads are still alive (checked with the wake-up safety net
+//!   disabled, since the timeout would otherwise paper over a lost
+//!   wake-up);
+//! - **TL/STL grant exclusivity** — in no schedule does the HLA arbiter
+//!   hand out two concurrent lock-transaction grants.
+//!
+//! [`SpaceReport`] aggregates the per-schedule verdicts into a summary
+//! the explorer renders and serializes.
+
+use crate::{CheckKind, Violation};
+use lockiller::trace::{TraceEvent, TraceKind};
+use sim_core::types::CoreId;
+
+/// Build the violation reported when a schedule deadlocks
+/// ([`lockiller::RunEnd::Deadlock`]).
+pub fn deadlock_violation(stuck: &[usize]) -> Violation {
+    Violation {
+        check: CheckKind::Deadlock,
+        message: format!(
+            "event queue drained with cores {stuck:?} still alive \
+             (waiting for events that can never arrive)"
+        ),
+    }
+}
+
+/// Check that no two cores simultaneously hold an HLA arbiter grant.
+///
+/// `HlBegin` (a TL lock transaction starting) and `SwitchGranted` (an
+/// STL switch succeeding) both mean the arbiter granted this core the
+/// lock; `HlEnd` releases it. Unlike the broader lock-occupancy check
+/// this ignores fallback critical sections (they serialize on the guest
+/// spin lock, not the arbiter), so a violation here is unambiguously an
+/// arbiter exclusivity bug.
+pub fn check_grant_exclusivity(events: &[TraceEvent]) -> Option<Violation> {
+    let mut holder: Option<(CoreId, u64)> = None;
+    for e in events {
+        match e.kind {
+            TraceKind::HlBegin | TraceKind::SwitchGranted => {
+                if let Some((h, at)) = holder {
+                    if h != e.core {
+                        return Some(Violation {
+                            check: CheckKind::GrantExclusivity,
+                            message: format!(
+                                "arbiter granted core {} at cycle {} while core {h}'s \
+                                 grant from cycle {at} is outstanding",
+                                e.core, e.cycle
+                            ),
+                        });
+                    }
+                } else {
+                    holder = Some((e.core, e.cycle));
+                }
+            }
+            TraceKind::HlEnd => {
+                if matches!(holder, Some((h, _)) if h == e.core) {
+                    holder = None;
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Aggregate verdict over an explored schedule space.
+#[derive(Clone, Debug, Default)]
+pub struct SpaceReport {
+    /// Schedules actually executed (after pruning).
+    pub schedules: u64,
+    /// Schedules with at least one violation.
+    pub violating: u64,
+    /// Violation tallies per checker, insertion-ordered.
+    pub per_kind: Vec<(CheckKind, u64)>,
+    /// First violation found, with the index of its schedule (in
+    /// exploration order — deterministic for a deterministic explorer).
+    pub first: Option<(u64, Violation)>,
+}
+
+impl SpaceReport {
+    /// Fold one schedule's violations into the summary.
+    pub fn record(&mut self, schedule: u64, violations: &[Violation]) {
+        self.schedules = self.schedules.max(schedule + 1);
+        if violations.is_empty() {
+            return;
+        }
+        self.violating += 1;
+        for v in violations {
+            match self.per_kind.iter_mut().find(|(k, _)| *k == v.check) {
+                Some((_, n)) => *n += 1,
+                None => self.per_kind.push((v.check, 1)),
+            }
+        }
+        if self.first.is_none() {
+            self.first = Some((schedule, violations[0].clone()));
+        }
+    }
+
+    /// Note a clean schedule (keeps the schedule count in step when the
+    /// caller does not call [`SpaceReport::record`] for clean runs).
+    pub fn record_clean(&mut self, schedule: u64) {
+        self.schedules = self.schedules.max(schedule + 1);
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.violating == 0
+    }
+
+    /// One-paragraph human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!("{} schedule(s) explored: ", self.schedules);
+        if self.is_clean() {
+            out.push_str("all clean\n");
+        } else {
+            out.push_str(&format!("{} violating\n", self.violating));
+            for (k, n) in &self.per_kind {
+                out.push_str(&format!("  {}: {n}\n", k.name()));
+            }
+            if let Some((s, v)) = &self.first {
+                out.push_str(&format!("  first: schedule {s}: {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, core: CoreId, kind: TraceKind) -> TraceEvent {
+        TraceEvent { cycle, core, kind }
+    }
+
+    #[test]
+    fn double_grant_flagged() {
+        let events = vec![
+            ev(0, 0, TraceKind::HlBegin),
+            ev(1, 1, TraceKind::SwitchGranted),
+            ev(2, 0, TraceKind::HlEnd),
+            ev(3, 1, TraceKind::HlEnd),
+        ];
+        let v = check_grant_exclusivity(&events).expect("overlap must be flagged");
+        assert_eq!(v.check, CheckKind::GrantExclusivity);
+    }
+
+    #[test]
+    fn serialized_grants_clean() {
+        let events = vec![
+            ev(0, 0, TraceKind::HlBegin),
+            ev(1, 0, TraceKind::HlEnd),
+            ev(2, 1, TraceKind::SwitchGranted),
+            ev(3, 1, TraceKind::HlEnd),
+            // Fallback sections never involve the arbiter.
+            ev(4, 0, TraceKind::Fallback),
+            ev(5, 1, TraceKind::HlBegin),
+            ev(6, 1, TraceKind::HlEnd),
+            ev(7, 0, TraceKind::FallbackEnd),
+        ];
+        assert!(check_grant_exclusivity(&events).is_none());
+    }
+
+    #[test]
+    fn space_report_aggregates() {
+        let mut r = SpaceReport::default();
+        r.record_clean(0);
+        r.record(1, &[deadlock_violation(&[0, 1])]);
+        r.record(
+            2,
+            &[
+                deadlock_violation(&[1]),
+                Violation {
+                    check: CheckKind::GrantExclusivity,
+                    message: "x".into(),
+                },
+            ],
+        );
+        assert_eq!(r.schedules, 3);
+        assert_eq!(r.violating, 2);
+        assert!(!r.is_clean());
+        assert_eq!(
+            r.per_kind,
+            vec![(CheckKind::Deadlock, 2), (CheckKind::GrantExclusivity, 1)]
+        );
+        let (s, v) = r.first.as_ref().unwrap();
+        assert_eq!(*s, 1);
+        assert_eq!(v.check, CheckKind::Deadlock);
+        assert!(r.render().contains("2 violating"));
+    }
+}

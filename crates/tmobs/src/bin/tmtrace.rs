@@ -7,6 +7,7 @@
 //!                [--out DIR] [--timeline] [--validate] [-v]
 //! tmtrace blame  [same options] [--top N]
 //! tmtrace diff   A.json B.json [--threshold PCT]
+//! tmtrace witness FILE.json [...]
 //! ```
 //!
 //! Defaults: intruder on LockillerTM, 4 threads, tiny scale, artifacts
@@ -21,6 +22,10 @@
 //! `blame` write `<stem>.stats.json` so a later `tmtrace diff` can gate
 //! on run-to-run regressions: `diff` exits 0 when no numeric leaf differs
 //! beyond the threshold (default 0%: any change), 1 otherwise.
+//!
+//! `witness` renders `tmverify` schedule-witness files (see
+//! `tmobs::witness`) without re-executing them; use `tmverify replay`
+//! to re-run one.
 
 use lockiller::system::SystemKind;
 use stamp::{Scale, WorkloadKind};
@@ -47,7 +52,8 @@ fn usage() -> ! {
          \x20              [--scale tiny|small|full] [--seed HEX] [--sample CYCLES]\n\
          \x20              [--out DIR] [--timeline] [--validate] [-v]\n\
          \x20      tmtrace blame [same options] [--top N]\n\
-         \x20      tmtrace diff  A.json B.json [--threshold PCT]"
+         \x20      tmtrace diff  A.json B.json [--threshold PCT]\n\
+         \x20      tmtrace witness FILE.json [...]"
     );
     std::process::exit(2);
 }
@@ -176,16 +182,53 @@ fn cmd_diff(mut it: std::env::Args) -> ! {
     }
 }
 
+/// `tmtrace witness FILE.json [...]`: render witness files. Exit 0 when
+/// every file parses, 2 otherwise.
+fn cmd_witness(it: std::env::Args) -> ! {
+    let mut any = false;
+    for path in it {
+        match path.as_str() {
+            "-h" | "--help" => usage(),
+            _ => {}
+        }
+        any = true;
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        match tmobs::Witness::parse(&text) {
+            Ok(w) => {
+                println!("{path}:");
+                print!("{}", w.render());
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !any {
+        eprintln!("witness needs at least one file");
+        usage();
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let mut it = std::env::args();
     it.next(); // argv[0]
-               // `diff` has its own grammar (positional files); dispatch before the
-               // flag parser sees it.
-    let args = if std::env::args().nth(1).as_deref() == Some("diff") {
-        it.next();
-        cmd_diff(it)
-    } else {
-        parse_args(it)
+               // `diff` and `witness` have their own grammars (positional
+               // files); dispatch before the flag parser sees them.
+    let args = match std::env::args().nth(1).as_deref() {
+        Some("diff") => {
+            it.next();
+            cmd_diff(it)
+        }
+        Some("witness") => {
+            it.next();
+            cmd_witness(it)
+        }
+        _ => parse_args(it),
     };
 
     let art = run_trace(&args.cfg);

@@ -19,6 +19,9 @@
 //!   hotspot table, and the recovery-outcome ledger (`tmtrace blame`);
 //! - [`diff`] — schema-agnostic numeric JSON diff used as a run-to-run
 //!   regression detector (`tmtrace diff`, bench, CI);
+//! - [`witness`] — replayable schedule witnesses written by the
+//!   `tmverify` explorer (`tmtrace witness` renders them, `tmverify
+//!   replay` re-executes them);
 //! - [`session`] — a one-call harness running a STAMP workload on a
 //!   Table-II system with a recorder attached, returning all artifacts;
 //! - [`selfprof::SelfProfiler`] — host-side wall-clock accounting of the
@@ -41,6 +44,7 @@ pub mod registry;
 pub mod selfprof;
 pub mod session;
 pub mod summary;
+pub mod witness;
 
 /// Minimal JSON support (escaping + a recursive-descent parser); lives in
 /// `sim_core` so statistics serialization can share it, re-exported here
@@ -57,3 +61,4 @@ pub use registry::{standard_histograms, Histogram, MetricsRegistry};
 pub use selfprof::SelfProfiler;
 pub use session::{run_trace, TraceArtifacts, TraceConfig};
 pub use summary::render_summary;
+pub use witness::{Witness, WITNESS_VERSION};

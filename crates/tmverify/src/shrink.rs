@@ -1,0 +1,136 @@
+//! ddmin-style minimization of violating decision sequences.
+//!
+//! A decision vector lists, per nondeterministic pick point, the index
+//! of the candidate fired (see `lockiller::sched`); index 0 is the
+//! engine's default FIFO order, so a vector of all zeros is the default
+//! schedule. Minimization therefore reduces the set of *non-zero*
+//! positions: the witness that survives says "deviate from FIFO at
+//! exactly these points". Candidates are validated by re-running the
+//! simulation (`reproduces` is an oracle for "same violation kind"),
+//! and positions dropped from the kept set are forced back to 0.
+
+/// Minimize `decisions` against the `reproduces` oracle.
+///
+/// Returns the smallest vector found (trailing zeros trimmed) such
+/// that `reproduces` still holds; `decisions` itself is returned
+/// trimmed if the oracle rejects every reduction. `probe_budget` caps
+/// the number of oracle calls (each is a full simulation).
+pub fn ddmin(
+    decisions: &[usize],
+    mut probe_budget: usize,
+    mut reproduces: impl FnMut(&[usize]) -> bool,
+) -> Vec<usize> {
+    let build = |kept: &[usize]| -> Vec<usize> {
+        let mut v = vec![0usize; decisions.len()];
+        for &p in kept {
+            v[p] = decisions[p];
+        }
+        while v.last() == Some(&0) {
+            v.pop();
+        }
+        v
+    };
+
+    // The candidate set: positions deviating from the default schedule.
+    let mut kept: Vec<usize> = (0..decisions.len())
+        .filter(|&i| decisions[i] != 0)
+        .collect();
+
+    // Fast path: the empty deviation (pure FIFO) already reproduces.
+    if !kept.is_empty() && probe_budget > 0 {
+        probe_budget -= 1;
+        if reproduces(&build(&[])) {
+            return build(&[]);
+        }
+    }
+
+    let mut granularity = 2usize;
+    while kept.len() >= 2 && probe_budget > 0 {
+        let chunk = kept.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < kept.len() && probe_budget > 0 {
+            // Try the complement of kept[start..start+chunk].
+            let complement: Vec<usize> = kept
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i < start || i >= start + chunk)
+                .map(|(_, &p)| p)
+                .collect();
+            probe_budget -= 1;
+            if reproduces(&build(&complement)) {
+                kept = complement;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start += chunk;
+        }
+        if !reduced {
+            if granularity >= kept.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(kept.len());
+        }
+    }
+
+    // Final greedy pass: drop single positions.
+    let mut i = 0;
+    while i < kept.len() && probe_budget > 0 {
+        let mut cand = kept.clone();
+        cand.remove(i);
+        probe_budget -= 1;
+        if reproduces(&build(&cand)) {
+            kept = cand;
+        } else {
+            i += 1;
+        }
+    }
+
+    build(&kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_single_cause() {
+        // Violation iff position 7 keeps its non-zero value.
+        let decisions = vec![1, 0, 2, 0, 1, 1, 0, 3, 1, 0, 2];
+        let out = ddmin(&decisions, 1000, |v| v.get(7) == Some(&3));
+        assert_eq!(out, vec![0, 0, 0, 0, 0, 0, 0, 3]);
+    }
+
+    #[test]
+    fn shrinks_to_pair() {
+        let decisions = vec![2, 1, 1, 1, 2, 1, 1, 1];
+        let out = ddmin(&decisions, 1000, |v| {
+            v.first() == Some(&2) && v.get(4) == Some(&2)
+        });
+        assert_eq!(out, vec![2, 0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn default_schedule_violation_shrinks_to_empty() {
+        let out = ddmin(&[1, 2, 1], 1000, |_| true);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn irreducible_stays() {
+        let decisions = vec![1, 1];
+        let out = ddmin(&decisions, 1000, |v| v == [1, 1]);
+        assert_eq!(out, vec![1, 1]);
+    }
+
+    #[test]
+    fn budget_limits_probes() {
+        let mut calls = 0;
+        let _ = ddmin(&[1; 64], 5, |_| {
+            calls += 1;
+            false
+        });
+        assert!(calls <= 5);
+    }
+}
