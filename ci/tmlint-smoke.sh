@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Lints the demo hazard specs plus every tmverify corpus kernel with
+# `tmlint --json`, concatenating the diagnostics in a fixed order.
+#
+#   ci/tmlint-smoke.sh          diff against ci/tmlint-baseline.jsonl;
+#                               any new or vanished diagnostic fails
+#   ci/tmlint-smoke.sh --bless  rewrite the checked-in baseline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+# tmlint exits 1 when an error-severity diagnostic fires (the
+# mixed-access demo is supposed to); only exit 2 (usage/parse) is fatal.
+lint() {
+  cargo run --release -q -p tmstatic --bin tmlint -- "$@" >> "$out" && rc=0 || rc=$?
+  if [ "$rc" -ge 2 ]; then
+    echo "tmlint failed ($rc) for: $*" >&2
+    exit "$rc"
+  fi
+}
+
+# Demo hazards: mixed-access race, capacity overflow, hand-off cycle.
+lint --prog '2/c:L0,S1/p:L1' --json
+lint --prog '6/c:L0,L1,L2,S0/c:L3,L4,L5,S3' --system LockillerTM --tiny-l1 --json
+lint --prog '2/c:L0,S1/c:L1,S0' --json
+
+# Every corpus witness kernel, in sorted filename order, under the
+# geometry the witness was found with.
+for w in crates/tmverify/tests/corpus/*.json; do
+  mapfile -t fields < <(python3 -c "
+import json, sys
+w = json.load(open(sys.argv[1]))
+print(w['prog'])
+print(w['system'])
+print(1 if w.get('tiny_l1') else 0)
+" "$w")
+  args=(--prog "${fields[0]}" --system "${fields[1]}" --json)
+  [ "${fields[2]}" = 1 ] && args+=(--tiny-l1)
+  lint "${args[@]}"
+done
+
+if [ "${1:-}" = "--bless" ]; then
+  mv "$out" ci/tmlint-baseline.jsonl
+  trap - EXIT
+  echo "blessed $(wc -l < ci/tmlint-baseline.jsonl) diagnostic(s) into ci/tmlint-baseline.jsonl"
+else
+  diff -u ci/tmlint-baseline.jsonl "$out"
+  echo "tmlint diagnostics match the baseline ($(wc -l < "$out") diagnostic(s))"
+fi

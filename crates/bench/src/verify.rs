@@ -6,6 +6,13 @@
 //! clock) to `BENCH_verify.json`, the same convention as
 //! `BENCH_lab.json` / `BENCH_forensics.json`: a regression in these
 //! numbers means the state space or the pruning changed.
+//!
+//! Each row also records `pruned_schedules`: the schedule count of a
+//! second exploration run with the `tmstatic` independence table
+//! installed (equal to `schedules` when the analysis premises don't
+//! hold). The battery asserts the pruned run reproduces the baseline
+//! verdict and never adds schedules, and that on `disjoint-3c3l-tm`
+//! the reduction is strict.
 
 use lockiller::SystemKind;
 use std::io::Write;
@@ -51,6 +58,13 @@ const SUITE: &[Entry] = &[
         expect_clean: true,
     },
     Entry {
+        name: "disjoint-3c3l-tm",
+        system: SystemKind::LockillerTm,
+        prog: "3/c:L0,S0/c:L1,S1/c:L2,S2",
+        inject_drop_wakeups: false,
+        expect_clean: true,
+    },
+    Entry {
         name: "detector-drop-wakeups",
         system: SystemKind::LockillerRwi,
         prog: "2/c:L0,S1/c:L1,S0",
@@ -84,17 +98,56 @@ pub fn run(quick: bool, jobs: usize, path: &Path) -> std::io::Result<()> {
             rep.render()
         );
         assert!(rep.complete(), "{}: space no longer drains", e.name);
+
+        // Re-explore with the tmstatic independence table when its
+        // premises hold: the pruned run must reach the same verdict
+        // while executing no more schedules than the baseline.
+        let analysis = tmstatic::Analysis::new(e.system, ex.spec.clone(), ex.config());
+        let pruned_schedules = match analysis.independence() {
+            Some(table) => {
+                let mut pruned = ex.clone();
+                pruned.prune = Some(table);
+                let prep = pruned.explore();
+                assert_eq!(
+                    prep.is_clean(),
+                    rep.is_clean(),
+                    "{}: static pruning flipped the verdict:\n{}",
+                    e.name,
+                    prep.render()
+                );
+                assert!(prep.complete(), "{}: pruned space no longer drains", e.name);
+                assert!(
+                    prep.schedules <= rep.schedules,
+                    "{}: pruning added schedules ({} > {})",
+                    e.name,
+                    prep.schedules,
+                    rep.schedules
+                );
+                prep.schedules
+            }
+            None => rep.schedules,
+        };
+        if e.name == "disjoint-3c3l-tm" {
+            assert!(
+                pruned_schedules < rep.schedules,
+                "{}: static pruning must be strict here ({} !< {})",
+                e.name,
+                pruned_schedules,
+                rep.schedules
+            );
+        }
         eprintln!(
-            "[verify {}: {} schedule(s), {} sleep-pruned, {} deduped, {:.0} ms]",
-            e.name, rep.schedules, rep.pruned_sleep, rep.pruned_dedup, wall_ms
+            "[verify {}: {} schedule(s) ({} pruned), {} sleep-pruned, {} deduped, {:.0} ms]",
+            e.name, rep.schedules, pruned_schedules, rep.pruned_sleep, rep.pruned_dedup, wall_ms
         );
         rows.push(format!(
             "  {{\"name\": \"{}\", \"system\": \"{}\", \"prog\": \"{}\", \
-             \"wall_ms\": {:.3}, \"report\": {}}}",
+             \"wall_ms\": {:.3}, \"pruned_schedules\": {}, \"report\": {}}}",
             e.name,
             e.system.name(),
             e.prog,
             wall_ms,
+            pruned_schedules,
             rep.to_json()
         ));
     }

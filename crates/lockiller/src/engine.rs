@@ -642,6 +642,7 @@ impl Engine {
                     line: None,
                     bank: None,
                     global: false,
+                    sync: false,
                     id: 0,
                 };
                 match self.ctl[*c].staged_op {
@@ -652,9 +653,23 @@ impl Engine {
                     Some(GuestOp::Compute(_) | GuestOp::TTest | GuestOp::TxBegin)
                     | Some(GuestOp::SpinBegin | GuestOp::SpinEnd) => {}
                     // Commit/abort/lock transitions fan wake-ups and HLA
-                    // traffic out to arbitrary cores; barrier and page
-                    // faults touch engine-global state. None (unstaged)
-                    // only happens on the unscheduled path.
+                    // traffic out to arbitrary cores — global, but the
+                    // shared state is pure sync machinery, so a static
+                    // analysis may refine it (see `EvDesc::sync`).
+                    Some(
+                        GuestOp::TxCommit
+                        | GuestOp::TxAbortUser
+                        | GuestOp::HlBegin
+                        | GuestOp::HlEnd
+                        | GuestOp::FallbackBegin
+                        | GuestOp::FallbackEnd,
+                    ) => {
+                        d.global = true;
+                        d.sync = true;
+                    }
+                    // Barrier and page faults touch engine-global state
+                    // beyond sync machinery. None (unstaged) only happens
+                    // on the unscheduled path.
                     _ => d.global = true,
                 }
                 d
@@ -665,6 +680,7 @@ impl Engine {
                 line: None,
                 bank: None,
                 global: false,
+                sync: false,
                 id: 0,
             },
             Ev::Net(m) => self.describe_net(m),
@@ -684,6 +700,9 @@ impl Engine {
                     line: None,
                     bank: None,
                     global,
+                    // The only global notice is HlaResult: lock-mode sync
+                    // machinery, refinable against proven-pure cores.
+                    sync: global,
                     id: 0,
                 }
             }
@@ -705,6 +724,7 @@ impl Engine {
                     line,
                     bank: line.map(bank_of),
                     global: false,
+                    sync: false,
                     id: 0,
                 }
             }
@@ -721,6 +741,7 @@ impl Engine {
             line: None,
             bank: None,
             global: false,
+            sync: false,
             id: 0,
         };
         match m {
@@ -755,14 +776,17 @@ impl Engine {
                 d.line = Some(*line);
             }
             NetMsg::Wakeup { to } => d.cores = 1 << to,
-            // HLA arbiter traffic serializes at one global point.
+            // HLA arbiter traffic serializes at one global point — sync
+            // machinery only, so refinable against proven-pure cores.
             NetMsg::HlaReq { core, .. } | NetMsg::HlaRel { core } => {
                 d.cores = 1 << core;
                 d.global = true;
+                d.sync = true;
             }
             NetMsg::HlaRsp { to, .. } => {
                 d.cores = 1 << to;
                 d.global = true;
+                d.sync = true;
             }
         }
         d.bank = d.line.map(bank_of);

@@ -35,6 +35,6 @@ pub use flatmem::{FlatMem, SetupCtx};
 pub use guest::{Abort, GuestCtx, TxCtx};
 pub use program::Program;
 pub use runner::{RunOutput, Runner};
-pub use sched::{EvClass, EvDesc, RunEnd, Scheduler};
+pub use sched::{EvClass, EvDesc, RunEnd, Scheduler, StaticIndependence};
 pub use system::SystemKind;
 pub use trace::{render_timeline, Trace, TraceEvent, TraceKind, DEFAULT_TRACE_CAP};

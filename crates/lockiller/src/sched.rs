@@ -55,6 +55,14 @@ pub struct EvDesc {
     pub bank: Option<usize>,
     /// Touches globally shared state; dependent with everything.
     pub global: bool,
+    /// Refinement hint for `global` events: the global state touched is
+    /// only core-attributable *sync machinery* — commit/abort wake-up
+    /// fan-out, the HLA arbiter, lock-mode transitions — never the
+    /// barrier, demand paging, or overflow signatures. A whole-program
+    /// static analysis ([`StaticIndependence`]) can prove such an event
+    /// independent of cores that provably never park, lock, or share a
+    /// bank with the event's cores. Meaningless when `global` is false.
+    pub sync: bool,
     /// Stable identity hash (class + payload, volatile tags excluded);
     /// used to match the "same" event across replays of one prefix.
     pub id: u64,
@@ -90,6 +98,76 @@ impl EvDesc {
             s.push_str(":g");
         }
         s
+    }
+}
+
+/// A statically-computed refinement of [`EvDesc::conflicts`]: extra
+/// independence facts a whole-program analysis proved about the guest
+/// kernel, consumed by the `tmverify` partial-order reduction so that
+/// statically-independent step pairs never generate backtrack points.
+///
+/// The producer (the `tmstatic` crate) is responsible for soundness: a
+/// table may only be constructed when the analysis proved, for the whole
+/// program, that (a) no transaction can overflow its speculative
+/// capacity (so overflow signatures are never touched and switchingMode
+/// never engages), (b) no LLC set can ever evict (so tag-LRU order is
+/// unobservable), and (c) `bank_foot`/`pure` over-approximate every
+/// reachable footprint, including conditionally-touched lines such as
+/// the fallback lock. Under those premises, commuting a refined pair
+/// cannot change any reachable state, which is exactly what sleep-set
+/// soundness requires. Explorers must ignore the table when protocol
+/// fault injection is active — injected faults break the premises.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StaticIndependence {
+    /// Per-core bitmask of LLC banks the core's program can ever touch
+    /// (data lines plus the fallback lock line when reachable).
+    pub bank_foot: Vec<u64>,
+    /// Bitmask of cores statically proven *pure*: they never abort,
+    /// never take the fallback lock, never park on a rejected request,
+    /// and never touch HLA or signature state.
+    pub pure: u64,
+}
+
+impl StaticIndependence {
+    /// True when the table proves `a` and `b` independent even though
+    /// the dynamic footprints overlap. Requires: both events attributable
+    /// to disjoint core sets, any `global` flag explained by `sync`
+    /// machinery, disjoint static bank footprints, and at least one side
+    /// consisting solely of pure cores (so no shared sync state exists
+    /// for the pair to communicate through).
+    pub fn refines(&self, a: &EvDesc, b: &EvDesc) -> bool {
+        if a.cores == 0 || b.cores == 0 || (a.cores & b.cores) != 0 {
+            return false;
+        }
+        if (a.global && !a.sync) || (b.global && !b.sync) {
+            return false;
+        }
+        let foot = |cores: u64| {
+            self.bank_foot
+                .iter()
+                .enumerate()
+                .filter(|&(c, _)| cores & (1 << c) != 0)
+                .fold(0u64, |acc, (_, f)| acc | f)
+        };
+        // Cores beyond the table are unknown: refuse to refine.
+        let known = if self.bank_foot.len() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bank_foot.len()) - 1
+        };
+        if a.cores & !known != 0 || b.cores & !known != 0 {
+            return false;
+        }
+        if foot(a.cores) & foot(b.cores) != 0 {
+            return false;
+        }
+        a.cores & !self.pure == 0 || b.cores & !self.pure == 0
+    }
+
+    /// The refined dependence relation: dynamic
+    /// [`EvDesc::conflicts`] minus statically-proven-independent pairs.
+    pub fn conflicts(&self, a: &EvDesc, b: &EvDesc) -> bool {
+        a.conflicts(b) && !self.refines(a, b)
     }
 }
 
@@ -140,6 +218,7 @@ mod tests {
             line: bank.map(|b| LineAddr(b as u64)),
             bank,
             global,
+            sync: false,
             id: 0,
         }
     }
@@ -154,6 +233,50 @@ mod tests {
         assert!(desc(0b01, Some(1), false).conflicts(&desc(0b10, Some(1), false)));
         // Global events are dependent with everything.
         assert!(desc(0b01, None, true).conflicts(&desc(0b10, Some(1), false)));
+    }
+
+    #[test]
+    fn static_refinement() {
+        // Core 0 on bank 0, core 1 on bank 1, both pure.
+        let t = StaticIndependence {
+            bank_foot: vec![0b01, 0b10],
+            pure: 0b11,
+        };
+        let sync = |cores: u64| EvDesc {
+            sync: true,
+            ..desc(cores, None, true)
+        };
+        // A commit-class global of core 0 is refined against core 1...
+        assert!(t.refines(&sync(0b01), &desc(0b10, Some(1), false)));
+        assert!(!t.conflicts(&sync(0b01), &desc(0b10, Some(1), false)));
+        // ... but the dynamic relation alone says they conflict.
+        assert!(sync(0b01).conflicts(&desc(0b10, Some(1), false)));
+        // Barrier-class globals (sync = false) are never refined.
+        assert!(!t.refines(&desc(0b01, None, true), &desc(0b10, None, false)));
+        // Overlapping cores are never refined.
+        assert!(!t.refines(&sync(0b01), &desc(0b01, None, false)));
+        // Unattributable events (cores == 0) are never refined.
+        assert!(!t.refines(&desc(0, None, true), &desc(0b10, None, false)));
+        // Cores beyond the table are never refined.
+        assert!(!t.refines(&sync(0b100), &desc(0b10, None, false)));
+        // Shared static bank footprints block refinement.
+        let shared = StaticIndependence {
+            bank_foot: vec![0b01, 0b01],
+            pure: 0b11,
+        };
+        assert!(!shared.refines(&sync(0b01), &desc(0b10, None, false)));
+        // Two impure cores block refinement even with disjoint banks.
+        let impure = StaticIndependence {
+            bank_foot: vec![0b01, 0b10],
+            pure: 0,
+        };
+        assert!(!impure.refines(&sync(0b01), &desc(0b10, None, false)));
+        // One pure side is enough.
+        let half = StaticIndependence {
+            bank_foot: vec![0b01, 0b10],
+            pure: 0b10,
+        };
+        assert!(half.refines(&sync(0b01), &desc(0b10, None, false)));
     }
 
     #[test]

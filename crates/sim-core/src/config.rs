@@ -16,7 +16,7 @@
 //! simulation results on it (DESIGN.md §13).
 
 use crate::fxhash::FxHasher;
-use crate::types::Cycle;
+use crate::types::{Cycle, LineAddr};
 use std::hash::Hasher;
 
 /// Geometry of one set-associative cache (sizes are per instance: one L1,
@@ -335,6 +335,50 @@ impl SystemConfig {
     /// Number of LLC banks (one per tile).
     pub fn num_banks(&self) -> usize {
         self.num_cores
+    }
+
+    /// Home LLC bank of a line: lines interleave line-modulo-banks, the
+    /// same mapping the engine and the `coherence` bank model use. A
+    /// static analysis can therefore compute a program's exact per-bank
+    /// footprint from its line set alone.
+    pub fn bank_of(&self, line: LineAddr) -> usize {
+        (line.0 as usize) % self.num_banks()
+    }
+
+    /// L1 set a line maps to: private L1s index by the raw line number.
+    /// Used by the static capacity analysis — more than
+    /// [`SystemConfig::speculative_ways`] distinct speculative lines in
+    /// one set guarantee a capacity overflow.
+    pub fn l1_set_of(&self, line: LineAddr) -> usize {
+        self.mem.l1.set_of(line.0)
+    }
+
+    /// Set a line occupies within its home LLC bank (banks index by
+    /// line-divided-by-banks, mirroring the bank tag array's stride).
+    pub fn llc_set_of(&self, line: LineAddr) -> usize {
+        self.mem.llc_bank.set_of(line.0 / self.num_banks() as u64)
+    }
+
+    /// Speculative lines one L1 set can hold: the associativity. A
+    /// transaction whose footprint puts more distinct lines than this
+    /// into a single set cannot finish in HTM mode.
+    pub fn speculative_ways(&self) -> usize {
+        self.mem.l1.ways
+    }
+
+    /// Total speculative line capacity of one private L1 (upper bound on
+    /// any transaction's combined read/write-set size).
+    pub fn speculative_lines(&self) -> usize {
+        self.mem.l1.lines()
+    }
+
+    /// Conservative distinct-line budget of one overflow Bloom signature:
+    /// `bits / (8 * hashes)` keeps the false-positive probability of a
+    /// saturating signature below roughly 0.2%, the regime in which
+    /// switchingMode spill tracking stays precise. Footprints beyond this
+    /// budget make signature aliasing (spurious conflicts) plausible.
+    pub fn signature_line_budget(&self) -> usize {
+        (self.mem.signature_bits / (8 * self.mem.signature_hashes)).max(1)
     }
 
     /// Schema version folded into [`SystemConfig::stable_hash`]; bump it
@@ -770,6 +814,25 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_pow2_sets_rejected() {
         let _ = CacheGeometry::from_capacity(24 * 1024, 4);
+    }
+
+    #[test]
+    fn static_analysis_accessors() {
+        let c = SystemConfig::testing(4);
+        // Bank interleave is line % banks, L1 indexes by raw line number,
+        // bank sets stride by the bank count — the same mappings the
+        // engine and the coherence bank/L1 models use.
+        assert_eq!(c.num_banks(), 4);
+        assert_eq!(c.bank_of(LineAddr(6)), 2);
+        assert_eq!(c.l1_set_of(LineAddr(6)), c.mem.l1.set_of(6));
+        assert_eq!(c.llc_set_of(LineAddr(6)), c.mem.llc_bank.set_of(6 / 4));
+        assert_eq!(c.speculative_ways(), c.mem.l1.ways);
+        assert_eq!(c.speculative_lines(), c.mem.l1.sets * c.mem.l1.ways);
+        // Table-I signature: 1024 bits, 3 hashes -> 42-line budget.
+        assert_eq!(SystemConfig::table1().signature_line_budget(), 42);
+        // Degenerate geometries still give a usable (>= 1) budget.
+        let tiny = SystemConfig::builder().signature(8, 4).build().unwrap();
+        assert_eq!(tiny.signature_line_budget(), 1);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Static lint CLI for `ProgSpec` kernels.
+//!
+//! ```text
+//! tmlint --prog SPEC [--system NAME] [--tiny-l1] [--json]
+//!        [--baseline FILE] [--table]
+//! ```
+//!
+//! Analyzes the kernel under the same simulator geometry `tmverify`
+//! would explore (`--tiny-l1` matches the explorer's shrunk L1) and
+//! prints the diagnostics — human-readable by default, one stable JSON
+//! object per line with `--json` (schema documented in
+//! `tmstatic::lint`). `--table` additionally reports the DPOR pruning
+//! table the analysis would hand the explorer.
+//!
+//! `--baseline FILE` compares against a checked-in baseline (the
+//! `--json` output of a blessed run): only diagnostics *not* present in
+//! the baseline count. CI uses this to fail on new diagnostics without
+//! re-litigating known ones.
+//!
+//! Exit codes: 0 no (new) error-severity diagnostics, 1 at least one
+//! (new) error, 2 bad usage or unreadable input.
+
+use lockiller::SystemKind;
+use tmstatic::{lint, Analysis, Severity};
+use tmverify::progs::ProgSpec;
+use tmverify::Explorer;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tmlint --prog SPEC [--system NAME] [--tiny-l1] [--json]\n\
+         \x20             [--baseline FILE] [--table]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut it = std::env::args().skip(1);
+    let mut prog: Option<String> = None;
+    let mut system = SystemKind::LockillerRwi;
+    let mut tiny_l1 = false;
+    let mut json = false;
+    let mut table = false;
+    let mut baseline: Option<std::path::PathBuf> = None;
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--prog" | "-p" => prog = Some(val()),
+            "--system" | "-s" => {
+                let v = val();
+                let Some(k) = SystemKind::from_name(&v) else {
+                    eprintln!("tmlint: unknown system {v:?}");
+                    usage();
+                };
+                system = k;
+            }
+            "--tiny-l1" => tiny_l1 = true,
+            "--json" => json = true,
+            "--table" => table = true,
+            "--baseline" => baseline = Some(val().into()),
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("tmlint: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    let Some(prog) = prog else {
+        eprintln!("tmlint: --prog is required");
+        usage();
+    };
+    let spec = match ProgSpec::parse(&prog) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tmlint: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut ex = Explorer::new(system, spec.clone());
+    ex.tiny_l1 = tiny_l1;
+    let analysis = Analysis::new(system, spec, ex.config());
+    let diags = lint(&analysis);
+
+    let known: Vec<String> = match &baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text.lines().map(str::to_string).collect(),
+            Err(e) => {
+                eprintln!("tmlint: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        },
+        None => Vec::new(),
+    };
+    let mut new_errors = 0usize;
+    let mut new_any = 0usize;
+    for d in &diags {
+        let row = d.to_json();
+        let is_new = !known.contains(&row);
+        if is_new {
+            new_any += 1;
+            if d.severity == Severity::Error {
+                new_errors += 1;
+            }
+        }
+        if json {
+            println!("{row}");
+        } else {
+            let tag = if baseline.is_some() && !is_new {
+                " (baseline)"
+            } else {
+                ""
+            };
+            println!("{}{tag}", d.render());
+        }
+    }
+    if table {
+        match analysis.independence() {
+            Some(t) => {
+                let foot: Vec<String> = t.bank_foot.iter().map(|f| format!("{f:#b}")).collect();
+                eprintln!(
+                    "tmlint: pruning table: pure={:#b} bank_foot=[{}]",
+                    t.pure,
+                    foot.join(", ")
+                );
+            }
+            None => eprintln!("tmlint: pruning table unavailable (premises not provable)"),
+        }
+    }
+    if !json {
+        eprintln!(
+            "tmlint: {} diagnostic(s){} on {} ({})",
+            diags.len(),
+            if baseline.is_some() {
+                format!(", {new_any} new vs baseline")
+            } else {
+                String::new()
+            },
+            analysis.spec.render(),
+            analysis.system.name(),
+        );
+    }
+    std::process::exit(i32::from(new_errors > 0));
+}

@@ -47,7 +47,7 @@
 
 use crate::progs::{ProgSpec, SpecProgram};
 use crate::shrink;
-use lockiller::{EvDesc, RunEnd, Runner, Scheduler, SystemKind};
+use lockiller::{EvDesc, RunEnd, Runner, Scheduler, StaticIndependence, SystemKind};
 use sim_core::config::{CheckCfg, FaultInject, RejectAction, SystemConfig, SystemConfigBuilder};
 use sim_core::fxhash::{FxHashMap, FxHasher};
 use sim_core::types::Cycle;
@@ -127,6 +127,12 @@ pub struct Explorer {
     pub state_dedup: bool,
     /// Oracle-probe budget for ddmin witness shrinking.
     pub shrink_budget: usize,
+    /// Statically-proven independence facts refining the dynamic
+    /// conflict relation (from the `tmstatic` crate). `None` keeps the
+    /// exploration bit-identical to the unpruned baseline. Ignored when
+    /// fault injection is active — injected faults break the analysis
+    /// premises (see [`StaticIndependence`] docs).
+    pub prune: Option<StaticIndependence>,
 }
 
 impl Explorer {
@@ -144,11 +150,24 @@ impl Explorer {
             jobs: 1,
             state_dedup: true,
             shrink_budget: 200,
+            prune: None,
         }
     }
 
-    /// The simulator configuration explored (shared by every run).
-    fn config(&self) -> SystemConfig {
+    /// The prune table in force: the configured table, unless fault
+    /// injection invalidates its soundness premises.
+    fn active_prune(&self) -> Option<&StaticIndependence> {
+        if self.inject.any() {
+            None
+        } else {
+            self.prune.as_ref()
+        }
+    }
+
+    /// The simulator configuration explored (shared by every run). Public
+    /// so static analyses (the `tmstatic` crate) reason about exactly the
+    /// geometry the explorer simulates.
+    pub fn config(&self) -> SystemConfig {
         let cores = self.spec.num_threads().max(2);
         let mut b = SystemConfigBuilder::from_config(SystemConfig::testing(cores));
         if self.tiny_l1 {
@@ -188,7 +207,8 @@ impl Explorer {
 
     /// Execute one work item (pure function of `self` + `item`).
     fn execute(&self, item: &WorkItem) -> RunRecord {
-        let mut sched = RecordingScheduler::new(item, self.depth_bound);
+        let mut sched =
+            RecordingScheduler::new(item, self.depth_bound, self.active_prune().cloned());
         let mut prog = SpecProgram::new(self.spec.clone());
         let mut out = self.runner().run_scheduled(&mut prog, &mut sched);
         let events = out.take_trace_events();
@@ -263,6 +283,12 @@ impl Explorer {
         // fp -> sleep sets (as sorted id vectors) already explored there.
         let mut seen: FxHashMap<u64, Vec<Vec<u64>>> = FxHashMap::default();
         let mut rep = ExploreReport::default();
+        let prune = self.active_prune();
+        rep.static_prune = prune.is_some();
+        let dependent = |a: &EvDesc, b: &EvDesc| match prune {
+            Some(t) => t.conflicts(a, b),
+            None => a.conflicts(b),
+        };
         let mut digest = FxHasher::default();
         let mut first_violation: Option<(u64, Violation, Vec<usize>)> = None;
         let jobs = self.jobs.max(1);
@@ -345,7 +371,7 @@ impl Explorer {
                             .sleep_before
                             .iter()
                             .chain(explored.iter())
-                            .filter(|u| !u.conflicts(opt))
+                            .filter(|u| !dependent(u, opt))
                             .cloned()
                             .collect();
                         let mut forced = rec.decisions[..ch.depth].to_vec();
@@ -485,14 +511,22 @@ struct RecordingScheduler {
     /// covered by other schedules, so no further choices are recorded.
     redundant_from: Option<usize>,
     depth_clipped: bool,
+    /// Static refinement of the wake-up relation: a sleeping event stays
+    /// asleep past dispatches proven independent of it.
+    prune: Option<StaticIndependence>,
 }
 
 impl RecordingScheduler {
-    fn new(item: &WorkItem, depth_bound: usize) -> RecordingScheduler {
+    fn new(
+        item: &WorkItem,
+        depth_bound: usize,
+        prune: Option<StaticIndependence>,
+    ) -> RecordingScheduler {
         RecordingScheduler {
             forced: item.forced.clone(),
             entry_sleep: item.entry_sleep.clone(),
             depth_bound,
+            prune,
             depth: 0,
             sleep: if item.forced.is_empty() {
                 item.entry_sleep.clone()
@@ -553,7 +587,10 @@ impl Scheduler for RecordingScheduler {
 
     fn observe(&mut self, _at: Cycle, ev: &EvDesc) {
         if self.sleep_active && !self.sleep.is_empty() {
-            self.sleep.retain(|t| !t.conflicts(ev));
+            match &self.prune {
+                Some(p) => self.sleep.retain(|t| !p.conflicts(t, ev)),
+                None => self.sleep.retain(|t| !t.conflicts(ev)),
+            }
         }
     }
 }
@@ -598,6 +635,8 @@ pub struct ExploreReport {
     pub frontier_peak: usize,
     /// The schedule budget ran out before the frontier drained.
     pub budget_exhausted: bool,
+    /// A static independence table was in force during exploration.
+    pub static_prune: bool,
     /// Per-schedule property verdicts.
     pub space: SpaceReport,
     /// Shrunk witness for the first violation found, if any.
@@ -665,8 +704,8 @@ impl ExploreReport {
             "{{\"schedules\": {}, \"redundant\": {}, \"pruned_sleep\": {}, \
              \"pruned_dedup\": {}, \"cycle_limited\": {}, \"depth_clipped\": {}, \
              \"max_depth\": {}, \"frontier_peak\": {}, \"budget_exhausted\": {}, \
-             \"complete\": {}, \"violating\": {}, \"violations\": {{{}}}, \
-             \"digest\": \"{:016x}\"}}",
+             \"static_prune\": {}, \"complete\": {}, \"violating\": {}, \
+             \"violations\": {{{}}}, \"digest\": \"{:016x}\"}}",
             self.schedules,
             self.redundant,
             self.pruned_sleep,
@@ -676,6 +715,7 @@ impl ExploreReport {
             self.max_depth,
             self.frontier_peak,
             self.budget_exhausted,
+            self.static_prune,
             self.complete(),
             self.space.violating,
             per_kind.join(", "),

@@ -27,7 +27,60 @@
 //! is what makes witnesses replayable.
 
 use lockiller::{GuestCtx, Program, SetupCtx};
-use sim_core::types::Addr;
+use sim_core::types::{Addr, LineAddr};
+use std::fmt;
+
+/// Typed failure from [`ProgSpec::parse`]. Every variant carries enough
+/// context to point at the offending token; `Display` renders the same
+/// `spec: ...` messages callers previously got as bare strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The spec string has no leading line count.
+    Empty,
+    /// The leading line count is not an unsigned integer.
+    BadLineCount { text: String },
+    /// The declared line count is zero.
+    ZeroLines,
+    /// No thread follows the line count.
+    NoThreads,
+    /// A segment lacks its `c:`/`p:` mode prefix.
+    MissingMode { segment: String },
+    /// A segment mode other than `c` or `p`.
+    BadMode { mode: String },
+    /// An op that is not `L<i>`, `S<i>`, or `C<n>`.
+    BadOp { op: String },
+    /// A load/store references a line index outside the declared arena.
+    LineOutOfRange { op: String, line: u64, lines: u64 },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "spec: empty"),
+            ParseError::BadLineCount { text } => {
+                write!(f, "spec: bad line count {text:?}")
+            }
+            ParseError::ZeroLines => write!(f, "spec: need at least one line"),
+            ParseError::NoThreads => write!(f, "spec: need at least one thread"),
+            ParseError::MissingMode { segment } => {
+                write!(f, "spec: segment {segment:?} lacks 'c:'/'p:'")
+            }
+            ParseError::BadMode { mode } => write!(f, "spec: bad segment mode {mode:?}"),
+            ParseError::BadOp { op } => write!(f, "spec: bad op {op:?}"),
+            ParseError::LineOutOfRange { op, line, lines } => {
+                write!(f, "spec: op {op:?} references line {line} >= {lines}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ParseError> for String {
+    fn from(e: ParseError) -> String {
+        e.to_string()
+    }
+}
 
 /// One guest operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,44 +111,60 @@ pub struct ProgSpec {
 
 impl ProgSpec {
     /// Parse the textual form (see module docs for the grammar).
-    pub fn parse(s: &str) -> Result<ProgSpec, String> {
+    pub fn parse(s: &str) -> Result<ProgSpec, ParseError> {
         let mut parts = s.split('/');
-        let lines: u64 = parts
+        let head = parts
             .next()
             .filter(|p| !p.is_empty())
-            .ok_or("spec: empty")?
-            .parse()
-            .map_err(|_| format!("spec: bad line count in {s:?}"))?;
+            .ok_or(ParseError::Empty)?;
+        let lines: u64 = head.parse().map_err(|_| ParseError::BadLineCount {
+            text: head.to_string(),
+        })?;
         if lines == 0 {
-            return Err("spec: need at least one line".into());
+            return Err(ParseError::ZeroLines);
         }
         let mut threads = Vec::new();
         for tspec in parts {
             let mut segs = Vec::new();
             for sspec in tspec.split(';') {
-                let (mode, ops_s) = sspec
-                    .split_once(':')
-                    .ok_or_else(|| format!("spec: segment {sspec:?} lacks 'c:'/'p:'"))?;
+                let (mode, ops_s) =
+                    sspec
+                        .split_once(':')
+                        .ok_or_else(|| ParseError::MissingMode {
+                            segment: sspec.to_string(),
+                        })?;
                 let critical = match mode {
                     "c" => true,
                     "p" => false,
-                    _ => return Err(format!("spec: bad segment mode {mode:?}")),
+                    _ => {
+                        return Err(ParseError::BadMode {
+                            mode: mode.to_string(),
+                        })
+                    }
                 };
                 let mut ops = Vec::new();
                 for op_s in ops_s.split(',') {
                     let (kind, num) = op_s.split_at(1.min(op_s.len()));
-                    let n: u64 = num.parse().map_err(|_| format!("spec: bad op {op_s:?}"))?;
+                    let n: u64 = num.parse().map_err(|_| ParseError::BadOp {
+                        op: op_s.to_string(),
+                    })?;
                     let op = match kind {
                         "L" => Op::Load(n),
                         "S" => Op::Store(n),
                         "C" => Op::Compute(n),
-                        _ => return Err(format!("spec: bad op {op_s:?}")),
+                        _ => {
+                            return Err(ParseError::BadOp {
+                                op: op_s.to_string(),
+                            })
+                        }
                     };
                     if let Op::Load(l) | Op::Store(l) = op {
                         if l >= lines {
-                            return Err(format!(
-                                "spec: op {op_s:?} references line {l} >= {lines}"
-                            ));
+                            return Err(ParseError::LineOutOfRange {
+                                op: op_s.to_string(),
+                                line: l,
+                                lines,
+                            });
                         }
                     }
                     ops.push(op);
@@ -105,7 +174,7 @@ impl ProgSpec {
             threads.push(segs);
         }
         if threads.is_empty() {
-            return Err("spec: need at least one thread".into());
+            return Err(ParseError::NoThreads);
         }
         Ok(ProgSpec { lines, threads })
     }
@@ -199,6 +268,22 @@ pub struct SpecProgram {
 }
 
 impl SpecProgram {
+    /// Physical cache line of the fallback lock under the standard
+    /// [`lockiller::Runner`] memory layout: the runner allocates the
+    /// lock's 8-word block first (`Addr(8)`, the word-0 line being
+    /// reserved), so the lock always lands on `LineAddr(1)`.
+    pub const LOCK_LINE: LineAddr = LineAddr(1);
+
+    /// Physical cache line of spec line `i`: [`SpecProgram::setup`]
+    /// allocates one line-sized block per spec line immediately after
+    /// the lock, so spec line `i` lands on `LineAddr(2 + i)`. Static
+    /// analyses use this to translate spec-level line sets into the
+    /// bank/set geometry of a [`sim_core::config::SystemConfig`]. The
+    /// `tmstatic` soundness tests cross-check it against traced runs.
+    pub fn data_line(i: u64) -> LineAddr {
+        LineAddr(2 + i)
+    }
+
     pub fn new(spec: ProgSpec) -> SpecProgram {
         let name = spec.render();
         SpecProgram {
@@ -294,6 +379,28 @@ mod tests {
         ] {
             assert!(ProgSpec::parse(s).is_err(), "{s:?} should fail");
         }
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        assert_eq!(ProgSpec::parse(""), Err(ParseError::Empty));
+        assert_eq!(ProgSpec::parse("2"), Err(ParseError::NoThreads));
+        assert_eq!(ProgSpec::parse("0/c:L0"), Err(ParseError::ZeroLines));
+        assert_eq!(
+            ProgSpec::parse("2/c:L5,S0"),
+            Err(ParseError::LineOutOfRange {
+                op: "L5".into(),
+                line: 5,
+                lines: 2,
+            })
+        );
+        match ProgSpec::parse("2/x:L0") {
+            Err(ParseError::BadMode { mode }) => assert_eq!(mode, "x"),
+            other => panic!("expected BadMode, got {other:?}"),
+        }
+        // Errors convert to the stringly form callers used to consume.
+        let msg: String = ProgSpec::parse("2/c:L5").unwrap_err().into();
+        assert!(msg.contains("references line 5"), "{msg}");
     }
 
     #[test]
