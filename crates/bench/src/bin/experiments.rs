@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [--quick] [--verbose] [--jobs N] [--no-cache]
 //!             [--cache FILE] [--csv FILE] [--bench-json FILE]
-//!             [table1|table2|fig1|fig7..fig13|headline|ablation|characterize|forensics|verify|all]
+//!             [table1|table2|fig1|fig7..fig13|headline|ablation|characterize|forensics|verify|engine|all]
 //! ```
 //!
 //! `--quick` runs the reduced thread sweep {2, 8, 32} at Small workload
@@ -131,6 +131,14 @@ fn main() {
                 )
                 .expect("write verify json");
             }
+            "engine" => {
+                lockiller_bench::engine::run(
+                    &mut lab,
+                    quick,
+                    std::path::Path::new("BENCH_engine.json"),
+                )
+                .expect("write engine json");
+            }
             "all" => {
                 ex::table1();
                 ex::table2();
@@ -151,6 +159,12 @@ fn main() {
                     std::path::Path::new("BENCH_verify.json"),
                 )
                 .expect("write verify json");
+                lockiller_bench::engine::run(
+                    &mut lab,
+                    quick,
+                    std::path::Path::new("BENCH_engine.json"),
+                )
+                .expect("write engine json");
             }
             other => {
                 eprintln!("unknown experiment: {other}");

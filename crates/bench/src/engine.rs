@@ -1,0 +1,245 @@
+//! Engine throughput and latency battery.
+//!
+//! `experiments engine` sweeps the STAMP ladder on the simulated CMP and
+//! writes `BENCH_engine.json`, the input to the `tmtrace perf-diff` CI
+//! gate. Every point carries two blocks:
+//!
+//! - `deterministic`: simulated cycles, commit/abort counters, and the
+//!   per-class latency percentiles from [`sim_core::latency`]. These are
+//!   pure functions of (system, workload, threads, config, seed) and
+//!   must be byte-identical on every machine — the gate runs them at 0%
+//!   tolerance by default.
+//! - `host`: wall-clock, simulated-cycles/sec, commits/sec, and host-ns
+//!   per simulated cycle. Machine-dependent; `perf-diff` reports them
+//!   without gating unless `--host-tolerance` is given.
+//!
+//! The battery re-runs its first point and asserts the latency
+//! histograms come back byte-identical (the determinism acceptance
+//! check), then pushes the whole suite through the shared [`Lab`]'s
+//! parallel executor and asserts the batched stats agree with the
+//! direct runs — which also makes `BENCH_lab.json` record real traffic
+//! on every `experiments engine` invocation.
+
+use crate::lab::{ConfigPoint, Lab, Point};
+use lockiller::system::SystemKind;
+use lockiller::Runner;
+use sim_core::latency::{LatencyHist, TxnClass};
+use sim_core::stats::RunStats;
+use stamp::{Scale, Workload, WorkloadKind};
+use std::io::Write;
+use std::path::Path;
+
+/// Must match `Lab`'s default seed: the executor cross-check below
+/// compares a direct run against the lab's batched run of the same
+/// point, and they only agree if they were seeded identically.
+const SEED: u64 = 0xC0FFEE;
+
+/// One thread count keeps the battery cheap; 8 threads is past the
+/// contention knee on every ladder workload at Small/Full scale.
+const THREADS: usize = 8;
+
+fn suite(quick: bool) -> Vec<Point> {
+    let workloads: Vec<WorkloadKind> = if quick {
+        vec![
+            WorkloadKind::Ssca2,
+            WorkloadKind::KmeansLow,
+            WorkloadKind::Intruder,
+        ]
+    } else {
+        WorkloadKind::ALL.to_vec()
+    };
+    let systems: &[SystemKind] = if quick {
+        &[SystemKind::LockillerTm]
+    } else {
+        &[SystemKind::Baseline, SystemKind::LockillerTm]
+    };
+    let mut points = Vec::new();
+    for &system in systems {
+        for &workload in &workloads {
+            points.push(Point {
+                system,
+                workload,
+                threads: THREADS,
+                cfg: ConfigPoint::Typical,
+            });
+        }
+    }
+    points
+}
+
+/// The same call the lab executor makes for a cache miss, run inline so
+/// the point's wall-clock is attributable to exactly one simulation.
+fn run_point(p: &Point, scale: Scale) -> RunStats {
+    let mut prog = Workload::with_scale(p.workload, p.threads, scale);
+    Runner::new(p.system)
+        .threads(p.threads)
+        .config(p.cfg.config())
+        .seed(SEED)
+        .run(&mut prog)
+        .stats
+}
+
+fn hist_json(h: &LatencyHist) -> String {
+    format!(
+        "{{\"count\":{},\"p50\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+        h.count(),
+        h.p50(),
+        h.p99(),
+        h.p999(),
+        h.max()
+    )
+}
+
+fn point_json(p: &Point, stats: &RunStats, wall_ms: f64) -> String {
+    let mut latency = String::from("{");
+    for c in TxnClass::ALL {
+        latency.push_str(&format!(
+            "\"{}\":{},",
+            c.name(),
+            hist_json(stats.latency.class(c))
+        ));
+    }
+    latency.push_str(&format!(
+        "\"park\":{},\"fallback_hold\":{},\"first_abort\":{}}}",
+        hist_json(&stats.latency.park),
+        hist_json(&stats.latency.fallback_hold),
+        hist_json(&stats.latency.first_abort)
+    ));
+    let wall_s = wall_ms / 1e3;
+    let per_sec = |n: u64| if wall_s > 0.0 { n as f64 / wall_s } else { 0.0 };
+    let ns_per_cycle = if stats.cycles == 0 {
+        0.0
+    } else {
+        wall_ms * 1e6 / stats.cycles as f64
+    };
+    format!(
+        "  {{\"system\":\"{}\",\"workload\":\"{}\",\"threads\":{},\
+         \"deterministic\":{{\"cycles\":{},\"commits\":{},\"stl_commits\":{},\
+         \"lock_commits\":{},\"aborts\":{},\"events_processed\":{},\
+         \"event_queue_peak\":{},\"latency\":{latency}}},\
+         \"host\":{{\"wall_ms\":{wall_ms:.3},\"sim_cycles_per_sec\":{:.1},\
+         \"commits_per_sec\":{:.1},\"ns_per_cycle\":{ns_per_cycle:.3}}}}}",
+        p.system.name(),
+        p.workload.name(),
+        p.threads,
+        stats.cycles,
+        stats.commits,
+        stats.stl_commits,
+        stats.lock_commits,
+        stats.total_aborts(),
+        stats.events_processed,
+        stats.event_queue_peak,
+        per_sec(stats.cycles),
+        per_sec(stats.commits),
+    )
+}
+
+/// Run the battery and write `BENCH_engine.json`. Panics if the engine
+/// loses determinism (latency histograms differ between identical runs,
+/// or the lab executor disagrees with a direct run).
+pub fn run(lab: &mut Lab, quick: bool, path: &Path) -> std::io::Result<()> {
+    let points = suite(quick);
+    let mut rows = Vec::new();
+    let mut direct: Vec<RunStats> = Vec::new();
+    for p in &points {
+        let t0 = std::time::Instant::now();
+        let stats = run_point(p, lab.scale());
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(stats.cycles > 0, "{p:?}: zero-cycle run");
+        eprintln!(
+            "[engine {} / {} / {} threads: {} cycles, {} commits, {:.0} ms]",
+            p.system.name(),
+            p.workload.name(),
+            p.threads,
+            stats.cycles,
+            stats.commits,
+            wall_ms
+        );
+        rows.push(point_json(p, &stats, wall_ms));
+        direct.push(stats);
+    }
+
+    // Determinism self-check: an identically-seeded re-run of the first
+    // point must reproduce the latency histograms byte for byte.
+    let (p0, s0) = (&points[0], &direct[0]);
+    let again = run_point(p0, lab.scale());
+    assert_eq!(
+        s0.latency.to_json(),
+        again.latency.to_json(),
+        "{p0:?}: latency histograms are not deterministic"
+    );
+    assert_eq!(
+        s0.to_json(),
+        again.to_json(),
+        "{p0:?}: run statistics are not deterministic"
+    );
+
+    // Cross-check the lab's (possibly parallel, possibly cached)
+    // executor against the direct runs, point for point. This also puts
+    // real traffic into the lab's batch report → BENCH_lab.json.
+    let batched = lab.run_many(&points);
+    for (p, (d, b)) in points.iter().zip(direct.iter().zip(&batched)) {
+        assert_eq!(
+            d.to_json(),
+            b.to_json(),
+            "{p:?}: lab executor diverged from a direct run"
+        );
+    }
+
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "{{\"schema\":1,\"quick\":{},\"threads\":{},\"determinism_checked\":true,\
+         \"points\":[\n{}\n]}}",
+        quick,
+        THREADS,
+        rows.join(",\n")
+    )?;
+    eprintln!("[engine perf report in {}]", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_battery_writes_gateable_json() {
+        let dir = std::env::temp_dir().join("lockiller-engine-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_engine.json");
+        // Tiny scale keeps the test cheap; the binary uses Small/Full.
+        let mut lab = Lab::new(Scale::Tiny);
+        run(&mut lab, true, &path).unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        let v = tmobs::json::parse(&doc).expect("BENCH_engine.json parses");
+        let pts = v.get("points").and_then(tmobs::json::Json::as_arr).unwrap();
+        assert_eq!(pts.len(), 3, "quick suite is 3 points");
+        for p in pts {
+            let det = p.get("deterministic").unwrap();
+            assert!(
+                det.get("cycles")
+                    .and_then(tmobs::json::Json::as_f64)
+                    .unwrap()
+                    > 0.0
+            );
+            let lat = det.get("latency").unwrap();
+            for class in ["htm_commit", "stl_commit", "lock_commit", "park"] {
+                let h = lat.get(class).unwrap_or_else(|| panic!("missing {class}"));
+                assert!(h.get("p99").and_then(tmobs::json::Json::as_f64).is_some());
+            }
+            let host = p.get("host").unwrap();
+            assert!(
+                host.get("sim_cycles_per_sec")
+                    .and_then(tmobs::json::Json::as_f64)
+                    .unwrap()
+                    > 0.0
+            );
+        }
+        // The executor cross-check routed the suite through the lab.
+        assert_eq!(lab.report().requested, 3);
+        // The gate's own invariant: a document perf-diffed against
+        // itself has no deterministic deltas.
+        assert!(tmobs::diff_docs(&doc, &doc, 0.0).unwrap().is_empty());
+    }
+}

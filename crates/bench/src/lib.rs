@@ -7,6 +7,7 @@
 //! scaled-down instances of the same code paths.
 
 pub mod ablation;
+pub mod engine;
 pub mod experiments;
 pub mod lab;
 pub mod svgplot;

@@ -30,6 +30,7 @@ use coherence::msg::{NetMsg, TxMode};
 use sim_core::config::{PriorityKind, RejectAction, SystemConfig};
 use sim_core::event::EventQueue;
 use sim_core::fxhash::{FxHashSet, FxHasher};
+use sim_core::latency::{TxnClass, TxnLifecycle};
 use sim_core::obs::{Metric, MetricSpec, ObsEvent, ObsHandle, SpanEnd, SpanKind, Track};
 use sim_core::stats::{AbortCause, Phase, PhaseTracker, RunStats};
 use sim_core::types::{Addr, CoreId, Cycle};
@@ -62,6 +63,16 @@ pub fn obs_metric_specs() -> Vec<MetricSpec> {
             Metric::Fallbacks,
             "txns",
             "cumulative fallback-path entries",
+        ),
+        MetricSpec::new(
+            Metric::EventsProcessed,
+            "events",
+            "cumulative discrete events dispatched by the engine",
+        ),
+        MetricSpec::new(
+            Metric::EventQueueDepth,
+            "events",
+            "instantaneous engine event-queue depth",
         ),
     ]
 }
@@ -176,6 +187,10 @@ pub struct Engine {
     pub mem: FlatMem,
     bufs: Vec<WriteBuffer>,
     ctl: Vec<Ctl>,
+    /// Per-core lifecycle trackers for latency accounting. Deliberately
+    /// outside [`Ctl`] and the state fingerprint: lifecycle stamps are
+    /// volatile accounting and must not perturb tmverify's state dedup.
+    life: Vec<TxnLifecycle>,
     touched_pages: FxHashSet<u64>,
     barrier_waiting: Vec<CoreId>,
     threads: usize,
@@ -215,6 +230,7 @@ impl Engine {
             mem,
             bufs: (0..threads).map(|_| WriteBuffer::default()).collect(),
             ctl: (0..threads).map(|_| Ctl::new()).collect(),
+            life: (0..threads).map(|_| TxnLifecycle::default()).collect(),
             touched_pages,
             barrier_waiting: Vec::new(),
             threads,
@@ -297,6 +313,8 @@ impl Engine {
             (Metric::Commits, self.stats.commits),
             (Metric::Aborts, self.stats.total_aborts()),
             (Metric::Fallbacks, self.stats.fallbacks),
+            (Metric::EventsProcessed, self.stats.events_processed),
+            (Metric::EventQueueDepth, self.q.len() as u64),
         ];
         self.ms.obs_sample(&mut out);
         for (metric, value) in out {
@@ -467,6 +485,13 @@ impl Engine {
                     .collect();
                 return RunEnd::Deadlock { stuck };
             };
+            // Simulator self-metrics: dispatched-event count and queue
+            // high-water (the popped event itself counts toward depth).
+            self.stats.events_processed += 1;
+            let depth = self.q.len() as u64 + 1;
+            if depth > self.stats.event_queue_peak {
+                self.stats.event_queue_peak = depth;
+            }
             if let Some(every) = self.obs.as_ref().map(ObsHandle::sample_every) {
                 while t >= self.next_sample {
                     let at = self.next_sample;
@@ -523,6 +548,7 @@ impl Engine {
                     if self.ctl[c].parked == Some(seq) {
                         self.obs_end(t, c, SpanKind::Park, SpanEnd::Retried);
                         self.ctl[c].parked = None;
+                        self.life[c].unpark(t, &mut self.stats.latency);
                         self.reissue(t, c);
                     }
                 }
@@ -534,6 +560,7 @@ impl Engine {
                         }
                         self.obs_end(t, c, SpanKind::Park, SpanEnd::Timeout);
                         self.ctl[c].parked = None;
+                        self.life[c].unpark(t, &mut self.stats.latency);
                         self.reissue(t, c);
                     }
                 }
@@ -988,6 +1015,7 @@ impl Engine {
                 self.trace.record(t, core, TraceKind::TxBegin);
                 self.obs_begin(t, core, SpanKind::Txn);
                 self.begin_txn(core);
+                self.life[core].begin_attempt(t);
                 self.stats.tx_starts += 1;
                 self.ms.begin_htm(core, 0);
                 let c = &mut self.ctl[core];
@@ -1026,6 +1054,7 @@ impl Engine {
                 self.trace.record(t, core, TraceKind::Commit);
                 self.obs_end(t, core, SpanKind::Txn, SpanEnd::Commit);
                 self.stats.commits += 1;
+                self.life[core].commit(t, TxnClass::HtmCommit, &mut self.stats.latency);
                 self.ctl[core].in_tx = false;
                 self.ctl[core].cur_txn = 0;
                 self.ctl[core].resolve = Some(Phase::Htm);
@@ -1040,6 +1069,10 @@ impl Engine {
                 if self.cfg.policy.switching_mode {
                     // TL entry also needs the LLC's authorization when
                     // switchingMode may have an STL holder (§III-C).
+                    // The lifecycle opens now so arbitration wait counts
+                    // toward the lock-commit latency; the hold interval
+                    // opens at the grant.
+                    self.life[core].begin_attempt(t);
                     self.ctl[core].tl_pending = true;
                     self.obs_begin(t, core, SpanKind::HlaArb);
                     self.ms.hla_request(t, core, false);
@@ -1049,6 +1082,7 @@ impl Engine {
                     self.trace.record(t, core, TraceKind::HlBegin);
                     self.obs_begin(t, core, SpanKind::TlLock);
                     self.begin_txn(core);
+                    self.life[core].begin_hold(t);
                     self.stats.fallbacks += 1;
                     self.set_phase(core, t, Phase::Lock);
                     self.schedule_respond(core, t + 2, GuestResp::Done);
@@ -1070,6 +1104,7 @@ impl Engine {
                     self.drain_ms();
                     self.stats.commits += 1;
                     self.stats.stl_commits += 1;
+                    self.life[core].commit(t, TxnClass::StlCommit, &mut self.stats.latency);
                     let c = &mut self.ctl[core];
                     c.in_tx = false;
                     c.is_stl = false;
@@ -1079,6 +1114,7 @@ impl Engine {
                     self.ms.exit_lock(t, core);
                     self.drain_ms();
                     self.stats.lock_commits += 1;
+                    self.life[core].commit(t, TxnClass::LockCommit, &mut self.stats.latency);
                     self.ctl[core].phase_after = Some(Phase::NonTran);
                 }
                 self.ctl[core].cur_txn = 0;
@@ -1097,6 +1133,7 @@ impl Engine {
                 self.trace.record(t, core, TraceKind::Fallback);
                 self.obs_begin(t, core, SpanKind::Fallback);
                 self.begin_txn(core);
+                self.life[core].begin_hold(t);
                 self.stats.fallbacks += 1;
                 self.set_phase(core, t, Phase::Lock);
                 self.schedule_respond(core, t, GuestResp::Done);
@@ -1109,6 +1146,7 @@ impl Engine {
                 self.obs_end(t, core, SpanKind::Fallback, SpanEnd::End);
                 self.ctl[core].cur_txn = 0;
                 self.stats.lock_commits += 1;
+                self.life[core].commit(t, TxnClass::LockCommit, &mut self.stats.latency);
                 self.set_phase(core, t, Phase::NonTran);
                 self.schedule_respond(core, t, GuestResp::Done);
             }
@@ -1345,6 +1383,7 @@ impl Engine {
         }
         self.bufs[core].discard();
         self.attr(core, t);
+        self.life[core].on_abort(t, cause, &mut self.stats.latency);
         if self.ctl[core].parked.is_some() {
             self.obs_end(t, core, SpanKind::Park, SpanEnd::End);
         }
@@ -1408,6 +1447,7 @@ impl Engine {
                     self.obs_end(t, core, SpanKind::Park, SpanEnd::Woken);
                     self.ctl[core].parked = None;
                     self.ctl[core].wakeup_banked = false;
+                    self.life[core].unpark(t, &mut self.stats.latency);
                     self.reissue(t, core);
                 } else if self.ctl[core].cur_op.is_some() {
                     // The reject this wake-up answers is still in flight
@@ -1431,6 +1471,7 @@ impl Engine {
                     self.trace.record(t, core, TraceKind::HlBegin);
                     self.obs_begin(t, core, SpanKind::TlLock);
                     self.begin_txn(core);
+                    self.life[core].begin_hold(t);
                     self.stats.fallbacks += 1;
                     self.set_phase(core, t, Phase::Lock);
                     self.schedule_respond(core, t + 2, GuestResp::Done);
@@ -1448,6 +1489,7 @@ impl Engine {
                         self.ms.finish_hla(t, core, true);
                         self.drain_ms();
                         self.ctl[core].is_stl = true;
+                        self.life[core].begin_hold(t);
                         self.trace.record(t, core, TraceKind::SwitchGranted);
                         self.stats.switches_granted += 1;
                         self.reissue(t, core);
@@ -1474,6 +1516,7 @@ impl Engine {
             RejectAction::RetryLater => {
                 let seq = self.next_seq();
                 self.ctl[core].parked = Some(seq);
+                self.life[core].park(t);
                 self.obs_begin(t, core, SpanKind::Park);
                 self.q
                     .schedule_at(t + self.cfg.policy.retry_pause, Ev::Retry(core, seq));
@@ -1495,6 +1538,7 @@ impl Engine {
                 }
                 let seq = self.next_seq();
                 self.ctl[core].parked = Some(seq);
+                self.life[core].park(t);
                 self.obs_begin(t, core, SpanKind::Park);
                 // wakeup_timeout == Cycle::MAX disables the safety net
                 // entirely (schedule-explorer mode: a lost wake-up must

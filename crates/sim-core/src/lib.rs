@@ -10,6 +10,7 @@ pub mod config;
 pub mod event;
 pub mod fxhash;
 pub mod json;
+pub mod latency;
 pub mod obs;
 pub mod rng;
 pub mod stats;
@@ -17,6 +18,7 @@ pub mod types;
 
 pub use config::{CacheGeometry, ConfigError, MemConfig, PolicyConfig, SystemConfig};
 pub use event::EventQueue;
+pub use latency::{LatencyHist, LatencyStats, TxnClass, TxnLifecycle};
 pub use obs::{Metric, MetricSpec, ObsEvent, ObsHandle, ObsSink, SpanEnd, SpanKind, Track};
 pub use rng::SimRng;
 pub use stats::{AbortCause, Phase, RunStats};

@@ -185,6 +185,11 @@ pub enum Metric {
     Aborts,
     /// Cumulative fallback-path entries.
     Fallbacks,
+    /// Cumulative discrete events the engine's main loop has dispatched
+    /// (simulator self-metric).
+    EventsProcessed,
+    /// Instantaneous depth of the engine's event queue (self-metric).
+    EventQueueDepth,
     /// Requests queued behind busy directory entries at this LLC bank.
     BankQueueDepth(u16),
     /// Directory entries with a request in flight at this LLC bank.
@@ -208,6 +213,8 @@ impl Metric {
             Metric::Commits => "engine.commits".into(),
             Metric::Aborts => "engine.aborts".into(),
             Metric::Fallbacks => "engine.fallbacks".into(),
+            Metric::EventsProcessed => "engine.events_processed".into(),
+            Metric::EventQueueDepth => "engine.event_queue_depth".into(),
             Metric::BankQueueDepth(b) => format!("llc.bank{b}.queue_depth"),
             Metric::BankBusy(b) => format!("llc.bank{b}.busy"),
             Metric::NocMessages => "noc.messages".into(),
@@ -227,6 +234,7 @@ impl Metric {
             Metric::Commits
                 | Metric::Aborts
                 | Metric::Fallbacks
+                | Metric::EventsProcessed
                 | Metric::NocMessages
                 | Metric::NocQueueCycles
                 | Metric::LinkBusy(_)
@@ -358,6 +366,8 @@ mod tests {
             Metric::Commits,
             Metric::Aborts,
             Metric::Fallbacks,
+            Metric::EventsProcessed,
+            Metric::EventQueueDepth,
             Metric::BankQueueDepth(0),
             Metric::BankQueueDepth(3),
             Metric::BankBusy(0),

@@ -9,6 +9,7 @@
 //! the round-trip is exact.
 
 use crate::json::{escape, Json};
+use crate::latency::LatencyStats;
 use crate::types::{CoreId, Cycle};
 
 /// Execution-time categories, matching the paper's breakdown figures.
@@ -238,10 +239,18 @@ pub struct RunStats {
     /// Sum over committed transactions of their duration in cycles
     /// (xbegin to xend, final successful attempt only).
     pub tx_cycles_sum: u64,
+    /// Discrete events the engine's main loop popped and dispatched
+    /// (simulator self-metric; deterministic for a given spec).
+    pub events_processed: u64,
+    /// High-water mark of the engine's event-queue depth (self-metric).
+    pub event_queue_peak: u64,
     /// Summed per-core phase breakdown.
     pub phases: [Cycle; 7],
     /// Per-core totals (diagnostics).
     pub per_core_cycles: Vec<Cycle>,
+    /// Per-transaction latency distributions: per-outcome-class total
+    /// latencies plus park/fallback-hold/first-abort phase histograms.
+    pub latency: LatencyStats,
     /// First single-writer/multiple-reader violation the live checker
     /// observed, if any (checked mode only): a human-readable description
     /// of the offending line and sharer set. `None` on a correct run.
@@ -341,7 +350,7 @@ impl RunStats {
     /// Schema version of the JSON encoding below; bumped whenever a field
     /// is added, removed, or renamed. Persisted caches embed it and
     /// discard entries written under a different schema.
-    pub const JSON_SCHEMA: u64 = 1;
+    pub const JSON_SCHEMA: u64 = 2;
 
     /// Encode as a single-line JSON object (field order fixed).
     pub fn to_json(&self) -> String {
@@ -381,11 +390,14 @@ impl RunStats {
         out.push_str(&format!("\"rs_lines_sum\":{},", self.rs_lines_sum));
         out.push_str(&format!("\"ws_lines_sum\":{},", self.ws_lines_sum));
         out.push_str(&format!("\"tx_cycles_sum\":{},", self.tx_cycles_sum));
+        out.push_str(&format!("\"events_processed\":{},", self.events_processed));
+        out.push_str(&format!("\"event_queue_peak\":{},", self.event_queue_peak));
         out.push_str(&format!("\"phases\":{},", arr(&self.phases)));
         out.push_str(&format!(
             "\"per_core_cycles\":{},",
             arr(&self.per_core_cycles)
         ));
+        out.push_str(&format!("\"latency\":{},", self.latency.to_json()));
         match &self.swmr_violation {
             Some(msg) => out.push_str(&format!("\"swmr_violation\":\"{}\"", escape(msg))),
             None => out.push_str("\"swmr_violation\":null"),
@@ -472,7 +484,13 @@ impl RunStats {
             rs_lines_sum: num("rs_lines_sum")?,
             ws_lines_sum: num("ws_lines_sum")?,
             tx_cycles_sum: num("tx_cycles_sum")?,
+            events_processed: num("events_processed")?,
+            event_queue_peak: num("event_queue_peak")?,
             per_core_cycles: vec("per_core_cycles")?,
+            latency: match v.get("latency") {
+                None => LatencyStats::default(),
+                Some(l) => LatencyStats::from_json_value(l)?,
+            },
             swmr_violation: match v.get("swmr_violation") {
                 None | Some(Json::Null) => None,
                 Some(Json::Str(m)) => Some(m.clone()),
@@ -591,6 +609,13 @@ mod tests {
         s.bank_hits = vec![1, 2];
         s.bank_misses = vec![3, 4];
         s.per_core_cycles = vec![10, 20, 30];
+        s.events_processed = 9_876;
+        s.event_queue_peak = 17;
+        s.latency
+            .record_class(crate::latency::TxnClass::HtmCommit, 150);
+        s.latency
+            .record_class(crate::latency::TxnClass::Retry(AbortCause::Mc), 60);
+        s.latency.park.record(30);
         s.swmr_violation = Some("line 0x40 \"quoted\"\nsharers {1,2}".to_string());
         let json = s.to_json();
         let back = RunStats::from_json(&json).unwrap();

@@ -7,6 +7,8 @@
 //!                [--out DIR] [--timeline] [--validate] [-v]
 //! tmtrace blame  [same options] [--top N]
 //! tmtrace diff   A.json B.json [--threshold PCT]
+//! tmtrace perf-diff BASELINE.json CURRENT.json [--tolerance PCT]
+//!                [--host-tolerance PCT]
 //! tmtrace witness FILE.json [...]
 //! ```
 //!
@@ -53,6 +55,8 @@ fn usage() -> ! {
          \x20              [--out DIR] [--timeline] [--validate] [-v]\n\
          \x20      tmtrace blame [same options] [--top N]\n\
          \x20      tmtrace diff  A.json B.json [--threshold PCT]\n\
+         \x20      tmtrace perf-diff BASELINE.json CURRENT.json [--tolerance PCT]\n\
+         \x20              [--host-tolerance PCT]\n\
          \x20      tmtrace witness FILE.json [...]"
     );
     std::process::exit(2);
@@ -182,6 +186,108 @@ fn cmd_diff(mut it: std::env::Args) -> ! {
     }
 }
 
+/// `tmtrace perf-diff BASELINE.json CURRENT.json`: the CI perf gate.
+/// Numeric leaves are split into two classes by path: anything under a
+/// `host` object (wall-clock, cycles/sec, ns/cycle) is machine-dependent
+/// and only gated when `--host-tolerance` is given — otherwise it is
+/// reported but never fails the gate. Everything else is deterministic
+/// simulator output (simulated cycles, commit counts, latency
+/// percentiles) and is gated at `--tolerance` (default 0%: any change
+/// fails). Exit 0 on pass, 1 on regression, 2 on usage/parse errors.
+fn cmd_perf_diff(mut it: std::env::Args) -> ! {
+    let mut files: Vec<String> = Vec::new();
+    let mut tolerance = 0.0f64;
+    let mut host_tolerance: Option<f64> = None;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--host-tolerance" => {
+                host_tolerance = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "-h" | "--help" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("perf-diff needs exactly two JSON files (baseline, current)");
+        usage();
+    }
+    let read = |p: &str| -> String {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (a, b) = (read(&files[0]), read(&files[1]));
+    // Collect every changed leaf, then apply per-class tolerances.
+    let deltas = match diff_docs(&a, &b, 0.0) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perf-diff FAILED: {e}");
+            std::process::exit(2);
+        }
+    };
+    let is_host = |path: &str| {
+        path.split('.').any(|seg| {
+            seg == "host"
+                || seg
+                    .strip_suffix(']')
+                    .is_some_and(|s| s.starts_with("host["))
+        })
+    };
+    let (host, det): (Vec<_>, Vec<_>) = deltas.into_iter().partition(|d| is_host(&d.path));
+    let det_fail: Vec<_> = det.iter().filter(|d| d.rel_pct() > tolerance).collect();
+    let host_fail: Vec<_> = match host_tolerance {
+        Some(t) => host.iter().filter(|d| d.rel_pct() > t).collect(),
+        None => Vec::new(),
+    };
+    println!(
+        "perf-diff {} vs {}: {} deterministic delta(s), {} host delta(s)",
+        files[0],
+        files[1],
+        det.len(),
+        host.len()
+    );
+    if !host.is_empty() {
+        match host_tolerance {
+            Some(t) => println!("host metrics (gated at {t}%):"),
+            None => println!("host metrics (report-only; pass --host-tolerance to gate):"),
+        }
+        for d in &host {
+            println!("  {}", d.render());
+        }
+    }
+    if !det_fail.is_empty() {
+        println!("deterministic metrics beyond {tolerance}%:");
+        for d in &det_fail {
+            println!("  {}", d.render());
+        }
+    }
+    if det_fail.is_empty() && host_fail.is_empty() {
+        println!("perf gate PASSED");
+        std::process::exit(0);
+    }
+    eprintln!(
+        "perf gate FAILED: {} deterministic + {} host regression(s)",
+        det_fail.len(),
+        host_fail.len()
+    );
+    std::process::exit(1);
+}
+
 /// `tmtrace witness FILE.json [...]`: render witness files. Exit 0 when
 /// every file parses, 2 otherwise.
 fn cmd_witness(it: std::env::Args) -> ! {
@@ -217,12 +323,17 @@ fn cmd_witness(it: std::env::Args) -> ! {
 fn main() {
     let mut it = std::env::args();
     it.next(); // argv[0]
-               // `diff` and `witness` have their own grammars (positional
-               // files); dispatch before the flag parser sees them.
+               // `diff`, `perf-diff`, and `witness` have their own grammars
+               // (positional files); dispatch before the flag parser sees
+               // them.
     let args = match std::env::args().nth(1).as_deref() {
         Some("diff") => {
             it.next();
             cmd_diff(it)
+        }
+        Some("perf-diff") => {
+            it.next();
+            cmd_perf_diff(it)
         }
         Some("witness") => {
             it.next();
@@ -248,10 +359,12 @@ fn main() {
     let jsonl_path = args.out.join(format!("{stem}.metrics.jsonl"));
     let summary_path = args.out.join(format!("{stem}.summary.txt"));
     let stats_path = args.out.join(format!("{stem}.stats.json"));
+    let selfprof_path = args.out.join(format!("{stem}.selfprof.json"));
     std::fs::write(&trace_path, &art.chrome_json).expect("write trace");
     std::fs::write(&jsonl_path, &art.metrics_jsonl).expect("write metrics");
     std::fs::write(&summary_path, &art.summary).expect("write summary");
     std::fs::write(&stats_path, art.stats.to_json()).expect("write stats");
+    std::fs::write(&selfprof_path, &art.selfprof_json).expect("write selfprof");
 
     if matches!(args.cmd, Cmd::Blame) {
         let blame_path = args.out.join(format!("{stem}.blame.json"));
@@ -292,6 +405,7 @@ fn main() {
     println!("wrote {}", jsonl_path.display());
     println!("wrote {}", summary_path.display());
     println!("wrote {}", stats_path.display());
+    println!("wrote {}", selfprof_path.display());
     println!("open the trace at https://ui.perfetto.dev");
 
     if args.validate {

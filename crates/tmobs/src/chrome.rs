@@ -9,8 +9,10 @@
 //! utilization and LLC bank queue depths appear as tracks in Perfetto.
 
 use crate::json::{self, escape, Json};
+use crate::latency::latency_json;
 use crate::recorder::{Recorder, Span};
 use sim_core::obs::{SpanEnd, Track};
+use sim_core::stats::RunStats;
 
 /// Run identification embedded in the trace (`otherData` + process
 /// name), and the thread-id mapping basis.
@@ -45,8 +47,10 @@ fn span_event(s: &Span, threads: usize) -> String {
     )
 }
 
-/// Serialize a recording as a Chrome trace-event JSON document.
-pub fn export_chrome(rec: &Recorder, meta: &TraceMeta) -> String {
+/// Serialize a recording as a Chrome trace-event JSON document. The
+/// run's latency histograms ride along in `otherData` (Perfetto ignores
+/// unknown keys there; `tmtrace perf-diff` and scripts can read them).
+pub fn export_chrome(rec: &Recorder, meta: &TraceMeta, stats: &RunStats) -> String {
     let mut events: Vec<String> = Vec::new();
     events.push(format!(
         "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{{\"name\":\"{} on {}\"}}}}",
@@ -90,12 +94,13 @@ pub fn export_chrome(rec: &Recorder, meta: &TraceMeta) -> String {
         }
     }
     format!(
-        "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"workload\":\"{}\",\"system\":\"{}\",\"threads\":{},\"seed\":\"0x{:x}\",\"cycles\":{}}},\"traceEvents\":[\n{}\n]}}\n",
+        "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"workload\":\"{}\",\"system\":\"{}\",\"threads\":{},\"seed\":\"0x{:x}\",\"cycles\":{},\"latency\":{}}},\"traceEvents\":[\n{}\n]}}\n",
         escape(&meta.workload),
         escape(&meta.system),
         meta.threads,
         meta.seed,
         rec.end_cycle(),
+        latency_json(stats),
         events.join(",\n")
     )
 }
@@ -242,12 +247,21 @@ mod tests {
             value: 2,
         });
         rec.finish(60);
-        let doc = export_chrome(&rec, &meta());
+        let mut stats = RunStats::new(2);
+        stats
+            .latency
+            .record_class(sim_core::latency::TxnClass::HtmCommit, 40);
+        let doc = export_chrome(&rec, &meta(), &stats);
         let s = validate_chrome(&doc).unwrap();
         assert_eq!(s.spans, 2);
         assert_eq!(s.counters, 1);
         assert_eq!(s.tracks, 2);
         assert_eq!(s.counter_series, 1);
+        // The latency block rides in otherData and round-trips.
+        let v = json::parse(&doc).unwrap();
+        let lat = v.get("otherData").unwrap().get("latency").unwrap();
+        let back = sim_core::latency::LatencyStats::from_json_value(lat).unwrap();
+        assert_eq!(back, stats.latency);
     }
 
     #[test]
@@ -290,7 +304,7 @@ mod tests {
             end: SpanEnd::Abort(AbortCause::Mc),
         });
         rec.finish(9);
-        let doc = export_chrome(&rec, &meta());
+        let doc = export_chrome(&rec, &meta(), &RunStats::new(2));
         assert!(doc.contains("\"cause\":\"mc\""));
         validate_chrome(&doc).unwrap();
     }

@@ -1,15 +1,19 @@
 //! JSONL metrics exporter: a schema line followed by one JSON object per
-//! sample tick. The output is a pure function of the recording, so two
-//! identically-seeded runs produce byte-identical files.
+//! sample tick, closed by a latency-histogram line. The output is a pure
+//! function of the recording and stats, so two identically-seeded runs
+//! produce byte-identical files.
 
 use crate::json::escape;
+use crate::latency::latency_json;
 use crate::recorder::Recorder;
 use crate::registry::MetricsRegistry;
+use sim_core::stats::RunStats;
 
 /// Serialize the sampled time series. Line 1 is the schema (every
 /// registered metric with unit and help text); each following line is
-/// `{"cycle": N, "metrics": {"name": value, ...}}` in emission order.
-pub fn export_jsonl(rec: &Recorder, reg: &MetricsRegistry) -> String {
+/// `{"cycle": N, "metrics": {"name": value, ...}}` in emission order; the
+/// final line is `{"latency": {...}}` with the run's per-class histograms.
+pub fn export_jsonl(rec: &Recorder, reg: &MetricsRegistry, stats: &RunStats) -> String {
     let mut out = String::new();
     out.push_str("{\"schema\":[");
     for (i, s) in reg.specs().iter().enumerate() {
@@ -39,6 +43,7 @@ pub fn export_jsonl(rec: &Recorder, reg: &MetricsRegistry) -> String {
         }
         out.push_str("}}\n");
     }
+    out.push_str(&format!("{{\"latency\":{}}}\n", latency_json(stats)));
     out
 }
 
@@ -66,9 +71,13 @@ mod tests {
         }
         rec.finish(4000);
         let reg = MetricsRegistry::for_config(&SystemConfig::table1());
-        let doc = export_jsonl(&rec, &reg);
+        let mut stats = sim_core::stats::RunStats::new(2);
+        stats
+            .latency
+            .record_class(sim_core::latency::TxnClass::HtmCommit, 42);
+        let doc = export_jsonl(&rec, &reg, &stats);
         let lines: Vec<&str> = doc.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         let schema = json::parse(lines[0]).unwrap();
         assert_eq!(
             schema.get("schema").unwrap().as_arr().unwrap().len(),
@@ -82,5 +91,10 @@ mod tests {
             metrics.get("llc.bank3.queue_depth").unwrap().as_f64(),
             Some(1.0)
         );
+        // The closing line carries the latency histograms and round-trips.
+        let last = json::parse(lines[3]).unwrap();
+        let lat =
+            sim_core::latency::LatencyStats::from_json_value(last.get("latency").unwrap()).unwrap();
+        assert_eq!(lat, stats.latency);
     }
 }

@@ -1,0 +1,89 @@
+//! Latency rendering: the per-transaction-class percentile table shown
+//! by `tmtrace summary` and the compact JSON block the exporters embed.
+//!
+//! The numbers come from `RunStats::latency` — the engine's deterministic
+//! log-bucketed histograms — so everything here is presentation: the
+//! quantile math (including the NaN-free empty-class behavior) lives in
+//! `sim_core::latency`.
+
+use sim_core::latency::{LatencyHist, TxnClass};
+use sim_core::stats::RunStats;
+
+fn row(name: &str, h: &LatencyHist) -> String {
+    format!(
+        "  {:<15} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10.1}\n",
+        name,
+        h.count(),
+        h.p50(),
+        h.p90(),
+        h.p99(),
+        h.p999(),
+        h.max(),
+        h.mean()
+    )
+}
+
+/// Render the per-class latency percentile table plus the three
+/// lifecycle-phase distributions. Every class row is always present —
+/// empty classes print zeros, never NaN/Inf.
+pub fn render_latency_table(stats: &RunStats) -> String {
+    let mut out = String::from("transaction latency by outcome class (simulated cycles):\n");
+    out.push_str(&format!(
+        "  {:<15} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
+        "class", "count", "p50", "p90", "p99", "p999", "max", "mean"
+    ));
+    for c in TxnClass::ALL {
+        out.push_str(&row(c.name(), stats.latency.class(c)));
+    }
+    out.push_str("lifecycle phases:\n");
+    out.push_str(&row("park_wait", &stats.latency.park));
+    out.push_str(&row("fallback_hold", &stats.latency.fallback_hold));
+    out.push_str(&row("first_abort", &stats.latency.first_abort));
+    out
+}
+
+/// The latency block exporters embed: identical to the `latency` object
+/// inside `RunStats::to_json`, re-exposed so artifacts that don't carry
+/// full stats (Chrome traces, metrics JSONL) still ship the histograms.
+pub fn latency_json(stats: &RunStats) -> String {
+    stats.latency.to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::latency::TxnClass;
+    use sim_core::stats::AbortCause;
+
+    #[test]
+    fn table_has_every_class_row_and_no_nan() {
+        let stats = RunStats::new(2);
+        let t = render_latency_table(&stats);
+        for c in TxnClass::ALL {
+            assert!(t.contains(c.name()), "missing class row {}", c.name());
+        }
+        assert!(t.contains("park_wait"));
+        assert!(t.contains("fallback_hold"));
+        assert!(t.contains("first_abort"));
+        assert!(!t.contains("NaN") && !t.contains("inf"), "{t}");
+    }
+
+    #[test]
+    fn table_shows_recorded_percentiles() {
+        let mut stats = RunStats::new(2);
+        for _ in 0..10 {
+            stats.latency.record_class(TxnClass::HtmCommit, 100);
+        }
+        stats
+            .latency
+            .record_class(TxnClass::Retry(AbortCause::Of), 7);
+        let t = render_latency_table(&stats);
+        let htm_row = t
+            .lines()
+            .find(|l| l.trim_start().starts_with("htm_commit"))
+            .unwrap();
+        assert!(htm_row.contains("10"), "{htm_row}");
+        let json = latency_json(&stats);
+        assert!(json.contains("\"retry_of\":{\"count\":1"));
+    }
+}

@@ -19,6 +19,9 @@
 //!   hotspot table, and the recovery-outcome ledger (`tmtrace blame`);
 //! - [`diff`] — schema-agnostic numeric JSON diff used as a run-to-run
 //!   regression detector (`tmtrace diff`, bench, CI);
+//! - [`latency`] — per-transaction-class latency percentile tables and
+//!   the JSON block exporters embed, rendered from the engine's
+//!   deterministic log-bucketed histograms (`sim_core::latency`);
 //! - [`witness`] — replayable schedule witnesses written by the
 //!   `tmverify` explorer (`tmtrace witness` renders them, `tmverify
 //!   replay` re-executes them);
@@ -39,6 +42,7 @@ pub mod chrome;
 pub mod diff;
 pub mod forensics;
 pub mod jsonl;
+pub mod latency;
 pub mod recorder;
 pub mod registry;
 pub mod selfprof;
@@ -56,6 +60,7 @@ pub use chrome::{export_chrome, validate_chrome, ChromeSummary, TraceMeta};
 pub use diff::{diff_docs, diff_values, MetricDelta};
 pub use forensics::{analyze, ConflictMatrix, ForensicsReport, LineHotspot, RecoveryLedger};
 pub use jsonl::export_jsonl;
+pub use latency::{latency_json, render_latency_table};
 pub use recorder::{ConflictEvent, Recorder, SampleRow, Span};
 pub use registry::{standard_histograms, Histogram, MetricsRegistry};
 pub use selfprof::SelfProfiler;

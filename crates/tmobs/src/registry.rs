@@ -95,6 +95,47 @@ impl Histogram {
         self.max
     }
 
+    /// Exact merge of another histogram with identical bounds: bucket
+    /// counts add element-wise, so merging is associative and
+    /// commutative. Panics if the bucket layouts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` (0.0 ..= 1.0): the inclusive upper edge
+    /// of the bucket holding rank `ceil(q * count)`, with the overflow
+    /// bucket reporting the recorded max (its true edge is unbounded).
+    /// 0 on an empty histogram — never NaN/Inf, and safe for
+    /// single-bucket layouts where every observation lands in one bin.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (bound, n) in self.buckets() {
+            cum += n;
+            if cum >= rank {
+                return if bound == u64::MAX {
+                    self.max
+                } else {
+                    bound.min(self.max)
+                };
+            }
+        }
+        self.max
+    }
+
     /// `(upper_bound, count)` per bucket; the final entry is the
     /// overflow bucket with `u64::MAX` as its bound.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
@@ -174,10 +215,12 @@ mod tests {
     fn registry_covers_all_layers() {
         let cfg = SystemConfig::table1();
         let reg = MetricsRegistry::for_config(&cfg);
-        // 6 engine + 2 per bank + (2 global + 1 per link) NoC.
+        // 8 engine + 2 per bank + (2 global + 1 per link) NoC.
         let links = cfg.noc.width * cfg.noc.height * 4;
-        assert_eq!(reg.len(), 6 + 2 * cfg.num_cores + 2 + links);
+        assert_eq!(reg.len(), 8 + 2 * cfg.num_cores + 2 + links);
         assert!(reg.spec(Metric::Commits).is_some());
+        assert!(reg.spec(Metric::EventsProcessed).is_some());
+        assert!(reg.spec(Metric::EventQueueDepth).is_some());
         assert!(reg.spec(Metric::BankQueueDepth(0)).is_some());
         assert!(reg.spec(Metric::LinkBusy(0)).is_some());
         // Names in specs match the canonical Metric names.
@@ -205,5 +248,78 @@ mod tests {
         let h = Histogram::new("t", "cycles", vec![10]);
         assert_eq!(h.mean(), 0.0);
         assert!(!h.render().contains('#'));
+    }
+
+    #[test]
+    fn empty_and_single_bucket_percentiles_are_guarded() {
+        // Empty: every quantile is 0, never NaN/Inf.
+        let empty = Histogram::new("t", "cycles", vec![10, 100]);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.percentile(q), 0);
+        }
+        // Single-bucket layout: everything lands in one bin; quantiles
+        // report min(bound, max) so they never exceed what was seen.
+        let mut one = Histogram::new("t", "cycles", vec![1000]);
+        one.observe(7);
+        assert_eq!(one.percentile(0.5), 7);
+        assert_eq!(one.percentile(1.0), 7);
+        // Overflow-only content reports the recorded max, not +inf.
+        let mut over = Histogram::new("t", "cycles", vec![10]);
+        over.observe(500);
+        assert_eq!(over.percentile(0.99), 500);
+    }
+
+    #[test]
+    fn bucket_edges_are_inclusive() {
+        let mut h = Histogram::new("t", "cycles", vec![10, 100]);
+        h.observe(10); // exactly on the first edge: belongs to bucket 0
+        h.observe(11); // first value past the edge: bucket 1
+        h.observe(100);
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets, vec![(10, 1), (100, 2), (u64::MAX, 0)]);
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_direct_observation() {
+        let bounds = vec![10u64, 100, 1000];
+        let mk = |vals: &[u64]| {
+            let mut h = Histogram::new("t", "cycles", bounds.clone());
+            for &v in vals {
+                h.observe(v);
+            }
+            h
+        };
+        let (a, b, c) = (mk(&[1, 50]), mk(&[200, 5000]), mk(&[10]));
+        let all = mk(&[1, 50, 200, 5000, 10]);
+        // (a+b)+c
+        let mut ab_c = mk(&[]);
+        ab_c.merge(&a);
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        // a+(b+c)
+        let mut bc = mk(&[]);
+        bc.merge(&b);
+        bc.merge(&c);
+        let mut a_bc = mk(&[]);
+        a_bc.merge(&a);
+        a_bc.merge(&bc);
+        for h in [&ab_c, &a_bc] {
+            assert_eq!(
+                h.buckets().collect::<Vec<_>>(),
+                all.buckets().collect::<Vec<_>>()
+            );
+            assert_eq!(h.count(), all.count());
+            assert_eq!(h.max(), all.max());
+            assert!((h.mean() - all.mean()).abs() < 1e-12);
+            assert_eq!(h.percentile(0.5), all.percentile(0.5));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new("t", "cycles", vec![10]);
+        let b = Histogram::new("t", "cycles", vec![20]);
+        a.merge(&b);
     }
 }

@@ -40,6 +40,28 @@ impl SelfProfiler {
         &self.phases
     }
 
+    /// Stable JSON export for CI archival: phase names in lap order with
+    /// millisecond durations, plus the total. Field order is fixed so
+    /// diffing two archives keys on identical paths.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"phases\":{");
+        for (i, (name, d)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{:.3}",
+                crate::json::escape(name),
+                d.as_secs_f64() * 1e3
+            ));
+        }
+        out.push_str(&format!(
+            "}},\"total_ms\":{:.3}}}",
+            self.total().as_secs_f64() * 1e3
+        ));
+        out
+    }
+
     /// One line per phase with its share of the total.
     pub fn render(&self) -> String {
         let total = self.total().as_secs_f64().max(1e-9);
@@ -75,5 +97,18 @@ mod tests {
         let r = p.render();
         assert!(r.contains("a"));
         assert!(r.contains("total"));
+    }
+
+    #[test]
+    fn json_export_is_parseable_and_complete() {
+        let mut p = SelfProfiler::start();
+        p.lap("setup");
+        p.lap("simulate");
+        let doc = p.to_json();
+        let v = crate::json::parse(&doc).unwrap();
+        let phases = v.get("phases").unwrap();
+        assert!(phases.get("setup").unwrap().as_f64().is_some());
+        assert!(phases.get("simulate").unwrap().as_f64().is_some());
+        assert!(v.get("total_ms").unwrap().as_f64().unwrap() >= 0.0);
     }
 }

@@ -60,6 +60,10 @@ pub struct TraceArtifacts {
     pub timeline: String,
     /// Host wall-clock per simulator phase.
     pub profile: String,
+    /// Stable JSON form of the self-profile, extended with engine
+    /// self-metrics (events processed, host-ns per simulated cycle,
+    /// event-queue high-water) — `tmtrace` archives it for CI.
+    pub selfprof_json: String,
     /// The workload's own post-run validation result.
     pub validation: Result<(), String>,
     /// Conflict forensics (attacker/victim matrix, hotspots, recovery
@@ -91,12 +95,13 @@ pub fn run_trace(cfg: &TraceConfig) -> TraceArtifacts {
         threads: cfg.threads,
         seed: cfg.seed,
     };
-    let chrome_json = export_chrome(&recorder, &meta);
-    let metrics_jsonl = export_jsonl(&recorder, &registry);
+    let chrome_json = export_chrome(&recorder, &meta, &stats);
+    let metrics_jsonl = export_jsonl(&recorder, &registry, &stats);
     let summary = render_summary(&recorder, &stats);
     let timeline = lockiller::render_timeline(&events, cfg.threads, 100);
     let forensics = forensics::analyze(&recorder, cfg.threads);
     prof.lap("export");
+    let selfprof_json = selfprof_with_engine(&prof, &stats);
     TraceArtifacts {
         stats,
         recorder,
@@ -105,7 +110,40 @@ pub fn run_trace(cfg: &TraceConfig) -> TraceArtifacts {
         summary,
         timeline,
         profile: prof.render(),
+        selfprof_json,
         validation,
         forensics,
     }
+}
+
+/// Combine the host-side phase profile with engine self-metrics sampled
+/// from the run's stats: simulated work done, host cost per simulated
+/// cycle (from the `simulate` lap), and the event-queue high-water.
+/// Every ratio is 0 (never NaN/Inf) when a denominator is 0.
+fn selfprof_with_engine(prof: &SelfProfiler, stats: &RunStats) -> String {
+    let simulate_s = prof
+        .phases()
+        .iter()
+        .find(|(name, _)| name == "simulate")
+        .map(|(_, d)| d.as_secs_f64())
+        .unwrap_or(0.0);
+    let ns_per_cycle = if stats.cycles == 0 {
+        0.0
+    } else {
+        simulate_s * 1e9 / stats.cycles as f64
+    };
+    let cycles_per_sec = if simulate_s <= 0.0 {
+        0.0
+    } else {
+        stats.cycles as f64 / simulate_s
+    };
+    let mut doc = prof.to_json();
+    // Splice the engine block into the profile object (before the final
+    // brace) so the artifact stays one flat JSON document.
+    doc.pop();
+    doc.push_str(&format!(
+        ",\"engine\":{{\"sim_cycles\":{},\"events_processed\":{},\"event_queue_peak\":{},\"ns_per_cycle\":{ns_per_cycle:.3},\"sim_cycles_per_sec\":{cycles_per_sec:.1}}}}}",
+        stats.cycles, stats.events_processed, stats.event_queue_peak
+    ));
+    doc
 }

@@ -3,6 +3,7 @@
 //! event glyphs), plus abort, NoC, and LLC tables and the standard
 //! histograms.
 
+use crate::latency::render_latency_table;
 use crate::recorder::Recorder;
 use crate::registry::standard_histograms;
 use sim_core::obs::{SpanKind, Track};
@@ -146,6 +147,9 @@ pub fn render_summary(rec: &Recorder, stats: &RunStats) -> String {
     }
 
     out.push('\n');
+    out.push_str(&render_latency_table(stats));
+
+    out.push('\n');
     for h in standard_histograms(rec) {
         out.push_str(&h.render());
     }
@@ -197,5 +201,10 @@ mod tests {
         assert!(s.contains("core  0 |"));
         assert!(s.contains("core  2 |"));
         assert!(s.contains("noc:"));
+        // The latency table is always present, with every class row and
+        // no NaN/Inf even though nothing was recorded.
+        assert!(s.contains("transaction latency by outcome class"));
+        assert!(s.contains("htm_commit"));
+        assert!(!s.contains("NaN"));
     }
 }

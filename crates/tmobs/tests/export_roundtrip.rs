@@ -90,7 +90,7 @@ fn chrome_export_parses_and_nests() {
         threads: THREADS,
         seed: SEED,
     };
-    let doc = export_chrome(&rec, &meta);
+    let doc = export_chrome(&rec, &meta, &stats);
     let s = validate_chrome(&doc).unwrap();
     assert_eq!(s.spans, rec.spans().len());
     assert!(s.spans > 0, "no spans recorded");
@@ -100,6 +100,8 @@ fn chrome_export_parses_and_nests() {
     assert!(doc.contains("\"name\":\"core 0\""));
     assert!(doc.contains("noc.messages"));
     assert!(doc.contains("llc.bank"));
+    // The latency histograms ride along in otherData.
+    assert!(doc.contains("\"latency\":{\"classes\":{\"htm_commit\":"));
     // The heavy conflict load must show real outcomes in the spans.
     let commits = rec
         .spans_of(SpanKind::Txn)
@@ -145,16 +147,24 @@ fn span_data_agrees_with_structured_trace_and_stats() {
 #[test]
 fn jsonl_is_deterministic_across_identical_seeds() {
     let reg = MetricsRegistry::for_config(&sim_core::config::SystemConfig::table1());
-    let (_, _, rec_a) = traced_run(SystemKind::LockillerTm);
-    let (_, _, rec_b) = traced_run(SystemKind::LockillerTm);
-    assert_eq!(export_jsonl(&rec_a, &reg), export_jsonl(&rec_b, &reg));
+    let (stats_a, _, rec_a) = traced_run(SystemKind::LockillerTm);
+    let (stats_b, _, rec_b) = traced_run(SystemKind::LockillerTm);
+    // Byte-identical exports — including the embedded latency
+    // histograms, which must be bit-deterministic run to run.
+    assert_eq!(
+        export_jsonl(&rec_a, &reg, &stats_a),
+        export_jsonl(&rec_b, &reg, &stats_b)
+    );
     let meta = TraceMeta {
         workload: "counter".into(),
         system: "LockillerTM".into(),
         threads: THREADS,
         seed: SEED,
     };
-    assert_eq!(export_chrome(&rec_a, &meta), export_chrome(&rec_b, &meta));
+    assert_eq!(
+        export_chrome(&rec_a, &meta, &stats_a),
+        export_chrome(&rec_b, &meta, &stats_b)
+    );
     // Sample rows land exactly on the sampling grid.
     let (_, _, rec) = traced_run(SystemKind::LockillerTm);
     let on_grid = rec.samples().iter().filter(|r| r.cycle % 500 == 0).count();

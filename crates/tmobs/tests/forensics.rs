@@ -212,12 +212,14 @@ fn capped_recorder_keeps_exports_well_formed() {
         threads: THREADS,
         seed: SEED,
     };
-    let doc = export_chrome(&rec, &meta);
+    let doc = export_chrome(&rec, &meta, &out.stats);
     let s = validate_chrome(&doc).expect("capped chrome trace invalid");
     assert_eq!(s.spans, 8);
     let reg = MetricsRegistry::for_config(&sim_core::config::SystemConfig::table1());
-    for line in export_jsonl(&rec, &reg).lines().filter(|l| !l.is_empty()) {
+    for line in export_jsonl(&rec, &reg, &out.stats)
+        .lines()
+        .filter(|l| !l.is_empty())
+    {
         tmobs::json::parse(line).expect("capped jsonl line invalid");
     }
-    let _ = out;
 }
