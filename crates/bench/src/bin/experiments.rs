@@ -3,12 +3,18 @@
 //! ```text
 //! experiments [--quick] [--verbose] [--jobs N] [--no-cache]
 //!             [--cache FILE] [--csv FILE] [--bench-json FILE]
+//!             [--backend threads|vm]
 //!             [table1|table2|fig1|fig7..fig13|headline|ablation|characterize|forensics|verify|engine|all]
 //! ```
 //!
 //! `--quick` runs the reduced thread sweep {2, 8, 32} at Small workload
 //! scale; the default runs {2,4,8,16,32} at Full scale (the numbers
 //! recorded in EXPERIMENTS.md).
+//!
+//! `--backend vm` runs the `engine` battery's VM-capable points on the
+//! in-process guest VM instead of the OS-thread rendezvous; simulated
+//! results are bit-identical, only host metrics move (the CI
+//! `guestvm-smoke` job relies on this).
 //!
 //! `--jobs N` (or `LOCKILLER_JOBS=N`) fans simulation points across N
 //! host threads; results are byte-identical for every N. Completed
@@ -40,8 +46,15 @@ fn main() {
         .or_else(|| std::env::var("LOCKILLER_JOBS").ok())
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(1);
+    let backend = match flag_value("--backend") {
+        None => lockiller::Backend::Threads,
+        Some(v) => lockiller::Backend::from_name(&v).unwrap_or_else(|| {
+            eprintln!("unknown backend {v:?} (threads|vm)");
+            std::process::exit(2);
+        }),
+    };
 
-    let value_flags = ["--csv", "--cache", "--bench-json", "--jobs"];
+    let value_flags = ["--csv", "--cache", "--bench-json", "--jobs", "--backend"];
     let mut skip_next = false;
     let what: Vec<&str> = args
         .iter()
@@ -135,6 +148,7 @@ fn main() {
                 lockiller_bench::engine::run(
                     &mut lab,
                     quick,
+                    backend,
                     std::path::Path::new("BENCH_engine.json"),
                 )
                 .expect("write engine json");
@@ -162,6 +176,7 @@ fn main() {
                 lockiller_bench::engine::run(
                     &mut lab,
                     quick,
+                    backend,
                     std::path::Path::new("BENCH_engine.json"),
                 )
                 .expect("write engine json");

@@ -4,8 +4,12 @@
 //! ```text
 //! lockiller_sim --system LockillerTM --workload vacation+ --threads 8 \
 //!               [--scale tiny|small|full] [--cache typical|small|large] \
-//!               [--retries N] [--seed N] [--timeline]
+//!               [--retries N] [--seed N] [--backend threads|vm] [--timeline]
 //! ```
+//!
+//! `--backend vm` runs the workload on the in-process guest VM (only
+//! workloads whose kernels compile to `guestvm` bytecode); results are
+//! bit-identical to the default OS-thread backend.
 
 use lockiller::runner::Runner;
 use lockiller::system::SystemKind;
@@ -17,7 +21,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: lockiller_sim --system <name> --workload <name> [--threads N]\n\
          \x20                  [--scale tiny|small|full] [--cache typical|small|large]\n\
-         \x20                  [--retries N] [--seed N] [--timeline]\n\
+         \x20                  [--retries N] [--seed N] [--backend threads|vm] [--timeline]\n\
          systems:   {}\n\
          workloads: {}",
         SystemKind::ALL.map(lockiller::SystemKind::name).join(" "),
@@ -35,6 +39,7 @@ fn main() {
     let mut cache = "typical".to_string();
     let mut retries: Option<u32> = None;
     let mut seed = 0xC0FFEEu64;
+    let mut backend = lockiller::Backend::Threads;
     let mut timeline = false;
 
     let mut i = 0;
@@ -64,6 +69,10 @@ fn main() {
             "--cache" => cache = take(&mut i),
             "--retries" => retries = Some(take(&mut i).parse().unwrap_or_else(|_| usage())),
             "--seed" => seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--backend" => {
+                let v = take(&mut i);
+                backend = lockiller::Backend::from_name(&v).unwrap_or_else(|| usage());
+            }
             "--timeline" => timeline = true,
             "--help" | "-h" => usage(),
             other => {
@@ -82,15 +91,20 @@ fn main() {
     };
 
     let mut prog = Workload::with_scale(workload, threads, scale);
-    let mut runner = Runner::new(system).threads(threads).config(cfg).seed(seed);
+    let mut runner = Runner::new(system)
+        .threads(threads)
+        .config(cfg)
+        .seed(seed)
+        .backend(backend);
     if let Some(r) = retries {
         runner = runner.retries(r);
     }
 
     println!(
-        "{} / {} / {threads} threads / {cache} cache / scale {scale:?}\n",
+        "{} / {} / {threads} threads / {cache} cache / scale {scale:?} / {} backend\n",
         system.name(),
-        workload.name()
+        workload.name(),
+        backend.name()
     );
     let (stats, trace) = if timeline {
         let mut out = runner.tracing().run(&mut prog);

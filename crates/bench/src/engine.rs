@@ -19,10 +19,23 @@
 //! parallel executor and asserts the batched stats agree with the
 //! direct runs — which also makes `BENCH_lab.json` record real traffic
 //! on every `experiments engine` invocation.
+//!
+//! **Backend axis.** Every `host` block carries a `backend` field
+//! (`"threads"` or `"vm"`, see [`lockiller::Backend`]). The battery
+//! always appends a backend-comparison section: each VM-capable ladder
+//! point plus the `intruder-flow` kernel program runs on *both* guest
+//! execution cores, the deterministic outputs are asserted byte-equal
+//! (a third, wall-clock-facing differential check), and the VM rows
+//! record `speedup_vs_threads` — host sim-throughput of the in-process
+//! VM over the OS-thread rendezvous. `experiments engine --backend vm`
+//! additionally runs the main suite's capable points on the VM; the
+//! deterministic leaves of `BENCH_engine.json` must not move, which is
+//! exactly what the CI `perf-diff` gate checks at 0% tolerance.
 
 use crate::lab::{ConfigPoint, Lab, Point};
+use lockiller::program::Program;
 use lockiller::system::SystemKind;
-use lockiller::Runner;
+use lockiller::{Backend, Runner};
 use sim_core::latency::{LatencyHist, TxnClass};
 use sim_core::stats::RunStats;
 use stamp::{Scale, Workload, WorkloadKind};
@@ -67,16 +80,37 @@ fn suite(quick: bool) -> Vec<Point> {
     points
 }
 
+/// Ladder workloads whose kernels compile to `guestvm` bytecode and can
+/// therefore run on either execution backend.
+fn vm_capable(w: WorkloadKind) -> bool {
+    matches!(w, WorkloadKind::KmeansHigh | WorkloadKind::KmeansLow)
+}
+
 /// The same call the lab executor makes for a cache miss, run inline so
 /// the point's wall-clock is attributable to exactly one simulation.
-fn run_point(p: &Point, scale: Scale) -> RunStats {
+fn run_point(p: &Point, scale: Scale, backend: Backend) -> RunStats {
     let mut prog = Workload::with_scale(p.workload, p.threads, scale);
     Runner::new(p.system)
         .threads(p.threads)
         .config(p.cfg.config())
         .seed(SEED)
+        .backend(backend)
         .run(&mut prog)
         .stats
+}
+
+/// Run any program at a ladder point's settings under `backend`,
+/// returning (stats, wall-clock ms).
+fn timed_run<P: Program>(p: &Point, prog: &mut P, backend: Backend) -> (RunStats, f64) {
+    let t0 = std::time::Instant::now();
+    let stats = Runner::new(p.system)
+        .threads(p.threads)
+        .config(p.cfg.config())
+        .seed(SEED)
+        .backend(backend)
+        .run(prog)
+        .stats;
+    (stats, t0.elapsed().as_secs_f64() * 1e3)
 }
 
 fn hist_json(h: &LatencyHist) -> String {
@@ -90,7 +124,15 @@ fn hist_json(h: &LatencyHist) -> String {
     )
 }
 
-fn point_json(p: &Point, stats: &RunStats, wall_ms: f64) -> String {
+fn point_json(
+    system: &str,
+    workload: &str,
+    threads: usize,
+    stats: &RunStats,
+    wall_ms: f64,
+    backend: Backend,
+    speedup_vs_threads: Option<f64>,
+) -> String {
     let mut latency = String::from("{");
     for c in TxnClass::ALL {
         latency.push_str(&format!(
@@ -112,16 +154,20 @@ fn point_json(p: &Point, stats: &RunStats, wall_ms: f64) -> String {
     } else {
         wall_ms * 1e6 / stats.cycles as f64
     };
+    // Host block: machine-dependent, never gated at 0%. `backend` is
+    // identity metadata (a string, invisible to the diff flattener);
+    // `speedup_vs_threads` only appears on VM comparison rows.
+    let speedup = speedup_vs_threads
+        .map(|s| format!(",\"speedup_vs_threads\":{s:.2}"))
+        .unwrap_or_default();
     format!(
-        "  {{\"system\":\"{}\",\"workload\":\"{}\",\"threads\":{},\
+        "  {{\"system\":\"{system}\",\"workload\":\"{workload}\",\"threads\":{threads},\
          \"deterministic\":{{\"cycles\":{},\"commits\":{},\"stl_commits\":{},\
          \"lock_commits\":{},\"aborts\":{},\"events_processed\":{},\
          \"event_queue_peak\":{},\"latency\":{latency}}},\
-         \"host\":{{\"wall_ms\":{wall_ms:.3},\"sim_cycles_per_sec\":{:.1},\
-         \"commits_per_sec\":{:.1},\"ns_per_cycle\":{ns_per_cycle:.3}}}}}",
-        p.system.name(),
-        p.workload.name(),
-        p.threads,
+         \"host\":{{\"backend\":\"{}\",\"wall_ms\":{wall_ms:.3},\
+         \"sim_cycles_per_sec\":{:.1},\
+         \"commits_per_sec\":{:.1},\"ns_per_cycle\":{ns_per_cycle:.3}{speedup}}}}}",
         stats.cycles,
         stats.commits,
         stats.stl_commits,
@@ -129,40 +175,149 @@ fn point_json(p: &Point, stats: &RunStats, wall_ms: f64) -> String {
         stats.total_aborts(),
         stats.events_processed,
         stats.event_queue_peak,
+        backend.name(),
         per_sec(stats.cycles),
         per_sec(stats.commits),
     )
 }
 
-/// Run the battery and write `BENCH_engine.json`. Panics if the engine
-/// loses determinism (latency histograms differ between identical runs,
-/// or the lab executor disagrees with a direct run).
-pub fn run(lab: &mut Lab, quick: bool, path: &Path) -> std::io::Result<()> {
+/// Run the battery and write `BENCH_engine.json`. `backend` selects the
+/// guest execution core for the main suite; points whose workload does
+/// not compile to bytecode always run on the thread backend, so
+/// `--backend vm` changes host metrics only — the deterministic leaves
+/// must be identical, which the CI `perf-diff` gate enforces. Panics if
+/// the engine loses determinism (latency histograms differ between
+/// identical runs, the lab executor disagrees with a direct run, or the
+/// two backends diverge).
+pub fn run(lab: &mut Lab, quick: bool, backend: Backend, path: &Path) -> std::io::Result<()> {
     let points = suite(quick);
     let mut rows = Vec::new();
     let mut direct: Vec<RunStats> = Vec::new();
     for p in &points {
+        let be = if vm_capable(p.workload) {
+            backend
+        } else {
+            Backend::Threads
+        };
         let t0 = std::time::Instant::now();
-        let stats = run_point(p, lab.scale());
+        let stats = run_point(p, lab.scale(), be);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         assert!(stats.cycles > 0, "{p:?}: zero-cycle run");
         eprintln!(
-            "[engine {} / {} / {} threads: {} cycles, {} commits, {:.0} ms]",
+            "[engine {} / {} / {} threads ({}): {} cycles, {} commits, {:.0} ms]",
             p.system.name(),
             p.workload.name(),
             p.threads,
+            be.name(),
             stats.cycles,
             stats.commits,
             wall_ms
         );
-        rows.push(point_json(p, &stats, wall_ms));
+        rows.push(point_json(
+            p.system.name(),
+            p.workload.name(),
+            p.threads,
+            &stats,
+            wall_ms,
+            be,
+            None,
+        ));
         direct.push(stats);
     }
+
+    // Backend comparison: every VM-capable ladder point plus the
+    // VM-native intruder-flow kernel runs on both guest execution
+    // cores. Deterministic outputs must match byte for byte; the VM
+    // rows record the host-side speedup of dropping the OS-thread
+    // rendezvous (2 context switches per guest op).
+    let mut best_speedup: (f64, String) = (0.0, String::new());
+    {
+        fn compare<P: Program>(
+            p: &Point,
+            name: &str,
+            mut mk: impl FnMut() -> P,
+            rows: &mut Vec<String>,
+            best_speedup: &mut (f64, String),
+        ) {
+            let (st, wall_t) = timed_run(p, &mut mk(), Backend::Threads);
+            let (sv, wall_v) = timed_run(p, &mut mk(), Backend::Vm);
+            assert_eq!(
+                st.to_json(),
+                sv.to_json(),
+                "{}/{name}: VM backend diverged from the thread backend",
+                p.system.name(),
+            );
+            let speedup = if wall_v > 0.0 { wall_t / wall_v } else { 0.0 };
+            eprintln!(
+                "[engine {} / {name} / {} threads: vm backend {:.2}x host speedup \
+                 ({wall_t:.0} ms -> {wall_v:.0} ms)]",
+                p.system.name(),
+                p.threads,
+                speedup,
+            );
+            if name == "intruder-flow" {
+                rows.push(point_json(
+                    p.system.name(),
+                    name,
+                    p.threads,
+                    &st,
+                    wall_t,
+                    Backend::Threads,
+                    None,
+                ));
+            }
+            rows.push(point_json(
+                p.system.name(),
+                name,
+                p.threads,
+                &sv,
+                wall_v,
+                Backend::Vm,
+                Some(speedup),
+            ));
+            if speedup > best_speedup.0 {
+                *best_speedup = (speedup, format!("{}/{name}", p.system.name()));
+            }
+        }
+        let scale = lab.scale();
+        for p in &points {
+            if vm_capable(p.workload) {
+                let (w, t) = (p.workload, p.threads);
+                compare(
+                    p,
+                    w.name(),
+                    || Workload::with_scale(w, t, scale),
+                    &mut rows,
+                    &mut best_speedup,
+                );
+            }
+        }
+        // The VM-native flow-reassembly kernel is not a ladder workload
+        // (the ladder's intruder uses host-side tmlib containers); it
+        // joins the battery here with both backends reported.
+        let pf = Point {
+            system: SystemKind::LockillerTm,
+            workload: WorkloadKind::Intruder, // settings only; prog below
+            threads: THREADS,
+            cfg: ConfigPoint::Typical,
+        };
+        compare(
+            &pf,
+            "intruder-flow",
+            || stamp::vm::IntruderFlow::new(scale, THREADS),
+            &mut rows,
+            &mut best_speedup,
+        );
+    }
+    eprintln!(
+        "[engine best vm-vs-threads host speedup: {:.2}x on {}]",
+        best_speedup.0, best_speedup.1
+    );
 
     // Determinism self-check: an identically-seeded re-run of the first
     // point must reproduce the latency histograms byte for byte.
     let (p0, s0) = (&points[0], &direct[0]);
-    let again = run_point(p0, lab.scale());
+    let again = run_point(p0, lab.scale(), Backend::Threads);
     assert_eq!(
         s0.latency.to_json(),
         again.latency.to_json(),
@@ -210,11 +365,30 @@ mod tests {
         let path = dir.join("BENCH_engine.json");
         // Tiny scale keeps the test cheap; the binary uses Small/Full.
         let mut lab = Lab::new(Scale::Tiny);
-        run(&mut lab, true, &path).unwrap();
+        run(&mut lab, true, Backend::Threads, &path).unwrap();
         let doc = std::fs::read_to_string(&path).unwrap();
         let v = tmobs::json::parse(&doc).expect("BENCH_engine.json parses");
         let pts = v.get("points").and_then(tmobs::json::Json::as_arr).unwrap();
-        assert_eq!(pts.len(), 3, "quick suite is 3 points");
+        // 3 suite points + kmeans vm twin + intruder-flow on both backends.
+        assert_eq!(pts.len(), 6, "quick suite is 6 points");
+        let mut vm_rows = 0;
+        for p in pts {
+            let host = p.get("host").unwrap();
+            let backend = host
+                .get("backend")
+                .and_then(tmobs::json::Json::as_str)
+                .expect("host.backend present");
+            if backend == "vm" {
+                vm_rows += 1;
+                assert!(
+                    host.get("speedup_vs_threads")
+                        .and_then(tmobs::json::Json::as_f64)
+                        .is_some(),
+                    "vm rows carry speedup_vs_threads"
+                );
+            }
+        }
+        assert_eq!(vm_rows, 2, "kmeans twin + intruder-flow vm rows");
         for p in pts {
             let det = p.get("deterministic").unwrap();
             assert!(
@@ -238,6 +412,21 @@ mod tests {
         }
         // The executor cross-check routed the suite through the lab.
         assert_eq!(lab.report().requested, 3);
+        // Same battery on the VM backend: deterministic leaves must not
+        // move (the CI guestvm-smoke gate runs this same comparison via
+        // `tmtrace perf-diff` at 0% tolerance).
+        let vm_path = dir.join("BENCH_engine_vm.json");
+        run(&mut Lab::new(Scale::Tiny), true, Backend::Vm, &vm_path).unwrap();
+        let vm_doc = std::fs::read_to_string(&vm_path).unwrap();
+        let deltas = tmobs::diff_docs(&doc, &vm_doc, 0.0).unwrap();
+        let det: Vec<_> = deltas
+            .iter()
+            .filter(|d| !d.path.contains(".host."))
+            .collect();
+        assert!(
+            det.is_empty(),
+            "VM-backend battery moved deterministic leaves: {det:?}"
+        );
         // The gate's own invariant: a document perf-diffed against
         // itself has no deterministic deltas.
         assert!(tmobs::diff_docs(&doc, &doc, 0.0).unwrap().is_empty());

@@ -188,6 +188,10 @@ pub struct MemSystem {
     /// [`ProtoEvent`]s: dropping them changes nothing.
     conflicts: Vec<(Cycle, ConflictEdge)>,
     record_conflicts: bool,
+    /// `MS_TRACE` debug logging, read once at construction — the sites
+    /// below run on every access/message, where an env lookup is a
+    /// measurable per-event cost.
+    dbg_trace: bool,
     pub stats: MemStats,
 }
 
@@ -229,6 +233,7 @@ impl MemSystem {
             proto_events: Vec::new(),
             conflicts: Vec::new(),
             record_conflicts: false,
+            dbg_trace: std::env::var_os("MS_TRACE").is_some(),
             stats: MemStats::default(),
             cfg,
         }
@@ -543,7 +548,7 @@ impl MemSystem {
         line: LineAddr,
         kind: AccessKind,
     ) -> AccessResult {
-        if std::env::var_os("MS_TRACE").is_some() {
+        if self.dbg_trace {
             eprintln!(
                 "  ms[{now}] access c{core} {line:?} {kind:?} mode={:?}",
                 self.meta[core].mode
@@ -702,7 +707,7 @@ impl MemSystem {
 
     /// Deliver a previously scheduled NoC message.
     pub fn handle_msg(&mut self, now: Cycle, msg: NetMsg) {
-        if std::env::var_os("MS_TRACE").is_some() {
+        if self.dbg_trace {
             eprintln!("  ms[{now}] {msg:?}");
         }
         match msg {
@@ -804,7 +809,7 @@ impl MemSystem {
     /// the direct-response topology, where the requester may be served
     /// before the home finishes the exchange).
     fn expect_unblock(&mut self, at: Cycle, b: usize, line: LineAddr, core: CoreId) {
-        if std::env::var_os("MS_TRACE").is_some() {
+        if self.dbg_trace {
             eprintln!(
                 "  ms[{at}] expect_unblock bank{b} {line:?} core{core} early={:?}",
                 self.banks[b].entry(line).early_unblock
@@ -1105,7 +1110,7 @@ impl MemSystem {
         if entry.unblock_wait != Some(core) {
             // Direct-response race: the requester confirmed before the
             // owner's ack reached us. Remember it for expect_unblock.
-            if std::env::var_os("MS_TRACE").is_some() {
+            if self.dbg_trace {
                 eprintln!(
                     "  ms[{now}] EARLY unblock {line:?} core{core} wait={:?} pending={}",
                     entry.unblock_wait,

@@ -25,10 +25,23 @@
 //! reproduces the run bit-for-bit (guests derive every value from
 //! `(tid, op index)`, never from wall clock or host randomness), which
 //! is what makes witnesses replayable.
+//!
+//! [`SpecProgram`] runs a spec on **either** guest backend: the thread
+//! backend executes the hand-written loop in [`Program::run`], while
+//! [`Program::guest_exec`] compiles the same spec to `guestvm` bytecode
+//! ([`SpecProgram::compile`]). The two implementations are independent
+//! — one interprets the spec directly over `GuestCtx`, the other goes
+//! through the IR and the VM's re-implemented retry protocol — so the
+//! differential suite's byte-equality checks across backends validate
+//! the whole VM stack, not just one encoder.
 
+use crate::ir::{Kernel, KernelBuilder};
+use crate::vm::GuestVm;
+use lockiller::exec::{GuestEnv, GuestExec};
 use lockiller::{GuestCtx, Program, SetupCtx};
 use sim_core::types::{Addr, LineAddr};
 use std::fmt;
+use std::sync::Arc;
 
 /// Typed failure from [`ProgSpec::parse`]. Every variant carries enough
 /// context to point at the offending token; `Display` renders the same
@@ -260,7 +273,8 @@ impl ProgSpec {
 
 /// [`Program`] executing a [`ProgSpec`]: the arena is `lines` disjoint
 /// cache lines; store values encode `(tid, op index)` so the trace
-/// identifies which op wrote what.
+/// identifies which op wrote what. Runs on both guest backends (see the
+/// module docs).
 pub struct SpecProgram {
     spec: ProgSpec,
     bases: Vec<Addr>,
@@ -291,6 +305,46 @@ impl SpecProgram {
             bases: Vec::new(),
             name,
         }
+    }
+
+    /// Compile thread `tid`'s op sequence to a straight-line kernel.
+    /// Every op and every store value matches [`Program::run`]'s
+    /// hand-written loop exactly — including the shared op counter that
+    /// numbers ops across segments.
+    pub fn compile(&self, tid: usize) -> Kernel {
+        assert!(
+            !self.bases.is_empty(),
+            "compile requires setup (bases unassigned)"
+        );
+        let mut b = KernelBuilder::new(format!("spec[{tid}]:{}", self.name), 2);
+        let t = tid as u64;
+        let mut op_no: u64 = 0;
+        for seg in &self.spec.threads[tid] {
+            if seg.critical {
+                b.crit_begin();
+            }
+            for (k, op) in (op_no..).zip(seg.ops.iter()) {
+                match *op {
+                    Op::Load(l) => {
+                        b.imm(0, self.bases[l as usize].0).load(1, 0, 0);
+                    }
+                    Op::Store(l) => {
+                        b.imm(0, self.bases[l as usize].0)
+                            .imm(1, (t << 32) | k)
+                            .store(0, 0, 1);
+                    }
+                    Op::Compute(n) => {
+                        b.compute(n);
+                    }
+                }
+            }
+            if seg.critical {
+                b.crit_end();
+            }
+            op_no += seg.ops.len() as u64;
+        }
+        b.halt();
+        b.build()
     }
 }
 
@@ -345,11 +399,16 @@ impl Program for SpecProgram {
             op_no += seg.ops.len() as u64;
         }
     }
+
+    fn guest_exec(&self, env: GuestEnv) -> Option<Box<dyn GuestExec + '_>> {
+        Some(GuestVm::boxed(Arc::new(self.compile(env.tid)), &env))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ir::Instr;
 
     #[test]
     fn parse_render_roundtrip() {
@@ -422,5 +481,30 @@ mod tests {
             assert_eq!(ProgSpec::parse(&sa.render()).unwrap(), sa);
             assert_eq!(sa.num_threads(), 3);
         }
+    }
+
+    #[test]
+    fn compile_numbers_ops_like_the_hand_written_loop() {
+        let spec = ProgSpec::parse("2/p:S0,S1;c:S0,S1").unwrap();
+        let mut p = SpecProgram::new(spec);
+        let mut s = SetupCtx::new();
+        // Match the runner's layout: lock block first.
+        let _lock = s.alloc(8);
+        p.setup(&mut s, 1);
+        let k = p.compile(0);
+        // Store values are (tid << 32) | op_index with one shared
+        // counter: plain S0 -> 0, plain S1 -> 1, crit S0 -> 2, S1 -> 3.
+        let values: Vec<u64> = k
+            .instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Imm(1, v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(values, vec![0, 1, 2, 3]);
+        // Critical section is bracketed.
+        assert!(k.instrs.contains(&Instr::CritBegin));
+        assert!(k.instrs.contains(&Instr::CritEnd));
     }
 }

@@ -21,8 +21,9 @@
 //! bucket resolved to `htm` / `aborted` / `switchLock` when the
 //! transaction's fate is known (Figs. 9 and 11).
 
+use crate::exec::GuestExec;
 use crate::flatmem::{FlatMem, WriteBuffer};
-use crate::guest::{GuestOp, GuestResp, TTEST_HTM, TTEST_STL, TTEST_TL};
+use crate::guest::{GuestOp, GuestResp, TTest};
 use crate::sched::{EvClass, EvDesc, RunEnd, Scheduler};
 use crate::trace::{Trace, TraceKind};
 use coherence::memsys::{AccessKind, AccessResult, CoreNotice, MemSystem};
@@ -35,7 +36,6 @@ use sim_core::obs::{Metric, MetricSpec, ObsEvent, ObsHandle, SpanEnd, SpanKind, 
 use sim_core::stats::{AbortCause, Phase, PhaseTracker, RunStats};
 use sim_core::types::{Addr, CoreId, Cycle};
 use std::hash::{Hash, Hasher};
-use std::sync::mpsc::{Receiver, Sender};
 
 /// Decay origin for the `prio_decay` seeded bug: large enough that the
 /// inverted priorities stay positive and below the lock-priority
@@ -88,9 +88,14 @@ enum Ev {
 }
 
 /// Per-core controller state.
-struct Ctl {
-    to_guest: Option<Sender<GuestResp>>,
-    from_guest: Option<Receiver<GuestOp>>,
+struct Ctl<'g> {
+    /// The resumable guest driven at this core's `Recv` rendezvous
+    /// points; `None` after [`Engine::release_guests`].
+    exec: Option<Box<dyn GuestExec + 'g>>,
+    /// Response delivered by [`Engine::respond`] but not yet handed to
+    /// the guest — consumed by the next `resume` at the rendezvous
+    /// point, exactly where the old channel send/recv pair met.
+    pending_resp: Option<GuestResp>,
     tracker: PhaseTracker,
     phase: Phase,
     /// Cycles currently accumulate into the speculative pending bucket.
@@ -145,11 +150,11 @@ struct Ctl {
     finished: bool,
 }
 
-impl Ctl {
-    fn new() -> Ctl {
+impl Ctl<'_> {
+    fn new() -> Self {
         Ctl {
-            to_guest: None,
-            from_guest: None,
+            exec: None,
+            pending_resp: None,
             tracker: PhaseTracker::default(),
             phase: Phase::NonTran,
             spec: false,
@@ -178,15 +183,18 @@ impl Ctl {
     }
 }
 
-/// The engine. Construct, [`Engine::register`] each guest channel pair,
+/// The engine. Construct, [`Engine::register`] each guest executor,
 /// then [`Engine::run`] to completion and [`Engine::into_stats`].
-pub struct Engine {
+///
+/// The lifetime `'g` bounds the registered [`GuestExec`]s (a VM guest
+/// borrows its program's kernel; the thread backend is `'static`).
+pub struct Engine<'g> {
     cfg: SystemConfig,
     ms: MemSystem,
     q: EventQueue<Ev>,
     pub mem: FlatMem,
     bufs: Vec<WriteBuffer>,
-    ctl: Vec<Ctl>,
+    ctl: Vec<Ctl<'g>>,
     /// Per-core lifecycle trackers for latency accounting. Deliberately
     /// outside [`Ctl`] and the state fingerprint: lifecycle stamps are
     /// volatile accounting and must not perturb tmverify's state dedup.
@@ -210,16 +218,23 @@ pub struct Engine {
     /// it ends the run with [`RunEnd::CycleLimit`] instead of panicking
     /// (the `LOCKILLER_MAX_CYCLES` env watchdog still panics).
     max_cycles: Option<Cycle>,
+    /// `LOCKILLER_TRACE` debug logging, read once at construction: the
+    /// per-op/per-response log lines format eagerly, so the check must
+    /// be a field load, not an env lookup in the event loop.
+    dbg_trace: bool,
+    /// `LOCKILLER_WATCH` watched address (`Some(0)` if unparseable),
+    /// read once for the same reason as `dbg_trace`.
+    dbg_watch: Option<u64>,
 }
 
-impl Engine {
+impl<'g> Engine<'g> {
     pub fn new(
         cfg: SystemConfig,
         mem: FlatMem,
         threads: usize,
         mutex_addr: Addr,
         mapped_pages: FxHashSet<u64>,
-    ) -> Engine {
+    ) -> Engine<'g> {
         assert!(threads >= 1 && threads <= cfg.num_cores);
         let mut ms = MemSystem::new(cfg.clone());
         ms.set_mutex_line(mutex_addr.line());
@@ -243,6 +258,10 @@ impl Engine {
             obs: None,
             next_sample: 0,
             max_cycles: None,
+            dbg_trace: std::env::var_os("LOCKILLER_TRACE").is_some(),
+            dbg_watch: std::env::var("LOCKILLER_WATCH")
+                .ok()
+                .map(|w| w.parse().unwrap_or(0)),
             cfg,
         }
     }
@@ -326,15 +345,9 @@ impl Engine {
         }
     }
 
-    /// Attach the engine side of a guest's channel pair.
-    pub fn register(
-        &mut self,
-        core: CoreId,
-        to_guest: Sender<GuestResp>,
-        from_guest: Receiver<GuestOp>,
-    ) {
-        self.ctl[core].to_guest = Some(to_guest);
-        self.ctl[core].from_guest = Some(from_guest);
+    /// Attach the resumable guest driven at `core`'s rendezvous points.
+    pub fn register(&mut self, core: CoreId, exec: Box<dyn GuestExec + 'g>) {
+        self.ctl[core].exec = Some(exec);
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -377,14 +390,17 @@ impl Engine {
     // ---------------- responses ----------------
 
     fn respond(&mut self, core: CoreId, now: Cycle, resp: GuestResp) {
-        self.trace(now, core, &format!("resp {resp:?}"));
+        if self.dbg_trace {
+            self.trace(now, core, &format!("resp {resp:?}"));
+        }
         self.attr(core, now);
         {
             // Fold the delivered response into the core's history hash
             // (see `state_fingerprint`). Values only, not cycles: timing
-            // differences already show in the queue fingerprint.
+            // differences already show in the queue fingerprint. Hashed
+            // structurally (no formatting): this runs on every response.
             let mut h = FxHasher::default();
-            (self.ctl[core].resp_hash, format!("{resp:?}")).hash(&mut h);
+            (self.ctl[core].resp_hash, resp).hash(&mut h);
             self.ctl[core].resp_hash = h.finish();
         }
         if let Some(res) = self.ctl[core].resolve.take() {
@@ -394,12 +410,11 @@ impl Engine {
         if let Some(p) = self.ctl[core].phase_after.take() {
             self.ctl[core].phase = p;
         }
-        self.ctl[core]
-            .to_guest
-            .as_ref()
-            .expect("core not registered")
-            .send(resp)
-            .expect("guest thread died");
+        // Stash the response for the matching `Recv` rendezvous: the
+        // guest only resumes when that event (or a pick-point staging of
+        // it) fires, so delivery timing is identical to the old channel
+        // send here + blocking receive there.
+        self.ctl[core].pending_resp = Some(resp);
         self.q.schedule_at(now, Ev::Recv(core));
     }
 
@@ -470,6 +485,9 @@ impl Engine {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(Cycle::MAX);
+        // Read once: an env lookup per dispatched event is measurable on
+        // the in-process VM backend (the loop runs millions of times).
+        let env_check = std::env::var_os("LOCKILLER_CHECK").is_some();
         for c in 0..self.threads {
             self.q.schedule_at(0, Ev::Recv(c));
         }
@@ -507,7 +525,7 @@ impl Engine {
                 self.end_time = self.q.now().max(self.end_time);
                 return RunEnd::CycleLimit { at: t };
             }
-            if std::env::var_os("LOCKILLER_CHECK").is_some() {
+            if env_check {
                 if let Err(e) = self.ms.check_swmr() {
                     panic!("at cycle {t} before {ev:?}: {e}");
                 }
@@ -574,35 +592,25 @@ impl Engine {
         RunEnd::Done
     }
 
-    /// Blocking-receive the next op from `core`'s guest thread.
-    fn recv_op(&mut self, t: Cycle, c: CoreId) -> GuestOp {
-        let rx = self.ctl[c]
-            .from_guest
-            .as_ref()
-            .expect("core not registered");
-        if let Ok(secs) = std::env::var("LOCKILLER_WALL_TIMEOUT") {
-            let dur = std::time::Duration::from_secs(secs.parse().unwrap_or(30));
-            match rx.recv_timeout(dur) {
-                Ok(op) => op,
-                Err(e) => {
-                    self.dump_state(t);
-                    panic!("guest {c} unresponsive ({e:?}) — lost response?");
-                }
-            }
-        } else {
-            rx.recv().expect("guest thread terminated without Exit")
-        }
+    /// Resume `core`'s guest with its pending response (a synthetic
+    /// `Done` kick on the very first rendezvous — see
+    /// [`crate::exec::GuestExec`]) and take its next op. The guest
+    /// computes in zero simulated time, on the engine's own thread.
+    fn recv_op(&mut self, _t: Cycle, c: CoreId) -> GuestOp {
+        let ctl = &mut self.ctl[c];
+        let resp = ctl.pending_resp.take().unwrap_or(GuestResp::Done);
+        ctl.exec.as_mut().expect("core not registered").resume(resp)
     }
 
-    /// Drop every guest channel endpoint. Guests blocked in `recv` (or a
-    /// later `send`) get a channel error and panic out of their run
-    /// closure; the runner marks the run abandoned *first* and then
-    /// absorbs those panics. Call on every non-[`RunEnd::Done`] outcome
-    /// before joining the guest threads.
+    /// Drop every guest executor. Thread-backend guests blocked in
+    /// `recv` (or a later `send`) get a channel error and panic out of
+    /// their run closure; the runner marks the run abandoned *first* and
+    /// then absorbs those panics. Call on every non-[`RunEnd::Done`]
+    /// outcome before joining any guest threads.
     pub fn release_guests(&mut self) {
         for c in &mut self.ctl {
-            c.to_guest = None;
-            c.from_guest = None;
+            c.exec = None;
+            c.pending_resp = None;
         }
     }
 
@@ -644,15 +652,14 @@ impl Engine {
     }
 
     /// Pre-receive `core`'s next op into the staging slot (idempotent).
+    /// A staged `Recv` candidate has already had its response delivered
+    /// (its `Respond` dispatched earlier), so resuming the guest here is
+    /// the same rendezvous the event itself would perform.
     fn stage_op(&mut self, core: CoreId) {
         if self.ctl[core].staged_op.is_some() {
             return;
         }
-        let rx = self.ctl[core]
-            .from_guest
-            .as_ref()
-            .expect("core not registered");
-        let op = rx.recv().expect("guest thread terminated without Exit");
+        let op = self.recv_op(0, core);
         self.ctl[core].staged_op = Some(op);
     }
 
@@ -972,20 +979,22 @@ impl Engine {
     }
 
     fn trace(&self, t: Cycle, core: CoreId, what: &str) {
-        if std::env::var_os("LOCKILLER_TRACE").is_some() {
+        if self.dbg_trace {
             eprintln!("[{t}] c{core} {what}");
         }
     }
 
     fn handle_op(&mut self, t: Cycle, core: CoreId, op: GuestOp) {
-        self.trace(
-            t,
-            core,
-            &format!(
-                "op {op:?} in_tx={} doomed={:?}",
-                self.ctl[core].in_tx, self.ctl[core].doomed
-            ),
-        );
+        if self.dbg_trace {
+            self.trace(
+                t,
+                core,
+                &format!(
+                    "op {op:?} in_tx={} doomed={:?}",
+                    self.ctl[core].in_tx, self.ctl[core].doomed
+                ),
+            );
+        }
         // A protocol abort that arrived between ops is delivered on the
         // next transactional interaction. If the memory subsystem has
         // already aborted us but its notice has not landed yet, defer the
@@ -1032,14 +1041,14 @@ impl Engine {
             }
             GuestOp::TTest => {
                 let v = match self.ms.core_mode(core) {
-                    TxMode::LockStl => TTEST_STL,
-                    TxMode::LockTl => TTEST_TL,
-                    _ => TTEST_HTM,
+                    TxMode::LockStl => TTest::STL,
+                    TxMode::LockTl => TTest::TL,
+                    _ => TTest::HTM,
                 };
                 self.schedule_respond(core, t + 1, GuestResp::Value(v));
             }
             GuestOp::TxCommit => {
-                if std::env::var_os("LOCKILLER_WATCH").is_some() {
+                if self.dbg_watch.is_some() {
                     eprintln!("[{t}] COMMIT c{core} buf={} entries", self.bufs[core].len());
                 }
                 debug_assert!(!self.ctl[core].is_stl, "STL commits via hlend");
@@ -1255,8 +1264,7 @@ impl Engine {
         // then would leak a dying transaction's store (the abort notice
         // converts the response to Aborted and discards the buffer).
         let htm = self.ctl[core].in_tx && !self.ctl[core].is_stl;
-        if let Ok(w) = std::env::var("LOCKILLER_WATCH") {
-            let watch: u64 = w.parse().unwrap_or(0);
+        if let Some(watch) = self.dbg_watch {
             let a = match op {
                 GuestOp::Load(a) | GuestOp::Store(a, _) | GuestOp::Cas(a, ..) => Some(a),
                 _ => None,
@@ -1375,7 +1383,7 @@ impl Engine {
 
     /// Common abort delivery (memory-subsystem side already cleaned up).
     fn deliver_abort(&mut self, t: Cycle, core: CoreId, cause: AbortCause) {
-        if std::env::var_os("LOCKILLER_WATCH").is_some() {
+        if self.dbg_watch.is_some() {
             eprintln!(
                 "[{t}] ABORT c{core} {cause:?} buf={}",
                 self.bufs[core].len()
@@ -1410,7 +1418,7 @@ impl Engine {
     // ---------------- notices ----------------
 
     fn handle_notice(&mut self, t: Cycle, n: CoreNotice) {
-        if std::env::var_os("LOCKILLER_TRACE").is_some() {
+        if self.dbg_trace {
             eprintln!("[{t}] notice {n:?}");
         }
         match n {

@@ -1,0 +1,172 @@
+//! The guest execution seam: how the engine drives a simulated thread.
+//!
+//! A [`GuestExec`] is a *resumable* guest: the engine hands it the
+//! response to its previous operation and gets the next operation back,
+//! synchronously, on the engine's own thread. The poll-style contract
+//! replaces the original mpsc rendezvous (one OS context switch per
+//! simulated guest step) while keeping the simulation bit-identical —
+//! the engine calls [`GuestExec::resume`] at exactly the points where it
+//! used to block on a channel, so event order, state fingerprints, and
+//! every `RunStats` digest are unchanged.
+//!
+//! Two backends implement the trait:
+//!
+//! - [`ThreadGuest`] — the compatibility backend: the guest `Program`
+//!   still runs as a Rust closure on an OS thread, and `resume` performs
+//!   the old send/recv rendezvous against it. Any `Program` works here.
+//! - `guestvm::GuestVm` (separate crate) — the in-process VM: guest
+//!   kernels compile to a compact op-stream bytecode and `resume` is a
+//!   plain function call into a state machine. Programs opt in by
+//!   returning a VM from [`crate::Program::guest_exec`].
+//!
+//! [`Backend`] selects between them on [`crate::Runner`].
+
+use crate::guest::{GuestOp, GuestResp};
+use sim_core::rng::SimRng;
+use sim_core::types::Addr;
+use std::sync::mpsc::{Receiver, Sender};
+
+/// Which guest execution core a [`crate::Runner`] drives.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// OS-thread rendezvous (the compatibility backend): every
+    /// [`crate::Program`] works, at the cost of a real context switch
+    /// per simulated guest step.
+    #[default]
+    Threads,
+    /// In-process resumable VM: requires the program to provide a
+    /// [`GuestExec`] via [`crate::Program::guest_exec`]. Bit-identical
+    /// to [`Backend::Threads`] on the same kernel, orders of magnitude
+    /// faster on the host.
+    Vm,
+}
+
+impl Backend {
+    /// Stable lowercase name (used in `BENCH_engine.json` and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Threads => "threads",
+            Backend::Vm => "vm",
+        }
+    }
+
+    /// Parse a CLI/JSON backend name.
+    pub fn from_name(s: &str) -> Option<Backend> {
+        match s.to_ascii_lowercase().as_str() {
+            "threads" | "thread" | "rendezvous" => Some(Backend::Threads),
+            "vm" | "guestvm" => Some(Backend::Vm),
+            _ => None,
+        }
+    }
+}
+
+/// Everything a guest needs to construct its execution state for one
+/// simulated thread; handed to [`crate::Program::guest_exec`] by the
+/// runner (the single guest-construction entry point).
+#[derive(Clone, Debug)]
+pub struct GuestEnv {
+    /// Simulated thread id (== core id).
+    pub tid: usize,
+    /// Total simulated threads in the run.
+    pub threads: usize,
+    /// Per-thread deterministic RNG (forked from the run seed exactly
+    /// like the thread backend's `GuestCtx.rng`).
+    pub rng: SimRng,
+    /// Guest-side runtime policy (retry budget, fallback kind, CGL).
+    pub policy: crate::guest::GuestPolicy,
+    /// Address of the global fallback/CGL lock word.
+    pub lock_addr: Addr,
+}
+
+/// Opaque saved guest state for backends that support cheap
+/// checkpointing (see [`GuestExec::snapshot`]).
+pub struct GuestSnapshot(pub Box<dyn std::any::Any + Send>);
+
+/// A resumable guest: the engine's view of one simulated thread.
+///
+/// ## Contract
+///
+/// The engine calls [`GuestExec::resume`] exactly once per `Recv`
+/// rendezvous point. The **first** call carries a synthetic
+/// [`GuestResp::Done`] kick (there is no previous operation to answer);
+/// every later call carries the response to the operation returned by
+/// the previous call. After the guest returns [`GuestOp::Exit`] the
+/// engine never calls `resume` again.
+///
+/// Guests execute in zero simulated time: all host-side work inside
+/// `resume` happens "between cycles" and must be deterministic — the
+/// returned op may depend only on the response history and the guest's
+/// own state.
+///
+/// Dropping a `GuestExec` releases it: an abandoned run (deadlock /
+/// cycle budget) simply drops the boxes, which for [`ThreadGuest`]
+/// closes the rendezvous channels and unblocks the OS thread.
+pub trait GuestExec {
+    /// Deliver `resp` and return the guest's next operation.
+    fn resume(&mut self, resp: GuestResp) -> GuestOp;
+
+    /// Capture the guest's complete execution state, if the backend
+    /// supports cheap checkpointing (the VM does; the thread backend
+    /// cannot — an OS thread's stack is not capturable in safe Rust).
+    fn snapshot(&self) -> Option<GuestSnapshot> {
+        None
+    }
+
+    /// Restore state captured by [`GuestExec::snapshot`] on the same
+    /// guest. Returns `false` (state unchanged) if the snapshot is not
+    /// one of this guest's or the backend has no checkpoint support.
+    fn restore(&mut self, snap: &GuestSnapshot) -> bool {
+        let _ = snap;
+        false
+    }
+}
+
+/// Compatibility backend: the engine-side half of the OS-thread
+/// rendezvous. The guest `Program` runs on its own thread against a
+/// `GuestCtx`; this adapter turns the engine's poll into the historical
+/// send-response / receive-op pair.
+pub struct ThreadGuest {
+    to_guest: Sender<GuestResp>,
+    from_guest: Receiver<GuestOp>,
+    core: usize,
+    started: bool,
+}
+
+impl ThreadGuest {
+    /// Wrap the engine-side channel endpoints for `core`.
+    pub fn new(core: usize, to_guest: Sender<GuestResp>, from_guest: Receiver<GuestOp>) -> Self {
+        ThreadGuest {
+            to_guest,
+            from_guest,
+            core,
+            started: false,
+        }
+    }
+
+    fn recv(&self) -> GuestOp {
+        if let Ok(secs) = std::env::var("LOCKILLER_WALL_TIMEOUT") {
+            let dur = std::time::Duration::from_secs(secs.parse().unwrap_or(30));
+            match self.from_guest.recv_timeout(dur) {
+                Ok(op) => op,
+                Err(e) => panic!("guest {} unresponsive ({e:?}) — lost response?", self.core),
+            }
+        } else {
+            self.from_guest
+                .recv()
+                .expect("guest thread terminated without Exit")
+        }
+    }
+}
+
+impl GuestExec for ThreadGuest {
+    fn resume(&mut self, resp: GuestResp) -> GuestOp {
+        if self.started {
+            self.to_guest.send(resp).expect("guest thread died");
+        } else {
+            // First poll: the guest thread is already running toward its
+            // first op; the synthetic kick is swallowed here.
+            self.started = true;
+        }
+        self.recv()
+    }
+}

@@ -1,9 +1,12 @@
 //! Guest-program API and the transactional runtime (Listings 1 and 2 of
 //! the paper).
 //!
-//! A guest program runs on its own OS thread and talks to the engine in
-//! strict rendezvous: every operation blocks until the engine delivers the
-//! response at the correct simulated cycle. [`GuestCtx::critical`]
+//! Under the thread backend ([`crate::exec::Backend::Threads`]) a guest
+//! program runs on its own OS thread and talks to the engine in strict
+//! rendezvous: every operation blocks until the engine delivers the
+//! response at the correct simulated cycle. (The VM backend replays the
+//! exact same protocol as an in-process state machine — `guestvm`
+//! mirrors [`GuestCtx::critical`] op for op.) [`GuestCtx::critical`]
 //! implements `lock_acquire_elided`/`lock_release_elided`:
 //!
 //! - **CGL**: plain spin-lock critical section, no speculation;
@@ -27,15 +30,26 @@ use sim_core::stats::AbortCause;
 use sim_core::types::Addr;
 use std::sync::mpsc::{Receiver, Sender};
 
-/// `_ttest` return value in STL mode (agreed constant, §III-C).
-pub const TTEST_STL: u64 = 0x0FFF_FFFF;
-/// `_ttest` return value in TL mode.
-pub const TTEST_TL: u64 = 0x1FFF_FFFF;
-/// `_ttest` return value inside a plain HTM transaction (nesting depth 1).
-pub const TTEST_HTM: u64 = 1;
+/// `_ttest` return values (Listing 2 dispatch), namespaced so new modes
+/// can be added without colliding with downstream constants.
+pub struct TTest;
+
+impl TTest {
+    /// `_ttest` return value in STL mode (agreed constant, §III-C).
+    pub const STL: u64 = 0x0FFF_FFFF;
+    /// `_ttest` return value in TL mode.
+    pub const TL: u64 = 0x1FFF_FFFF;
+    /// `_ttest` return value inside a plain HTM transaction (nesting
+    /// depth 1).
+    pub const HTM: u64 = 1;
+}
 
 /// Operations a guest sends to the engine.
+///
+/// Non-exhaustive: the VM backend may grow ops without breaking
+/// downstream crates; match with a wildcard arm.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum GuestOp {
     /// `n` non-memory instructions.
     Compute(u64),
@@ -68,7 +82,10 @@ pub enum GuestOp {
 }
 
 /// Engine responses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Non-exhaustive for the same reason as [`GuestOp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub enum GuestResp {
     Done,
     Value(u64),
@@ -313,7 +330,7 @@ impl GuestCtx {
                 // lock_release_elided (Listing 2): dispatch on _ttest.
                 match self.op(GuestOp::TTest) {
                     GuestResp::Aborted(c) => Err(HtmFail::Abort(c)),
-                    GuestResp::Value(TTEST_STL) => {
+                    GuestResp::Value(TTest::STL) => {
                         // Switched transaction: hlend, no lock to release.
                         self.op_infallible(GuestOp::HlEnd);
                         Ok(v)

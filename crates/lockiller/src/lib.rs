@@ -18,11 +18,15 @@
 //! chosen system and returns a [`runner::RunOutput`] (statistics, final
 //! memory image, optional event trace).
 //!
-//! Guest programs run on OS threads in strict rendezvous lockstep with the
-//! single-threaded discrete-event engine, which makes every simulation
-//! bit-deterministic.
+//! Guest programs execute behind the [`exec::GuestExec`] seam: either on
+//! OS threads in strict rendezvous lockstep with the single-threaded
+//! discrete-event engine ([`exec::Backend::Threads`]), or as in-process
+//! resumable state machines (`guestvm`, [`exec::Backend::Vm`]). Both
+//! backends are bit-identical by construction — every simulation is
+//! bit-deterministic either way.
 
 pub mod engine;
+pub mod exec;
 pub mod flatmem;
 pub mod guest;
 pub mod program;
@@ -31,8 +35,9 @@ pub mod sched;
 pub mod system;
 pub mod trace;
 
+pub use exec::{Backend, GuestEnv, GuestExec, GuestSnapshot, ThreadGuest};
 pub use flatmem::{FlatMem, SetupCtx};
-pub use guest::{Abort, GuestCtx, TxCtx};
+pub use guest::{Abort, GuestCtx, GuestOp, GuestResp, TTest, TxCtx};
 pub use program::Program;
 pub use runner::{RunOutput, Runner};
 pub use sched::{EvClass, EvDesc, RunEnd, Scheduler, StaticIndependence};

@@ -1,6 +1,7 @@
 //! The workload interface: a `Program` is a multi-threaded guest
 //! application (e.g., one STAMP benchmark with fixed inputs).
 
+use crate::exec::{GuestEnv, GuestExec};
 use crate::flatmem::{FlatMem, SetupCtx};
 use crate::guest::GuestCtx;
 
@@ -20,6 +21,17 @@ pub trait Program: Sync {
 
     /// Thread body; `ctx.tid` identifies the simulated thread.
     fn run(&self, ctx: &mut GuestCtx);
+
+    /// Construct an in-process resumable guest for one simulated thread
+    /// (the VM backend, [`crate::Backend::Vm`]). Returning `None` (the
+    /// default) means the program only supports the OS-thread backend;
+    /// programs whose kernels compile to `guestvm` bytecode return a VM
+    /// here and become runnable on either backend with bit-identical
+    /// results. Called after [`Program::setup`], once per thread.
+    fn guest_exec(&self, env: GuestEnv) -> Option<Box<dyn GuestExec + '_>> {
+        let _ = env;
+        None
+    }
 
     /// Post-run invariant check on the final memory image.
     fn validate(&self, mem: &FlatMem) -> Result<(), String> {

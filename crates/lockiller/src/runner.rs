@@ -4,16 +4,19 @@
 //! [`Runner::run`] is the single entry point: it always returns the
 //! statistics, the final memory image, and — when tracing was requested
 //! via [`Runner::tracing`] or checked mode — the structured event trace.
-//! Nothing in this repository calls the deprecated `run_traced` /
-//! `run_raw` / `run_traced_raw` shims any more (CI builds with
-//! `-D deprecated` to keep it that way); they will be removed next
-//! release.
+//! [`Runner::backend`] selects the guest execution core: the OS-thread
+//! rendezvous (default, works for every [`Program`]) or the in-process
+//! resumable VM ([`crate::Backend::Vm`], for programs that provide a
+//! [`crate::GuestExec`] through [`Program::guest_exec`]). All guest
+//! construction funnels through that one `GuestExec`-aware seam — there
+//! is no ad-hoc channel plumbing at call sites.
 //!
 //! `Runner` is plain data (`Send`), so batch executors like
 //! `lockiller_bench::tmlab` can build one per worker thread and fan
 //! simulation points out across host cores.
 
 use crate::engine::Engine;
+use crate::exec::{Backend, GuestEnv, ThreadGuest};
 use crate::flatmem::{FlatMem, SetupCtx};
 use crate::guest::{GuestCtx, GuestPolicy};
 use crate::program::Program;
@@ -24,7 +27,7 @@ use sim_core::config::{PolicyConfig, SystemConfig};
 use sim_core::obs::ObsHandle;
 use sim_core::rng::SimRng;
 use sim_core::stats::RunStats;
-use sim_core::types::Cycle;
+use sim_core::types::{Addr, Cycle};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::channel;
@@ -81,6 +84,7 @@ pub struct Runner {
     max_cycles: Option<Cycle>,
     tracing: bool,
     obs: Option<ObsHandle>,
+    backend: Backend,
 }
 
 impl Runner {
@@ -96,7 +100,17 @@ impl Runner {
             max_cycles: None,
             tracing: false,
             obs: None,
+            backend: Backend::default(),
         }
+    }
+
+    /// Select the guest execution core (see [`crate::exec`]). The
+    /// default [`Backend::Threads`] runs any [`Program`];
+    /// [`Backend::Vm`] requires the program to provide a VM guest via
+    /// [`Program::guest_exec`] and panics otherwise.
+    pub fn backend(mut self, b: Backend) -> Runner {
+        self.backend = b;
+        self
     }
 
     /// Attach an observability sink (span tracing + periodic metric
@@ -218,36 +232,6 @@ impl Runner {
         out
     }
 
-    /// Run with tracing enabled, returning the event trace too.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run` (with `.tracing()`); it returns a RunOutput"
-    )]
-    pub fn run_traced<P: Program>(&self, prog: &mut P) -> (RunStats, Vec<TraceEvent>) {
-        let mut out = self.clone().tracing().run_full(prog);
-        let trace = out.take_trace_events();
-        (out.stats, trace)
-    }
-
-    /// Run and return both the statistics and the final memory image.
-    #[deprecated(since = "0.2.0", note = "use `run`; it returns a RunOutput")]
-    pub fn run_raw<P: Program>(&self, prog: &mut P) -> (RunStats, FlatMem) {
-        let out = self.run_full(prog);
-        (out.stats, out.mem)
-    }
-
-    /// Run with tracing enabled, returning statistics, the final memory
-    /// image, and the event trace; no validation happens here.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run` (with `.tracing()`); it returns a RunOutput"
-    )]
-    pub fn run_traced_raw<P: Program>(&self, prog: &mut P) -> (RunStats, FlatMem, Vec<TraceEvent>) {
-        let mut out = self.clone().tracing().run_full(prog);
-        let trace = out.take_trace_events();
-        (out.stats, out.mem, trace)
-    }
-
     fn run_full<P: Program>(&self, prog: &mut P) -> RunOutput {
         self.run_inner(prog, None)
     }
@@ -294,12 +278,46 @@ impl Runner {
             fallback_on_capacity: cfg.policy.fallback_on_capacity,
         };
 
+        let end = match self.backend {
+            Backend::Threads => self.drive_threads(prog, &mut engine, sched, gpolicy, lock_addr),
+            Backend::Vm => self.drive_vm(prog, &mut engine, sched, gpolicy, lock_addr),
+        };
+
+        let trace = traced.then(|| std::mem::take(&mut engine.trace));
+        let (mut stats, mem) = engine.into_stats();
+        if let Some(t) = &trace {
+            // `into_stats` read the drop counter from the (already taken)
+            // engine-side trace; restore it from the real one.
+            stats.trace_dropped = t.dropped();
+        }
+        RunOutput {
+            stats,
+            trace,
+            mem,
+            end,
+        }
+    }
+
+    /// Thread backend: spawn one OS thread per guest running the
+    /// program body against a [`GuestCtx`], with [`ThreadGuest`]
+    /// adapters registered engine-side. Guests whose run ends early
+    /// (deadlock / cycle budget) panic on their closed rendezvous
+    /// channels; the `abandoned` flag marks those panics as expected so
+    /// the scope doesn't re-raise them.
+    fn drive_threads<'g, P: Program>(
+        &self,
+        prog: &'g P,
+        engine: &mut Engine<'g>,
+        sched: Option<&mut dyn Scheduler>,
+        gpolicy: GuestPolicy,
+        lock_addr: Addr,
+    ) -> RunEnd {
         let mut base_rng = SimRng::new(self.seed);
         let mut guests = Vec::with_capacity(self.threads);
         for tid in 0..self.threads {
             let (op_tx, op_rx) = channel();
             let (resp_tx, resp_rx) = channel();
-            engine.register(tid, resp_tx, op_rx);
+            engine.register(tid, Box::new(ThreadGuest::new(tid, resp_tx, op_rx)));
             guests.push(GuestCtx::new(
                 tid,
                 self.threads,
@@ -310,12 +328,8 @@ impl Runner {
                 resp_rx,
             ));
         }
-
-        // Guests whose run ends early (deadlock / cycle budget) panic on
-        // their closed rendezvous channels; the `abandoned` flag marks
-        // those panics as expected so the scope doesn't re-raise them.
         let abandoned = AtomicBool::new(false);
-        let end = std::thread::scope(|s| {
+        std::thread::scope(|s| {
             for mut g in guests {
                 let p: &P = prog;
                 let ab = &abandoned;
@@ -339,21 +353,39 @@ impl Runner {
                 engine.release_guests();
             }
             end
-        });
+        })
+    }
 
-        let trace = traced.then(|| std::mem::take(&mut engine.trace));
-        let (mut stats, mem) = engine.into_stats();
-        if let Some(t) = &trace {
-            // `into_stats` read the drop counter from the (already taken)
-            // engine-side trace; restore it from the real one.
-            stats.trace_dropped = t.dropped();
+    /// VM backend: every guest is an in-process resumable state machine
+    /// obtained from [`Program::guest_exec`] — no OS threads, no
+    /// channels, and nothing to abandon on early termination.
+    fn drive_vm<'g, P: Program>(
+        &self,
+        prog: &'g P,
+        engine: &mut Engine<'g>,
+        sched: Option<&mut dyn Scheduler>,
+        gpolicy: GuestPolicy,
+        lock_addr: Addr,
+    ) -> RunEnd {
+        let mut base_rng = SimRng::new(self.seed);
+        for tid in 0..self.threads {
+            let env = GuestEnv {
+                tid,
+                threads: self.threads,
+                rng: base_rng.fork(tid as u64),
+                policy: gpolicy,
+                lock_addr,
+            };
+            let exec = prog.guest_exec(env).unwrap_or_else(|| {
+                panic!(
+                    "program '{}' provides no VM guest (Program::guest_exec \
+                     returned None); run it with Backend::Threads",
+                    prog.name()
+                )
+            });
+            engine.register(tid, exec);
         }
-        RunOutput {
-            stats,
-            trace,
-            mem,
-            end,
-        }
+        engine.run_with(sched)
     }
 }
 

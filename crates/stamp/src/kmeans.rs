@@ -104,6 +104,93 @@ impl Kmeans {
     fn accum_addr(&self, c: usize) -> Addr {
         self.accum.add(c as u64 * self.accum_stride)
     }
+
+    /// Compile thread `tid`'s body to `guestvm` bytecode: a fully
+    /// unrolled, op-for-op mirror of [`Kmeans::run`] (addresses are
+    /// constants per thread, so every point/cluster iteration becomes
+    /// straight-line code with one branch per best-center update and one
+    /// per `n > 0` recompute guard). The emitted `GuestOp` stream is
+    /// bit-identical to the hand-written body: same loads in the same
+    /// order, same `compute(4)` per cluster, same critical-section shape.
+    ///
+    /// All values in flight are non-negative and far below `i64::MAX`,
+    /// so the VM's wrapping-`u64` arithmetic reproduces the hand-written
+    /// `i64` math exactly: `(x - cv)^2` survives the round-trip through
+    /// two's-complement, and unsigned `<`, `/` agree with signed.
+    fn compile(&self, tid: usize) -> guestvm::Kernel {
+        use guestvm::{BinOp, Cond, KernelBuilder};
+        let dims = self.dims;
+        // r0 scratch address; r1..=r{dims} the current point's coords;
+        // then best-distance, best-accumulator address, distance, two
+        // scratch values, a zero, and a second address register.
+        let r_addr: u8 = 0;
+        let coord = |d: usize| (1 + d) as u8;
+        let rb = (1 + dims) as u8;
+        let (r_bd, r_acc, r_dist, r_a, r_b, r_zero, r_caddr) =
+            (rb, rb + 1, rb + 2, rb + 3, rb + 4, rb + 5, rb + 6);
+        let mut b = KernelBuilder::new(format!("kmeans[{tid}]"), dims + 8);
+        let per = self.npoints / self.threads;
+        let (lo, hi) = (tid * per, tid * per + per);
+        for _round in 0..self.rounds {
+            for i in lo..hi {
+                for d in 0..dims {
+                    b.imm(r_addr, self.point_addr(i).add(d as u64).0)
+                        .load(coord(d), r_addr, 0);
+                }
+                b.imm(r_bd, i64::MAX as u64);
+                b.imm(r_acc, self.accum_addr(0).0);
+                for c in 0..self.clusters {
+                    b.imm(r_dist, 0);
+                    for d in 0..dims {
+                        b.imm(r_addr, self.center_addr(c, d).0).load(r_b, r_addr, 0);
+                        b.bin(BinOp::Sub, r_a, coord(d), r_b);
+                        b.bin(BinOp::Mul, r_a, r_a, r_a);
+                        b.bin(BinOp::Add, r_dist, r_dist, r_a);
+                    }
+                    b.compute(4);
+                    let skip = b.label();
+                    b.br(Cond::Ge, r_dist, r_bd, skip);
+                    b.mov(r_bd, r_dist);
+                    b.imm(r_acc, self.accum_addr(c).0);
+                    b.bind(skip);
+                }
+                b.crit_begin();
+                b.load(r_a, r_acc, 0);
+                b.bini(BinOp::Add, r_a, r_a, 1);
+                b.store(r_acc, 0, r_a);
+                for d in 0..dims {
+                    b.load(r_a, r_acc, 1 + d as u64);
+                    b.bin(BinOp::Add, r_a, r_a, coord(d));
+                    b.store(r_acc, 1 + d as u64, r_a);
+                }
+                b.crit_end();
+            }
+            b.barrier();
+            let mut c = tid;
+            while c < self.clusters {
+                b.imm(r_addr, self.accum_addr(c).0);
+                b.load(r_b, r_addr, 0); // n
+                b.imm(r_zero, 0);
+                let skip = b.label();
+                b.br(Cond::Eq, r_b, r_zero, skip);
+                for d in 0..dims {
+                    b.load(r_a, r_addr, 1 + d as u64);
+                    b.bin(BinOp::Div, r_a, r_a, r_b);
+                    b.imm(r_caddr, self.center_addr(c, d).0);
+                    b.store(r_caddr, 0, r_a);
+                }
+                b.bind(skip);
+                b.imm(r_zero, 0);
+                for w in 0..(1 + dims as u64) {
+                    b.store(r_addr, w, r_zero);
+                }
+                c += self.threads;
+            }
+            b.barrier();
+        }
+        b.halt();
+        b.build()
+    }
 }
 
 impl Program for Kmeans {
@@ -202,6 +289,13 @@ impl Program for Kmeans {
             }
             ctx.barrier();
         }
+    }
+
+    fn guest_exec(&self, env: lockiller::GuestEnv) -> Option<Box<dyn lockiller::GuestExec + '_>> {
+        Some(guestvm::GuestVm::boxed(
+            std::sync::Arc::new(self.compile(env.tid)),
+            &env,
+        ))
     }
 
     fn validate(&self, mem: &FlatMem) -> Result<(), String> {

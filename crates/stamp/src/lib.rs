@@ -20,6 +20,7 @@ pub mod kmeans;
 pub mod labyrinth;
 pub mod ssca2;
 pub mod vacation;
+pub mod vm;
 pub mod yada;
 
 use lockiller::flatmem::{FlatMem, SetupCtx};
@@ -147,6 +148,10 @@ impl Program for Workload {
 
     fn run(&self, ctx: &mut GuestCtx) {
         self.inner.run(ctx);
+    }
+
+    fn guest_exec(&self, env: lockiller::GuestEnv) -> Option<Box<dyn lockiller::GuestExec + '_>> {
+        self.inner.guest_exec(env)
     }
 
     fn validate(&self, mem: &FlatMem) -> Result<(), String> {

@@ -47,7 +47,7 @@
 
 use crate::progs::{ProgSpec, SpecProgram};
 use crate::shrink;
-use lockiller::{EvDesc, RunEnd, Runner, Scheduler, StaticIndependence, SystemKind};
+use lockiller::{Backend, EvDesc, RunEnd, Runner, Scheduler, StaticIndependence, SystemKind};
 use sim_core::config::{CheckCfg, FaultInject, RejectAction, SystemConfig, SystemConfigBuilder};
 use sim_core::fxhash::{FxHashMap, FxHasher};
 use sim_core::types::Cycle;
@@ -133,6 +133,12 @@ pub struct Explorer {
     /// fault injection is active — injected faults break the analysis
     /// premises (see [`StaticIndependence`] docs).
     pub prune: Option<StaticIndependence>,
+    /// Guest execution core for every explored run. Both backends are
+    /// bit-identical (same decisions, fingerprints, and report digest —
+    /// asserted by the differential tests); [`Backend::Vm`] avoids two
+    /// OS context switches per simulated guest op, which multiplies
+    /// across the thousands of runs an exploration executes.
+    pub backend: Backend,
 }
 
 impl Explorer {
@@ -151,6 +157,7 @@ impl Explorer {
             state_dedup: true,
             shrink_budget: 200,
             prune: None,
+            backend: Backend::Threads,
         }
     }
 
@@ -192,6 +199,7 @@ impl Explorer {
             .config(self.config())
             .policy(policy)
             .max_cycles(self.max_cycles)
+            .backend(self.backend)
             .seed(0);
         if let Some(n) = self.retries {
             r = r.retries(n);

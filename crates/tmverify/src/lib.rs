@@ -22,8 +22,12 @@
 //! ```
 
 pub mod dpor;
-pub mod progs;
 pub mod shrink;
+
+/// The guest-program corpus (`ProgSpec` DSL + `SpecProgram`): moved to
+/// the `guestvm` crate so kernels compile to the VM backend, re-exported
+/// under its historical path for `tmstatic`/`tmlab` and the CLI.
+pub use guestvm::spec as progs;
 
 pub use dpor::{ExploreReport, Explorer};
 pub use progs::{Op, ProgSpec, Segment, SpecProgram};
