@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [--quick] [--verbose] [--jobs N] [--no-cache]
 //!             [--cache FILE] [--csv FILE] [--bench-json FILE]
-//!             [--backend threads|vm]
+//!             [--backend threads|vm] [--no-profile]
 //!             [table1|table2|fig1|fig7..fig13|headline|ablation|characterize|forensics|verify|engine|all]
 //! ```
 //!
@@ -15,6 +15,11 @@
 //! in-process guest VM instead of the OS-thread rendezvous; simulated
 //! results are bit-identical, only host metrics move (the CI
 //! `guestvm-smoke` job relies on this).
+//!
+//! `--no-profile` drops the `tmprof` engine scope profiler from the
+//! `engine` battery: points lose their `host.phases` attribution block
+//! but simulate identically — another leaves-must-not-move axis the CI
+//! `engine-perf-smoke` gate checks at 0% tolerance.
 //!
 //! `--jobs N` (or `LOCKILLER_JOBS=N`) fans simulation points across N
 //! host threads; results are byte-identical for every N. Completed
@@ -33,6 +38,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let verbose = args.iter().any(|a| a == "--verbose");
     let no_cache = args.iter().any(|a| a == "--no-cache");
+    let profile = !args.iter().any(|a| a == "--no-profile");
     let flag_value = |name: &str| {
         args.iter()
             .position(|a| a == name)
@@ -149,6 +155,7 @@ fn main() {
                     &mut lab,
                     quick,
                     backend,
+                    profile,
                     std::path::Path::new("BENCH_engine.json"),
                 )
                 .expect("write engine json");
@@ -177,6 +184,7 @@ fn main() {
                     &mut lab,
                     quick,
                     backend,
+                    profile,
                     std::path::Path::new("BENCH_engine.json"),
                 )
                 .expect("write engine json");

@@ -9,8 +9,12 @@
 //!   pure functions of (system, workload, threads, config, seed) and
 //!   must be byte-identical on every machine — the gate runs them at 0%
 //!   tolerance by default.
-//! - `host`: wall-clock, simulated-cycles/sec, commits/sec, and host-ns
-//!   per simulated cycle. Machine-dependent; `perf-diff` reports them
+//! - `host`: wall-clock, simulated-cycles/sec, commits/sec, host-ns
+//!   per simulated cycle, and (unless `--no-profile`) a `phases` object
+//!   of per-phase self-time shares from the engine's `tmprof` scope
+//!   profile (`sim_core::prof`) — shares sum to 1.0, so `tmtrace
+//!   perf-diff --top-phases` can attribute a host regression to the
+//!   phase that moved. Machine-dependent; `perf-diff` reports them
 //!   without gating unless `--host-tolerance` is given.
 //!
 //! The battery re-runs its first point and asserts the latency
@@ -37,6 +41,7 @@ use lockiller::program::Program;
 use lockiller::system::SystemKind;
 use lockiller::{Backend, Runner};
 use sim_core::latency::{LatencyHist, TxnClass};
+use sim_core::prof::ProfReport;
 use sim_core::stats::RunStats;
 use stamp::{Scale, Workload, WorkloadKind};
 use std::io::Write;
@@ -88,29 +93,49 @@ fn vm_capable(w: WorkloadKind) -> bool {
 
 /// The same call the lab executor makes for a cache miss, run inline so
 /// the point's wall-clock is attributable to exactly one simulation.
-fn run_point(p: &Point, scale: Scale, backend: Backend) -> RunStats {
+/// With `profile` the engine's `tmprof` scope profiler rides along; the
+/// stats are byte-identical either way (the determinism self-check in
+/// [`run`] re-runs the first point unprofiled and asserts exactly that).
+fn run_point(
+    p: &Point,
+    scale: Scale,
+    backend: Backend,
+    profile: bool,
+) -> (RunStats, Option<ProfReport>) {
     let mut prog = Workload::with_scale(p.workload, p.threads, scale);
-    Runner::new(p.system)
+    let mut runner = Runner::new(p.system)
         .threads(p.threads)
         .config(p.cfg.config())
         .seed(SEED)
-        .backend(backend)
-        .run(&mut prog)
-        .stats
+        .backend(backend);
+    if profile {
+        runner = runner.profile();
+    }
+    let mut out = runner.run(&mut prog);
+    let prof = out.host_prof.take();
+    (out.stats, prof)
 }
 
 /// Run any program at a ladder point's settings under `backend`,
-/// returning (stats, wall-clock ms).
-fn timed_run<P: Program>(p: &Point, prog: &mut P, backend: Backend) -> (RunStats, f64) {
+/// returning (stats, wall-clock ms, host profile).
+fn timed_run<P: Program>(
+    p: &Point,
+    prog: &mut P,
+    backend: Backend,
+    profile: bool,
+) -> (RunStats, f64, Option<ProfReport>) {
     let t0 = std::time::Instant::now();
-    let stats = Runner::new(p.system)
+    let mut runner = Runner::new(p.system)
         .threads(p.threads)
         .config(p.cfg.config())
         .seed(SEED)
-        .backend(backend)
-        .run(prog)
-        .stats;
-    (stats, t0.elapsed().as_secs_f64() * 1e3)
+        .backend(backend);
+    if profile {
+        runner = runner.profile();
+    }
+    let mut out = runner.run(prog);
+    let prof = out.host_prof.take();
+    (out.stats, t0.elapsed().as_secs_f64() * 1e3, prof)
 }
 
 fn hist_json(h: &LatencyHist) -> String {
@@ -124,14 +149,38 @@ fn hist_json(h: &LatencyHist) -> String {
     )
 }
 
+/// The `"phases"` object of a point's host block: per-phase self-time
+/// shares of the engine's scope profile, keyed by full scope path.
+/// Phase paths contain only `[a-z_;]`, so no JSON escaping is needed.
+/// Emitted at 4 decimals; with ~a dozen phases the rounding error keeps
+/// the sum within 1.0 ± 0.001, inside the gate's ± 0.01 bar.
+fn phases_json(report: &ProfReport) -> String {
+    let mut out = String::from("{");
+    for (i, (path, share)) in tmobs::phase_shares(report).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{path}\":{share:.4}"));
+    }
+    out.push('}');
+    out
+}
+
+/// Machine-dependent inputs to a point's `host` block, as opposed to
+/// the deterministic [`RunStats`] they ride alongside.
+struct HostSide<'a> {
+    wall_ms: f64,
+    backend: Backend,
+    speedup_vs_threads: Option<f64>,
+    prof: Option<&'a ProfReport>,
+}
+
 fn point_json(
     system: &str,
     workload: &str,
     threads: usize,
     stats: &RunStats,
-    wall_ms: f64,
-    backend: Backend,
-    speedup_vs_threads: Option<f64>,
+    host: HostSide<'_>,
 ) -> String {
     let mut latency = String::from("{");
     for c in TxnClass::ALL {
@@ -147,6 +196,7 @@ fn point_json(
         hist_json(&stats.latency.fallback_hold),
         hist_json(&stats.latency.first_abort)
     ));
+    let wall_ms = host.wall_ms;
     let wall_s = wall_ms / 1e3;
     let per_sec = |n: u64| if wall_s > 0.0 { n as f64 / wall_s } else { 0.0 };
     let ns_per_cycle = if stats.cycles == 0 {
@@ -157,8 +207,13 @@ fn point_json(
     // Host block: machine-dependent, never gated at 0%. `backend` is
     // identity metadata (a string, invisible to the diff flattener);
     // `speedup_vs_threads` only appears on VM comparison rows.
-    let speedup = speedup_vs_threads
+    let speedup = host
+        .speedup_vs_threads
         .map(|s| format!(",\"speedup_vs_threads\":{s:.2}"))
+        .unwrap_or_default();
+    let phases = host
+        .prof
+        .map(|r| format!(",\"phases\":{}", phases_json(r)))
         .unwrap_or_default();
     format!(
         "  {{\"system\":\"{system}\",\"workload\":\"{workload}\",\"threads\":{threads},\
@@ -167,7 +222,7 @@ fn point_json(
          \"event_queue_peak\":{},\"latency\":{latency}}},\
          \"host\":{{\"backend\":\"{}\",\"wall_ms\":{wall_ms:.3},\
          \"sim_cycles_per_sec\":{:.1},\
-         \"commits_per_sec\":{:.1},\"ns_per_cycle\":{ns_per_cycle:.3}{speedup}}}}}",
+         \"commits_per_sec\":{:.1},\"ns_per_cycle\":{ns_per_cycle:.3}{speedup}{phases}}}}}",
         stats.cycles,
         stats.commits,
         stats.stl_commits,
@@ -175,7 +230,7 @@ fn point_json(
         stats.total_aborts(),
         stats.events_processed,
         stats.event_queue_peak,
-        backend.name(),
+        host.backend.name(),
         per_sec(stats.cycles),
         per_sec(stats.commits),
     )
@@ -185,11 +240,22 @@ fn point_json(
 /// guest execution core for the main suite; points whose workload does
 /// not compile to bytecode always run on the thread backend, so
 /// `--backend vm` changes host metrics only — the deterministic leaves
-/// must be identical, which the CI `perf-diff` gate enforces. Panics if
-/// the engine loses determinism (latency histograms differ between
-/// identical runs, the lab executor disagrees with a direct run, or the
-/// two backends diverge).
-pub fn run(lab: &mut Lab, quick: bool, backend: Backend, path: &Path) -> std::io::Result<()> {
+/// must be identical, which the CI `perf-diff` gate enforces. `profile`
+/// (the default; `--no-profile` clears it) attaches the engine's scope
+/// profiler to every point and records per-phase self-time shares in
+/// each `host` block; because the profiler only reads the host clock,
+/// the deterministic leaves again must not move — the determinism
+/// self-check below re-runs the first point *unprofiled* and asserts
+/// byte-identical stats. Panics if the engine loses determinism (latency
+/// histograms differ between identical runs, the lab executor disagrees
+/// with a direct run, or the two backends diverge).
+pub fn run(
+    lab: &mut Lab,
+    quick: bool,
+    backend: Backend,
+    profile: bool,
+    path: &Path,
+) -> std::io::Result<()> {
     let points = suite(quick);
     let mut rows = Vec::new();
     let mut direct: Vec<RunStats> = Vec::new();
@@ -200,7 +266,7 @@ pub fn run(lab: &mut Lab, quick: bool, backend: Backend, path: &Path) -> std::io
             Backend::Threads
         };
         let t0 = std::time::Instant::now();
-        let stats = run_point(p, lab.scale(), be);
+        let (stats, prof) = run_point(p, lab.scale(), be, profile);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         assert!(stats.cycles > 0, "{p:?}: zero-cycle run");
         eprintln!(
@@ -218,9 +284,12 @@ pub fn run(lab: &mut Lab, quick: bool, backend: Backend, path: &Path) -> std::io
             p.workload.name(),
             p.threads,
             &stats,
-            wall_ms,
-            be,
-            None,
+            HostSide {
+                wall_ms,
+                backend: be,
+                speedup_vs_threads: None,
+                prof: prof.as_ref(),
+            },
         ));
         direct.push(stats);
     }
@@ -236,11 +305,12 @@ pub fn run(lab: &mut Lab, quick: bool, backend: Backend, path: &Path) -> std::io
             p: &Point,
             name: &str,
             mut mk: impl FnMut() -> P,
+            profile: bool,
             rows: &mut Vec<String>,
             best_speedup: &mut (f64, String),
         ) {
-            let (st, wall_t) = timed_run(p, &mut mk(), Backend::Threads);
-            let (sv, wall_v) = timed_run(p, &mut mk(), Backend::Vm);
+            let (st, wall_t, prof_t) = timed_run(p, &mut mk(), Backend::Threads, profile);
+            let (sv, wall_v, prof_v) = timed_run(p, &mut mk(), Backend::Vm, profile);
             assert_eq!(
                 st.to_json(),
                 sv.to_json(),
@@ -261,9 +331,12 @@ pub fn run(lab: &mut Lab, quick: bool, backend: Backend, path: &Path) -> std::io
                     name,
                     p.threads,
                     &st,
-                    wall_t,
-                    Backend::Threads,
-                    None,
+                    HostSide {
+                        wall_ms: wall_t,
+                        backend: Backend::Threads,
+                        speedup_vs_threads: None,
+                        prof: prof_t.as_ref(),
+                    },
                 ));
             }
             rows.push(point_json(
@@ -271,9 +344,12 @@ pub fn run(lab: &mut Lab, quick: bool, backend: Backend, path: &Path) -> std::io
                 name,
                 p.threads,
                 &sv,
-                wall_v,
-                Backend::Vm,
-                Some(speedup),
+                HostSide {
+                    wall_ms: wall_v,
+                    backend: Backend::Vm,
+                    speedup_vs_threads: Some(speedup),
+                    prof: prof_v.as_ref(),
+                },
             ));
             if speedup > best_speedup.0 {
                 *best_speedup = (speedup, format!("{}/{name}", p.system.name()));
@@ -287,6 +363,7 @@ pub fn run(lab: &mut Lab, quick: bool, backend: Backend, path: &Path) -> std::io
                     p,
                     w.name(),
                     || Workload::with_scale(w, t, scale),
+                    profile,
                     &mut rows,
                     &mut best_speedup,
                 );
@@ -305,6 +382,7 @@ pub fn run(lab: &mut Lab, quick: bool, backend: Backend, path: &Path) -> std::io
             &pf,
             "intruder-flow",
             || stamp::vm::IntruderFlow::new(scale, THREADS),
+            profile,
             &mut rows,
             &mut best_speedup,
         );
@@ -315,9 +393,12 @@ pub fn run(lab: &mut Lab, quick: bool, backend: Backend, path: &Path) -> std::io
     );
 
     // Determinism self-check: an identically-seeded re-run of the first
-    // point must reproduce the latency histograms byte for byte.
+    // point must reproduce the latency histograms byte for byte. The
+    // re-run is always *unprofiled*, so when the battery profiles (the
+    // default) this is also the zero-cost check: attaching the scope
+    // profiler must not move a single simulated bit.
     let (p0, s0) = (&points[0], &direct[0]);
-    let again = run_point(p0, lab.scale(), Backend::Threads);
+    let (again, _) = run_point(p0, lab.scale(), Backend::Threads, false);
     assert_eq!(
         s0.latency.to_json(),
         again.latency.to_json(),
@@ -341,13 +422,20 @@ pub fn run(lab: &mut Lab, quick: bool, backend: Backend, path: &Path) -> std::io
         );
     }
 
+    // Schema 2: points carry `host.phases` (absent under --no-profile).
+    // `tmtrace perf-diff` refuses to compare across schema versions, so
+    // bumping this forces a deliberate re-bless of ci/engine-baseline.json.
+    // `profiled` is a string so the diff flattener treats it as identity
+    // metadata, like `host.backend` — a profiled run gated against an
+    // unprofiled baseline must differ only in (report-only) host leaves.
     let mut f = std::fs::File::create(path)?;
     writeln!(
         f,
-        "{{\"schema\":1,\"quick\":{},\"threads\":{},\"determinism_checked\":true,\
-         \"points\":[\n{}\n]}}",
+        "{{\"schema\":2,\"quick\":{},\"threads\":{},\"profiled\":\"{}\",\
+         \"determinism_checked\":true,\"points\":[\n{}\n]}}",
         quick,
         THREADS,
+        profile,
         rows.join(",\n")
     )?;
     eprintln!("[engine perf report in {}]", path.display());
@@ -365,9 +453,14 @@ mod tests {
         let path = dir.join("BENCH_engine.json");
         // Tiny scale keeps the test cheap; the binary uses Small/Full.
         let mut lab = Lab::new(Scale::Tiny);
-        run(&mut lab, true, Backend::Threads, &path).unwrap();
+        run(&mut lab, true, Backend::Threads, true, &path).unwrap();
         let doc = std::fs::read_to_string(&path).unwrap();
         let v = tmobs::json::parse(&doc).expect("BENCH_engine.json parses");
+        assert_eq!(
+            v.get("schema").and_then(tmobs::json::Json::as_f64),
+            Some(2.0),
+            "host.phases rows are a schema-2 artifact"
+        );
         let pts = v.get("points").and_then(tmobs::json::Json::as_arr).unwrap();
         // 3 suite points + kmeans vm twin + intruder-flow on both backends.
         assert_eq!(pts.len(), 6, "quick suite is 6 points");
@@ -409,14 +502,40 @@ mod tests {
                     .unwrap()
                     > 0.0
             );
+            // Every profiled point attributes its host time to engine
+            // phases, and self-time shares partition the total.
+            let phases = host.get("phases").expect("host.phases present");
+            let shares: Vec<f64> = match phases {
+                tmobs::json::Json::Obj(fields) => fields
+                    .iter()
+                    .map(|(_, v)| v.as_f64().expect("share is a number"))
+                    .collect(),
+                other => panic!("host.phases is not an object: {other:?}"),
+            };
+            assert!(!shares.is_empty(), "empty phase profile");
+            let sum: f64 = shares.iter().sum();
+            assert!(
+                (sum - 1.0).abs() <= 0.01,
+                "phase shares sum to {sum}, not 1.0"
+            );
         }
         // The executor cross-check routed the suite through the lab.
         assert_eq!(lab.report().requested, 3);
-        // Same battery on the VM backend: deterministic leaves must not
-        // move (the CI guestvm-smoke gate runs this same comparison via
-        // `tmtrace perf-diff` at 0% tolerance).
+        // Same battery on the VM backend *without* profiling:
+        // deterministic leaves must move for neither the backend swap
+        // (the CI guestvm-smoke gate runs this same comparison via
+        // `tmtrace perf-diff` at 0% tolerance) nor the profiler opt-out
+        // (the engine-perf-smoke gate's zero-cost check) — the profiled
+        // and unprofiled batteries may differ only in host leaves.
         let vm_path = dir.join("BENCH_engine_vm.json");
-        run(&mut Lab::new(Scale::Tiny), true, Backend::Vm, &vm_path).unwrap();
+        run(
+            &mut Lab::new(Scale::Tiny),
+            true,
+            Backend::Vm,
+            false,
+            &vm_path,
+        )
+        .unwrap();
         let vm_doc = std::fs::read_to_string(&vm_path).unwrap();
         let deltas = tmobs::diff_docs(&doc, &vm_doc, 0.0).unwrap();
         let det: Vec<_> = deltas

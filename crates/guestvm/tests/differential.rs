@@ -216,3 +216,54 @@ fn vm_snapshot_restore_replays_identically() {
     assert_eq!(o3, o3b, "op stream after restore diverges");
     let _ = o1;
 }
+
+/// Attaching the `tmprof` host profiler must be invisible to the
+/// differential harness: on either backend a profiled run is
+/// byte-identical to an unprofiled one, and the two profiled backends
+/// still agree with each other — the profiler reads the host clock and
+/// nothing else.
+#[test]
+fn profiler_is_invisible_to_the_differential_harness() {
+    let spec = ProgSpec::parse("4/c:L0,S1;p:L2/c:S0,C5").expect("spec");
+    let threads = spec.num_threads();
+    for kind in SYSTEMS {
+        let run = |backend: Backend, profile: bool| {
+            let mut r = Runner::new(kind)
+                .threads(threads)
+                .config(SystemConfig::testing(threads.max(2)))
+                .tracing()
+                .backend(backend);
+            if profile {
+                r = r.profile();
+            }
+            let mut p = SpecProgram::new(spec.clone());
+            r.run(&mut p)
+        };
+        for backend in [Backend::Threads, Backend::Vm] {
+            let plain = run(backend, false);
+            let profiled = run(backend, true);
+            let label = format!("{} on {:?}", kind.name(), backend);
+            assert!(profiled.host_prof.is_some(), "no report: {label}");
+            assert_eq!(plain.stats, profiled.stats, "stats diverge: {label}");
+            assert_eq!(
+                plain.mem.digest(),
+                profiled.mem.digest(),
+                "memory images diverge: {label}"
+            );
+            assert_eq!(
+                plain.trace_events(),
+                profiled.trace_events(),
+                "event traces diverge: {label}"
+            );
+        }
+        let at = run(Backend::Threads, true);
+        let bv = run(Backend::Vm, true);
+        assert_eq!(
+            at.stats,
+            bv.stats,
+            "profiled backends diverge: {}",
+            kind.name()
+        );
+        assert_eq!(at.trace_events(), bv.trace_events());
+    }
+}

@@ -33,6 +33,7 @@ use sim_core::event::EventQueue;
 use sim_core::fxhash::{FxHashSet, FxHasher};
 use sim_core::latency::{TxnClass, TxnLifecycle};
 use sim_core::obs::{Metric, MetricSpec, ObsEvent, ObsHandle, SpanEnd, SpanKind, Track};
+use sim_core::prof::{HostProf, ProfPhase, ProfReport};
 use sim_core::stats::{AbortCause, Phase, PhaseTracker, RunStats};
 use sim_core::types::{Addr, CoreId, Cycle};
 use std::hash::{Hash, Hasher};
@@ -214,6 +215,13 @@ pub struct Engine<'g> {
     /// way.
     obs: Option<ObsHandle>,
     next_sample: Cycle,
+    /// Host-side self-profiler ([`Engine::enable_prof`]): `None` (the
+    /// default) is the unprofiled fast path — every scope site is one
+    /// `is_some()` branch, mirroring `obs`. The profiler only reads the
+    /// host clock and allocation counters; nothing it does feeds back
+    /// into the simulation, so cycles, stats, traces, and fingerprints
+    /// are byte-identical with it on or off.
+    prof: Option<HostProf>,
     /// Programmatic cycle budget ([`Engine::set_max_cycles`]): exceeding
     /// it ends the run with [`RunEnd::CycleLimit`] instead of panicking
     /// (the `LOCKILLER_MAX_CYCLES` env watchdog still panics).
@@ -225,6 +233,12 @@ pub struct Engine<'g> {
     /// `LOCKILLER_WATCH` watched address (`Some(0)` if unparseable),
     /// read once for the same reason as `dbg_trace`.
     dbg_watch: Option<u64>,
+    /// True while [`Engine::run_with`] is driven by a [`Scheduler`].
+    /// Only the scheduler's pick points read [`Engine::state_fingerprint`],
+    /// so the per-response `resp_hash` fold in `respond` is skipped on
+    /// plain runs — the `tmprof` stamp phase showed the hash as the
+    /// fold's only cost on the VM backend, where responses dominate.
+    fingerprinting: bool,
 }
 
 impl<'g> Engine<'g> {
@@ -257,11 +271,13 @@ impl<'g> Engine<'g> {
             trace: Trace::default(),
             obs: None,
             next_sample: 0,
+            prof: None,
             max_cycles: None,
             dbg_trace: std::env::var_os("LOCKILLER_TRACE").is_some(),
             dbg_watch: std::env::var("LOCKILLER_WATCH")
                 .ok()
                 .map(|w| w.parse().unwrap_or(0)),
+            fingerprinting: false,
             cfg,
         }
     }
@@ -280,6 +296,45 @@ impl<'g> Engine<'g> {
     pub fn set_obs(&mut self, obs: ObsHandle) {
         self.obs = Some(obs);
         self.ms.set_record_conflicts(true);
+    }
+
+    /// Start host-side self-profiling: the root `run` scope opens now,
+    /// and the hot loop attributes host time / allocations to phase
+    /// scopes until [`Engine::take_prof`].
+    pub fn enable_prof(&mut self) {
+        self.prof = Some(HostProf::start());
+    }
+
+    /// Close the profile and return its report (`None` if
+    /// [`Engine::enable_prof`] was never called).
+    pub fn take_prof(&mut self) -> Option<ProfReport> {
+        self.prof.take().map(HostProf::report)
+    }
+
+    #[inline]
+    fn prof_enter(&mut self, ph: ProfPhase) {
+        if let Some(p) = self.prof.as_mut() {
+            p.enter(ph);
+        }
+    }
+
+    #[inline]
+    fn prof_exit(&mut self) {
+        if let Some(p) = self.prof.as_mut() {
+            p.exit();
+        }
+    }
+
+    /// Dispatch phase for an event kind (per-`Ev`-kind host attribution).
+    fn phase_of(ev: &Ev) -> ProfPhase {
+        match ev {
+            Ev::Recv(_) => ProfPhase::EvRecv,
+            Ev::Respond(..) => ProfPhase::EvRespond,
+            Ev::Net(_) => ProfPhase::EvNet,
+            Ev::Notice(_) => ProfPhase::EvNotice,
+            Ev::Retry(..) => ProfPhase::EvRetry,
+            Ev::ParkTimeout(..) => ProfPhase::EvParkTimeout,
+        }
     }
 
     // ---------------- observability emission ----------------
@@ -393,12 +448,15 @@ impl<'g> Engine<'g> {
         if self.dbg_trace {
             self.trace(now, core, &format!("resp {resp:?}"));
         }
+        self.prof_enter(ProfPhase::Stamp);
         self.attr(core, now);
-        {
+        if self.fingerprinting {
             // Fold the delivered response into the core's history hash
             // (see `state_fingerprint`). Values only, not cycles: timing
             // differences already show in the queue fingerprint. Hashed
             // structurally (no formatting): this runs on every response.
+            // Scheduler-driven runs only — nothing else reads the hash,
+            // and it costs a hasher per response on the hot path.
             let mut h = FxHasher::default();
             (self.ctl[core].resp_hash, resp).hash(&mut h);
             self.ctl[core].resp_hash = h.finish();
@@ -410,6 +468,7 @@ impl<'g> Engine<'g> {
         if let Some(p) = self.ctl[core].phase_after.take() {
             self.ctl[core].phase = p;
         }
+        self.prof_exit();
         // Stash the response for the matching `Recv` rendezvous: the
         // guest only resumes when that event (or a pick-point staging of
         // it) fires, so delivery timing is identical to the old channel
@@ -488,14 +547,17 @@ impl<'g> Engine<'g> {
         // Read once: an env lookup per dispatched event is measurable on
         // the in-process VM backend (the loop runs millions of times).
         let env_check = std::env::var_os("LOCKILLER_CHECK").is_some();
+        self.fingerprinting = sched.is_some();
         for c in 0..self.threads {
             self.q.schedule_at(0, Ev::Recv(c));
         }
         while self.done_count < self.threads {
+            self.prof_enter(ProfPhase::Dequeue);
             let popped = match sched.as_deref_mut() {
                 Some(s) => self.pick_next(s),
                 None => self.q.pop(),
             };
+            self.prof_exit();
             let Some((t, ev)) = popped else {
                 self.end_time = self.q.now().max(self.end_time);
                 let stuck: Vec<usize> = (0..self.threads)
@@ -510,11 +572,18 @@ impl<'g> Engine<'g> {
             if depth > self.stats.event_queue_peak {
                 self.stats.event_queue_peak = depth;
             }
+            if let Some(p) = self.prof.as_mut() {
+                p.note_event(depth);
+            }
             if let Some(every) = self.obs.as_ref().map(ObsHandle::sample_every) {
-                while t >= self.next_sample {
-                    let at = self.next_sample;
-                    self.emit_samples(at);
-                    self.next_sample += every;
+                if t >= self.next_sample {
+                    self.prof_enter(ProfPhase::ObsSample);
+                    while t >= self.next_sample {
+                        let at = self.next_sample;
+                        self.emit_samples(at);
+                        self.next_sample += every;
+                    }
+                    self.prof_exit();
                 }
             }
             if t > env_max {
@@ -538,51 +607,9 @@ impl<'g> Engine<'g> {
                     self.stats.swmr_violation = Some(format!("at cycle {t}: {e}"));
                 }
             }
-            match ev {
-                Ev::Recv(c) => {
-                    let op = if let Some(op) = self.ctl[c].staged_op.take() {
-                        op
-                    } else {
-                        self.recv_op(t, c)
-                    };
-                    self.handle_op(t, c, op);
-                }
-                Ev::Respond(c, resp) => {
-                    self.ctl[c].respond_scheduled = false;
-                    if self.ctl[c].in_tx && !matches!(resp, GuestResp::Aborted(_)) {
-                        if let Some(cause) = self.ctl[c].doomed.take() {
-                            self.deliver_abort(t, c, cause);
-                            continue;
-                        }
-                    }
-                    self.respond(c, t, resp);
-                }
-                Ev::Net(m) => {
-                    self.ms.handle_msg(t, m);
-                    self.drain_ms();
-                }
-                Ev::Notice(n) => self.handle_notice(t, n),
-                Ev::Retry(c, seq) => {
-                    if self.ctl[c].parked == Some(seq) {
-                        self.obs_end(t, c, SpanKind::Park, SpanEnd::Retried);
-                        self.ctl[c].parked = None;
-                        self.life[c].unpark(t, &mut self.stats.latency);
-                        self.reissue(t, c);
-                    }
-                }
-                Ev::ParkTimeout(c, seq) => {
-                    if self.ctl[c].parked == Some(seq) {
-                        self.stats.wakeup_timeouts += 1;
-                        if self.cfg.check.enabled {
-                            self.trace.record(t, c, TraceKind::WakeTimeout);
-                        }
-                        self.obs_end(t, c, SpanKind::Park, SpanEnd::Timeout);
-                        self.ctl[c].parked = None;
-                        self.life[c].unpark(t, &mut self.stats.latency);
-                        self.reissue(t, c);
-                    }
-                }
-            }
+            self.prof_enter(Self::phase_of(&ev));
+            self.dispatch(t, ev);
+            self.prof_exit();
         }
         self.end_time = self.q.now().max(self.end_time);
         if let Some(o) = &self.obs {
@@ -592,14 +619,71 @@ impl<'g> Engine<'g> {
         RunEnd::Done
     }
 
+    /// Dispatch one popped event (the body of the hot loop, split out so
+    /// the profiler brackets exactly one event regardless of which arm's
+    /// early return fires).
+    #[inline]
+    fn dispatch(&mut self, t: Cycle, ev: Ev) {
+        match ev {
+            Ev::Recv(c) => {
+                let op = if let Some(op) = self.ctl[c].staged_op.take() {
+                    op
+                } else {
+                    self.recv_op(t, c)
+                };
+                self.handle_op(t, c, op);
+            }
+            Ev::Respond(c, resp) => {
+                self.ctl[c].respond_scheduled = false;
+                if self.ctl[c].in_tx && !matches!(resp, GuestResp::Aborted(_)) {
+                    if let Some(cause) = self.ctl[c].doomed.take() {
+                        self.deliver_abort(t, c, cause);
+                        return;
+                    }
+                }
+                self.respond(c, t, resp);
+            }
+            Ev::Net(m) => {
+                self.prof_enter(ProfPhase::Coherence);
+                self.ms.handle_msg(t, m);
+                self.drain_ms();
+                self.prof_exit();
+            }
+            Ev::Notice(n) => self.handle_notice(t, n),
+            Ev::Retry(c, seq) => {
+                if self.ctl[c].parked == Some(seq) {
+                    self.obs_end(t, c, SpanKind::Park, SpanEnd::Retried);
+                    self.ctl[c].parked = None;
+                    self.life[c].unpark(t, &mut self.stats.latency);
+                    self.reissue(t, c);
+                }
+            }
+            Ev::ParkTimeout(c, seq) => {
+                if self.ctl[c].parked == Some(seq) {
+                    self.stats.wakeup_timeouts += 1;
+                    if self.cfg.check.enabled {
+                        self.trace.record(t, c, TraceKind::WakeTimeout);
+                    }
+                    self.obs_end(t, c, SpanKind::Park, SpanEnd::Timeout);
+                    self.ctl[c].parked = None;
+                    self.life[c].unpark(t, &mut self.stats.latency);
+                    self.reissue(t, c);
+                }
+            }
+        }
+    }
+
     /// Resume `core`'s guest with its pending response (a synthetic
     /// `Done` kick on the very first rendezvous — see
     /// [`crate::exec::GuestExec`]) and take its next op. The guest
     /// computes in zero simulated time, on the engine's own thread.
     fn recv_op(&mut self, _t: Cycle, c: CoreId) -> GuestOp {
+        self.prof_enter(ProfPhase::GuestResume);
         let ctl = &mut self.ctl[c];
         let resp = ctl.pending_resp.take().unwrap_or(GuestResp::Done);
-        ctl.exec.as_mut().expect("core not registered").resume(resp)
+        let op = ctl.exec.as_mut().expect("core not registered").resume(resp);
+        self.prof_exit();
+        op
     }
 
     /// Drop every guest executor. Thread-backend guests blocked in
@@ -642,8 +726,10 @@ impl<'g> Engine<'g> {
                 }
                 let descs: Vec<EvDesc> = front.iter().map(|e| self.describe(e)).collect();
                 let at = self.q.peek_time().expect("front is non-empty");
+                self.prof_enter(ProfPhase::SchedPick);
                 let fp = self.state_fingerprint();
                 let idx = s.pick(at, &descs, fp).min(descs.len() - 1);
+                self.prof_exit();
                 let (t, ev) = self.q.pop_nth_front(idx).expect("front is non-empty");
                 s.observe(t, &descs[idx]);
                 Some((t, ev))
@@ -1221,18 +1307,16 @@ impl<'g> Engine<'g> {
             self.update_prio(core);
         }
         self.ctl[core].cur_op = Some(op);
-        match self.ms.access(t, core, addr.line(), kind) {
-            AccessResult::Done { at } => {
-                self.drain_ms();
-                self.complete_access(at, core);
-            }
-            AccessResult::Pending => {
-                self.drain_ms();
-            }
-            AccessResult::Overflow { .. } => {
-                self.drain_ms();
-                self.handle_overflow(t, core);
-            }
+        // Every arm drains the memory system first, so the drain hoists
+        // above the match (and into the coherence profiling scope).
+        self.prof_enter(ProfPhase::Coherence);
+        let res = self.ms.access(t, core, addr.line(), kind);
+        self.drain_ms();
+        self.prof_exit();
+        match res {
+            AccessResult::Done { at } => self.complete_access(at, core),
+            AccessResult::Pending => {}
+            AccessResult::Overflow { .. } => self.handle_overflow(t, core),
         }
     }
 

@@ -25,6 +25,7 @@ use crate::system::SystemKind;
 use crate::trace::{Trace, TraceEvent};
 use sim_core::config::{PolicyConfig, SystemConfig};
 use sim_core::obs::ObsHandle;
+use sim_core::prof::ProfReport;
 use sim_core::rng::SimRng;
 use sim_core::stats::RunStats;
 use sim_core::types::{Addr, Cycle};
@@ -52,6 +53,10 @@ pub struct RunOutput {
     /// [`Runner::run`] (which panics otherwise); [`Runner::run_scheduled`]
     /// reports deadlocks and blown cycle budgets here instead.
     pub end: RunEnd,
+    /// Host-side self-profile; `Some` iff [`Runner::profile`] was
+    /// requested. Pure host observation — enabling it cannot change
+    /// `stats`, `trace`, or `mem` (tests assert byte-identity).
+    pub host_prof: Option<ProfReport>,
 }
 
 impl RunOutput {
@@ -85,6 +90,7 @@ pub struct Runner {
     tracing: bool,
     obs: Option<ObsHandle>,
     backend: Backend,
+    profile: bool,
 }
 
 impl Runner {
@@ -101,6 +107,7 @@ impl Runner {
             tracing: false,
             obs: None,
             backend: Backend::default(),
+            profile: false,
         }
     }
 
@@ -125,6 +132,15 @@ impl Runner {
     /// retrieve it from [`RunOutput::trace`].
     pub fn tracing(mut self) -> Runner {
         self.tracing = true;
+        self
+    }
+
+    /// Enable host-side self-profiling (`tmprof`, see `sim_core::prof`);
+    /// retrieve the phase tree from [`RunOutput::host_prof`]. The
+    /// profiler only reads the host clock, so the simulated outcome is
+    /// byte-identical with or without it.
+    pub fn profile(mut self) -> Runner {
+        self.profile = true;
         self
     }
 
@@ -270,6 +286,9 @@ impl Runner {
         if let Some(h) = &self.obs {
             engine.set_obs(h.clone());
         }
+        if self.profile {
+            engine.enable_prof();
+        }
 
         let gpolicy = GuestPolicy {
             coarse_grained_lock: cfg.policy.coarse_grained_lock,
@@ -284,6 +303,7 @@ impl Runner {
         };
 
         let trace = traced.then(|| std::mem::take(&mut engine.trace));
+        let host_prof = engine.take_prof();
         let (mut stats, mem) = engine.into_stats();
         if let Some(t) = &trace {
             // `into_stats` read the drop counter from the (already taken)
@@ -295,6 +315,7 @@ impl Runner {
             trace,
             mem,
             end,
+            host_prof,
         }
     }
 

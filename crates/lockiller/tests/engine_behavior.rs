@@ -307,3 +307,48 @@ fn trace_events_are_causally_ordered() {
     let total_commits = trace.iter().filter(|e| e.kind == TraceKind::Commit).count() as u64;
     assert_eq!(total_commits, stats.commits);
 }
+
+/// The `tmprof` scope profiler only reads the host clock: with it
+/// attached, every simulated output — stats, latency histograms, the
+/// structured event trace — must be byte-identical to an unprofiled
+/// run, and the report it returns must partition its own total.
+#[test]
+fn host_profiler_is_zero_cost_and_partitions_its_total() {
+    let run = |profile: bool| {
+        let mut prog = Counter::new(40);
+        let mut r = runner(SystemKind::LockillerTm, 4).seed(7).tracing();
+        if profile {
+            r = r.profile();
+        }
+        let mut out = r.run(&mut prog);
+        let trace = out.take_trace_events();
+        (out, trace)
+    };
+    let (mut plain, trace_plain) = run(false);
+    let (mut profiled, trace_profiled) = run(true);
+    assert_eq!(
+        plain.stats, profiled.stats,
+        "profiler moved simulated stats"
+    );
+    assert_eq!(
+        trace_plain, trace_profiled,
+        "profiler moved the event trace"
+    );
+    assert!(plain.host_prof.take().is_none());
+    let report = profiled.host_prof.take().expect("profiled run reports");
+    // Self times partition the root total exactly, so shares sum to 1.
+    let self_sum: u64 = report.nodes.iter().map(|n| n.self_ns).sum();
+    assert_eq!(self_sum, report.total_ns, "self times must partition");
+    assert_eq!(report.nodes[0].path, "run");
+    // Every dispatched event was counted at the dequeue scope.
+    assert_eq!(report.events, profiled.stats.events_processed);
+    assert!(report.q_depth_mean() >= 1.0, "popped event counts as 1");
+    // The hot phases all appear under their documented scope paths.
+    for path in ["run;dequeue", "run;ev_recv", "run;ev_respond"] {
+        assert!(
+            report.node(path).is_some(),
+            "missing phase {path} in {:?}",
+            report.nodes.iter().map(|n| &n.path).collect::<Vec<_>>()
+        );
+    }
+}

@@ -12,6 +12,7 @@ pub mod fxhash;
 pub mod json;
 pub mod latency;
 pub mod obs;
+pub mod prof;
 pub mod rng;
 pub mod stats;
 pub mod types;
@@ -20,6 +21,7 @@ pub use config::{CacheGeometry, ConfigError, MemConfig, PolicyConfig, SystemConf
 pub use event::EventQueue;
 pub use latency::{LatencyHist, LatencyStats, TxnClass, TxnLifecycle};
 pub use obs::{Metric, MetricSpec, ObsEvent, ObsHandle, ObsSink, SpanEnd, SpanKind, Track};
+pub use prof::{HostProf, ProfNode, ProfPhase, ProfReport};
 pub use rng::SimRng;
 pub use stats::{AbortCause, Phase, RunStats};
 pub use types::{Addr, CoreId, Cycle, LineAddr, WORDS_PER_LINE};

@@ -6,9 +6,10 @@
 //!                [--scale tiny|small|full] [--seed HEX] [--sample CYCLES]
 //!                [--out DIR] [--timeline] [--validate] [-v]
 //! tmtrace blame  [same options] [--top N]
+//! tmtrace flame  [same options]
 //! tmtrace diff   A.json B.json [--threshold PCT]
 //! tmtrace perf-diff BASELINE.json CURRENT.json [--tolerance PCT]
-//!                [--host-tolerance PCT]
+//!                [--host-tolerance PCT] [--top-phases K]
 //! tmtrace witness FILE.json [...]
 //! ```
 //!
@@ -25,6 +26,19 @@
 //! on run-to-run regressions: `diff` exits 0 when no numeric leaf differs
 //! beyond the threshold (default 0%: any change), 1 otherwise.
 //!
+//! `flame` runs the session with `tmprof` engine profiling enabled and
+//! additionally writes `<stem>.flame.txt` (collapsed-stack flamegraph,
+//! self-time in microseconds) and `<stem>.prof.trace.json` (the phase
+//! tree as nested Chrome-trace slices); the `selfprof.json` gains the
+//! schema-v2 `"prof"` block, and the command fails (exit 1) if the
+//! flamegraph totals do not reconcile with it to the millisecond.
+//!
+//! `perf-diff` refuses (exit 2) to compare documents whose top-level
+//! `"schema"` tags differ — the error names the path and both
+//! versions — and, when host metrics moved, prints the top-K phase
+//! shares that moved most (`--top-phases`, default 5): the phase
+//! attribution of a host regression.
+//!
 //! `witness` renders `tmverify` schedule-witness files (see
 //! `tmobs::witness`) without re-executing them; use `tmverify replay`
 //! to re-run one.
@@ -36,6 +50,7 @@ use tmobs::{diff_docs, run_trace, validate_chrome, TraceConfig};
 enum Cmd {
     Run,
     Blame,
+    Flame,
 }
 
 struct Args {
@@ -54,9 +69,10 @@ fn usage() -> ! {
          \x20              [--scale tiny|small|full] [--seed HEX] [--sample CYCLES]\n\
          \x20              [--out DIR] [--timeline] [--validate] [-v]\n\
          \x20      tmtrace blame [same options] [--top N]\n\
+         \x20      tmtrace flame [same options]\n\
          \x20      tmtrace diff  A.json B.json [--threshold PCT]\n\
          \x20      tmtrace perf-diff BASELINE.json CURRENT.json [--tolerance PCT]\n\
-         \x20              [--host-tolerance PCT]\n\
+         \x20              [--host-tolerance PCT] [--top-phases K]\n\
          \x20      tmtrace witness FILE.json [...]"
     );
     std::process::exit(2);
@@ -77,6 +93,10 @@ fn parse_args(mut it: std::env::Args) -> Args {
         match a.as_str() {
             "run" => args.cmd = Cmd::Run,
             "blame" => args.cmd = Cmd::Blame,
+            "flame" => {
+                args.cmd = Cmd::Flame;
+                args.cfg.profile = true;
+            }
             "--workload" | "-w" => {
                 let v = val();
                 let Some(k) = WorkloadKind::from_name(&v) else {
@@ -198,6 +218,7 @@ fn cmd_perf_diff(mut it: std::env::Args) -> ! {
     let mut files: Vec<String> = Vec::new();
     let mut tolerance = 0.0f64;
     let mut host_tolerance: Option<f64> = None;
+    let mut top_phases = 5usize;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--tolerance" => {
@@ -212,6 +233,12 @@ fn cmd_perf_diff(mut it: std::env::Args) -> ! {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
                 );
+            }
+            "--top-phases" => {
+                top_phases = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => {
@@ -232,14 +259,21 @@ fn cmd_perf_diff(mut it: std::env::Args) -> ! {
         })
     };
     let (a, b) = (read(&files[0]), read(&files[1]));
-    // Collect every changed leaf, then apply per-class tolerances.
-    let deltas = match diff_docs(&a, &b, 0.0) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("perf-diff FAILED: {e}");
+    // Refuse to gate across schema versions: the error names the
+    // offending path and both versions so the fix is self-evident.
+    let parse = |name: &str, text: &str| {
+        tmobs::json::parse(text).unwrap_or_else(|e| {
+            eprintln!("perf-diff FAILED: {name}: {e}");
             std::process::exit(2);
-        }
+        })
     };
+    let (va, vb) = (parse(&files[0], &a), parse(&files[1], &b));
+    if let Err(e) = tmobs::check_schema_match(&va, &vb, &files[0], &files[1]) {
+        eprintln!("perf-diff FAILED: {e}");
+        std::process::exit(2);
+    }
+    // Collect every changed leaf, then apply per-class tolerances.
+    let deltas = tmobs::diff_values(&va, &vb, 0.0);
     let is_host = |path: &str| {
         path.split('.').any(|seg| {
             seg == "host"
@@ -268,6 +302,17 @@ fn cmd_perf_diff(mut it: std::env::Args) -> ! {
         }
         for d in &host {
             println!("  {}", d.render());
+        }
+        // Attribution: which engine phases account for the host movement.
+        let movers = tmobs::top_phase_movers(&host, top_phases);
+        if !movers.is_empty() {
+            println!(
+                "top {} phase mover(s) (by absolute share change):",
+                movers.len()
+            );
+            for d in movers {
+                println!("  {}", d.render());
+            }
         }
     }
     if !det_fail.is_empty() {
@@ -365,6 +410,29 @@ fn main() {
     std::fs::write(&summary_path, &art.summary).expect("write summary");
     std::fs::write(&stats_path, art.stats.to_json()).expect("write stats");
     std::fs::write(&selfprof_path, &art.selfprof_json).expect("write selfprof");
+
+    if matches!(args.cmd, Cmd::Flame) {
+        let report = art.host_prof.as_ref().expect("flame runs with profiling");
+        let flame_text = tmobs::flame(report);
+        let flame_path = args.out.join(format!("{stem}.flame.txt"));
+        let prof_trace_path = args.out.join(format!("{stem}.prof.trace.json"));
+        std::fs::write(&flame_path, &flame_text).expect("write flamegraph");
+        std::fs::write(&prof_trace_path, tmobs::chrome_prof(report)).expect("write prof trace");
+        print!("{}", tmobs::render_prof(report));
+        // The acceptance bar: collapsed-stack totals reconcile with the
+        // archived selfprof.json to the millisecond.
+        let flame_ms = tmobs::flame_total_us(&flame_text).expect("well-formed flame") as f64 / 1e3;
+        let prof_ms = report.total_ns as f64 / 1e6;
+        if (flame_ms - prof_ms).abs() >= 1.0 {
+            eprintln!(
+                "flame reconciliation FAILED: flame {flame_ms:.3} ms vs profile {prof_ms:.3} ms"
+            );
+            std::process::exit(1);
+        }
+        println!("reconciled: flame {flame_ms:.3} ms == profile {prof_ms:.3} ms (< 1 ms apart)");
+        println!("wrote {}", flame_path.display());
+        println!("wrote {}", prof_trace_path.display());
+    }
 
     if matches!(args.cmd, Cmd::Blame) {
         let blame_path = args.out.join(format!("{stem}.blame.json"));

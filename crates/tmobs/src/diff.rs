@@ -125,6 +125,47 @@ pub fn diff_docs(a: &str, b: &str, threshold_pct: f64) -> Result<Vec<MetricDelta
     Ok(diff_values(&va, &vb, threshold_pct))
 }
 
+/// Check that two gateable documents carry the same top-level `"schema"`
+/// tag. On mismatch the error names the offending JSON path (`$.schema`)
+/// and **both** versions, so the fix (re-bless the baseline, or check
+/// out the matching tool) is obvious from the message alone.
+pub fn check_schema_match(a: &Json, b: &Json, a_name: &str, b_name: &str) -> Result<(), String> {
+    let tag = |v: &Json| v.get("schema").and_then(Json::as_f64);
+    let render = |v: Option<f64>| v.map_or_else(|| "absent".to_string(), |s| format!("{s}"));
+    let (sa, sb) = (tag(a), tag(b));
+    if sa == sb {
+        Ok(())
+    } else {
+        Err(format!(
+            "schema mismatch at $.schema: {a_name} has schema {}, {b_name} has schema {} \
+             (re-bless the baseline with the current tool, or diff artifacts written by the \
+             same schema version)",
+            render(sa),
+            render(sb)
+        ))
+    }
+}
+
+/// The `k` largest host-phase movements among `deltas`: leaves under a
+/// `phases` object (the `host.phases.<scope-path>` shares written by
+/// `experiments engine`), ranked by absolute change. This is the
+/// attribution step of a host perf regression — the phases that moved
+/// most are where the regression lives.
+pub fn top_phase_movers(deltas: &[MetricDelta], k: usize) -> Vec<&MetricDelta> {
+    let mut movers: Vec<&MetricDelta> = deltas
+        .iter()
+        .filter(|d| d.path.split('.').any(|seg| seg == "phases"))
+        .collect();
+    movers.sort_by(|x, y| {
+        let abs = |d: &MetricDelta| (d.b.unwrap_or(0.0) - d.a.unwrap_or(0.0)).abs();
+        abs(y)
+            .partial_cmp(&abs(x))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    movers.truncate(k);
+    movers
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +212,44 @@ mod tests {
         let a = r#"{"system":"LockillerTM","v":1}"#;
         let b = r#"{"system":"Baseline","v":1}"#;
         assert!(diff_docs(a, b, 0.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn schema_mismatch_error_names_path_and_both_versions() {
+        let a = json::parse(r#"{"schema":1,"x":1}"#).unwrap();
+        let b = json::parse(r#"{"schema":2,"x":1}"#).unwrap();
+        let e = check_schema_match(&a, &b, "baseline.json", "current.json").unwrap_err();
+        assert!(e.contains("$.schema"), "no JSON path in: {e}");
+        assert!(
+            e.contains("baseline.json has schema 1"),
+            "missing A version: {e}"
+        );
+        assert!(
+            e.contains("current.json has schema 2"),
+            "missing B version: {e}"
+        );
+        // Matching (or equally absent) schemas pass.
+        assert!(check_schema_match(&a, &a, "a", "a").is_ok());
+        let none = json::parse(r#"{"x":1}"#).unwrap();
+        assert!(check_schema_match(&none, &none, "a", "b").is_ok());
+        let e = check_schema_match(&a, &none, "a.json", "b.json").unwrap_err();
+        assert!(
+            e.contains("b.json has schema absent"),
+            "missing absent note: {e}"
+        );
+    }
+
+    #[test]
+    fn top_phase_movers_ranks_by_absolute_change() {
+        let a = r#"{"points":[{"host":{"phases":{"run;ev_recv":0.50,"run;dequeue":0.10,"run;ev_net":0.40},"wall_s":1.0}}]}"#;
+        let b = r#"{"points":[{"host":{"phases":{"run;ev_recv":0.30,"run;dequeue":0.12,"run;ev_net":0.58},"wall_s":2.0}}]}"#;
+        let deltas = diff_docs(a, b, 0.0).unwrap();
+        let movers = top_phase_movers(&deltas, 2);
+        assert_eq!(movers.len(), 2);
+        // ev_recv moved 0.20, ev_net 0.18, dequeue 0.02; wall_s is not a
+        // phase and must never appear.
+        assert!(movers[0].path.ends_with("run;ev_recv"));
+        assert!(movers[1].path.ends_with("run;ev_net"));
+        assert!(movers.iter().all(|d| !d.path.contains("wall_s")));
     }
 }

@@ -28,7 +28,11 @@
 //! - [`session`] — a one-call harness running a STAMP workload on a
 //!   Table-II system with a recorder attached, returning all artifacts;
 //! - [`selfprof::SelfProfiler`] — host-side wall-clock accounting of the
-//!   simulator's own phases (setup / simulate / export);
+//!   simulator's own phases (setup / simulate / export / epilogue);
+//! - [`tmprof`] — exporters for the engine's scope-based host profile
+//!   (`sim_core::prof`): collapsed-stack flamegraph, Chrome-trace
+//!   nesting, the schema-v2 `selfprof.json` `"prof"` block, and the
+//!   per-phase shares `experiments engine` records (`tmtrace flame`);
 //! - [`batch::BatchProgress`] — thread-safe completion counter + stderr
 //!   progress lines for batch executors (the bench crate's `tmlab`);
 //! - the `tmtrace` CLI binary, which writes the artifacts to disk.
@@ -48,6 +52,7 @@ pub mod registry;
 pub mod selfprof;
 pub mod session;
 pub mod summary;
+pub mod tmprof;
 pub mod witness;
 
 /// Minimal JSON support (escaping + a recursive-descent parser); lives in
@@ -57,7 +62,7 @@ pub use sim_core::json;
 
 pub use batch::BatchProgress;
 pub use chrome::{export_chrome, validate_chrome, ChromeSummary, TraceMeta};
-pub use diff::{diff_docs, diff_values, MetricDelta};
+pub use diff::{check_schema_match, diff_docs, diff_values, top_phase_movers, MetricDelta};
 pub use forensics::{analyze, ConflictMatrix, ForensicsReport, LineHotspot, RecoveryLedger};
 pub use jsonl::export_jsonl;
 pub use latency::{latency_json, render_latency_table};
@@ -66,4 +71,5 @@ pub use registry::{standard_histograms, Histogram, MetricsRegistry};
 pub use selfprof::SelfProfiler;
 pub use session::{run_trace, TraceArtifacts, TraceConfig};
 pub use summary::render_summary;
+pub use tmprof::{chrome_prof, flame, flame_total_us, phase_shares, prof_json, render_prof};
 pub use witness::{Witness, WITNESS_VERSION};

@@ -6,12 +6,14 @@
 use std::time::{Duration, Instant};
 
 /// Lap-style wall-clock profiler: [`SelfProfiler::lap`] closes the
-/// current phase and starts the next.
+/// current phase and starts the next; [`SelfProfiler::finish`] closes
+/// the trailing `"epilogue"` phase so no time is dropped.
 #[derive(Debug)]
 pub struct SelfProfiler {
     started: Instant,
     last: Instant,
     phases: Vec<(String, Duration)>,
+    finished: bool,
 }
 
 impl SelfProfiler {
@@ -21,17 +23,32 @@ impl SelfProfiler {
             started: now,
             last: now,
             phases: Vec::new(),
+            finished: false,
         }
     }
 
     /// Close the phase that ran since the previous lap (or start) under
     /// `name`.
     pub fn lap(&mut self, name: &str) {
+        assert!(!self.finished, "lap after finish");
         let now = Instant::now();
         self.phases.push((name.to_string(), now - self.last));
         self.last = now;
     }
 
+    /// Close the profile: everything since the final lap becomes the
+    /// `"epilogue"` phase, so the phases always sum to [`Self::total`]
+    /// (without this, time after the last lap was silently dropped —
+    /// `total()` reads `self.last`). Idempotent.
+    pub fn finish(&mut self) {
+        if !self.finished {
+            self.lap("epilogue");
+            self.finished = true;
+        }
+    }
+
+    /// Wall-clock covered by the recorded phases (start to last lap; call
+    /// [`Self::finish`] first to account for everything up to now).
     pub fn total(&self) -> Duration {
         self.last - self.started
     }
@@ -40,11 +57,14 @@ impl SelfProfiler {
         &self.phases
     }
 
-    /// Stable JSON export for CI archival: phase names in lap order with
-    /// millisecond durations, plus the total. Field order is fixed so
-    /// diffing two archives keys on identical paths.
+    /// Stable JSON export for CI archival: schema tag, phase names in lap
+    /// order with millisecond durations, plus the total. Field order is
+    /// fixed so diffing two archives keys on identical paths. Schema 2 =
+    /// the v1 lap fields plus the `"epilogue"` phase from
+    /// [`Self::finish`] and the optional `"prof"` / `"engine"` blocks
+    /// callers splice in (see `session::selfprof_with_engine`).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"phases\":{");
+        let mut out = String::from("{\"schema\":2,\"phases\":{");
         for (i, (name, d)) in self.phases.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -100,15 +120,39 @@ mod tests {
     }
 
     #[test]
+    fn finish_closes_trailing_epilogue_and_phases_sum_to_total() {
+        let mut p = SelfProfiler::start();
+        p.lap("work");
+        // Burn measurable time *after* the final lap — the bug this
+        // guards against dropped it from total().
+        let t = Instant::now();
+        while t.elapsed() < Duration::from_millis(2) {
+            std::hint::spin_loop();
+        }
+        p.finish();
+        let (name, d) = p.phases().last().unwrap();
+        assert_eq!(name, "epilogue");
+        assert!(*d >= Duration::from_millis(2));
+        let sum: Duration = p.phases().iter().map(|(_, d)| *d).sum();
+        assert_eq!(sum, p.total());
+        // Idempotent: a second finish adds nothing.
+        p.finish();
+        assert_eq!(p.phases().len(), 2);
+    }
+
+    #[test]
     fn json_export_is_parseable_and_complete() {
         let mut p = SelfProfiler::start();
         p.lap("setup");
         p.lap("simulate");
+        p.finish();
         let doc = p.to_json();
         let v = crate::json::parse(&doc).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_f64().unwrap(), 2.0);
         let phases = v.get("phases").unwrap();
         assert!(phases.get("setup").unwrap().as_f64().is_some());
         assert!(phases.get("simulate").unwrap().as_f64().is_some());
+        assert!(phases.get("epilogue").unwrap().as_f64().is_some());
         assert!(v.get("total_ms").unwrap().as_f64().unwrap() >= 0.0);
     }
 }

@@ -29,6 +29,11 @@ pub struct TraceConfig {
     pub sample_every: Cycle,
     /// Hardware configuration (Table I by default).
     pub hw: SystemConfig,
+    /// Enable `tmprof` host-side engine profiling (see `sim_core::prof`):
+    /// the artifacts gain the phase tree ([`TraceArtifacts::host_prof`])
+    /// and `selfprof_json` gains a `"prof"` block. Pure host
+    /// observation — the simulated outcome is byte-identical either way.
+    pub profile: bool,
 }
 
 impl TraceConfig {
@@ -41,6 +46,7 @@ impl TraceConfig {
             seed: 0xC0FFEE,
             sample_every: ObsHandle::DEFAULT_SAMPLE_EVERY,
             hw: SystemConfig::table1(),
+            profile: false,
         }
     }
 }
@@ -69,6 +75,9 @@ pub struct TraceArtifacts {
     /// Conflict forensics (attacker/victim matrix, hotspots, recovery
     /// ledger) derived from the recording; `tmtrace blame` renders it.
     pub forensics: ForensicsReport,
+    /// Engine host-profile phase tree; `Some` iff
+    /// [`TraceConfig::profile`] was set. `tmtrace flame` exports it.
+    pub host_prof: Option<sim_core::prof::ProfReport>,
 }
 
 /// Run `cfg` to completion and export all artifacts.
@@ -76,14 +85,18 @@ pub fn run_trace(cfg: &TraceConfig) -> TraceArtifacts {
     let mut prof = SelfProfiler::start();
     let mut prog = Workload::with_scale(cfg.workload, cfg.threads, cfg.scale);
     let (handle, rec) = Recorder::shared(cfg.sample_every);
-    let runner = Runner::new(cfg.system)
+    let mut runner = Runner::new(cfg.system)
         .config(cfg.hw.clone())
         .threads(cfg.threads)
         .seed(cfg.seed)
         .obs(handle);
+    if cfg.profile {
+        runner = runner.profile();
+    }
     prof.lap("setup");
     let mut out = runner.tracing().no_validate().run(&mut prog);
     let events = out.take_trace_events();
+    let host_prof = out.host_prof.take();
     let (stats, mem) = (out.stats, out.mem);
     prof.lap("simulate");
     let validation = lockiller::Program::validate(&prog, &mem);
@@ -101,7 +114,8 @@ pub fn run_trace(cfg: &TraceConfig) -> TraceArtifacts {
     let timeline = lockiller::render_timeline(&events, cfg.threads, 100);
     let forensics = forensics::analyze(&recorder, cfg.threads);
     prof.lap("export");
-    let selfprof_json = selfprof_with_engine(&prof, &stats);
+    prof.finish();
+    let selfprof_json = selfprof_with_engine(&prof, &stats, host_prof.as_ref());
     TraceArtifacts {
         stats,
         recorder,
@@ -113,14 +127,21 @@ pub fn run_trace(cfg: &TraceConfig) -> TraceArtifacts {
         selfprof_json,
         validation,
         forensics,
+        host_prof,
     }
 }
 
 /// Combine the host-side phase profile with engine self-metrics sampled
-/// from the run's stats: simulated work done, host cost per simulated
-/// cycle (from the `simulate` lap), and the event-queue high-water.
-/// Every ratio is 0 (never NaN/Inf) when a denominator is 0.
-fn selfprof_with_engine(prof: &SelfProfiler, stats: &RunStats) -> String {
+/// from the run's stats — simulated work done, host cost per simulated
+/// cycle (from the `simulate` lap), the event-queue high-water — and,
+/// when the engine was profiled, the `tmprof` phase tree (the schema-v2
+/// `"prof"` block). Every ratio is 0 (never NaN/Inf) when a denominator
+/// is 0.
+fn selfprof_with_engine(
+    prof: &SelfProfiler,
+    stats: &RunStats,
+    host_prof: Option<&sim_core::prof::ProfReport>,
+) -> String {
     let simulate_s = prof
         .phases()
         .iter()
@@ -142,8 +163,12 @@ fn selfprof_with_engine(prof: &SelfProfiler, stats: &RunStats) -> String {
     // brace) so the artifact stays one flat JSON document.
     doc.pop();
     doc.push_str(&format!(
-        ",\"engine\":{{\"sim_cycles\":{},\"events_processed\":{},\"event_queue_peak\":{},\"ns_per_cycle\":{ns_per_cycle:.3},\"sim_cycles_per_sec\":{cycles_per_sec:.1}}}}}",
+        ",\"engine\":{{\"sim_cycles\":{},\"events_processed\":{},\"event_queue_peak\":{},\"ns_per_cycle\":{ns_per_cycle:.3},\"sim_cycles_per_sec\":{cycles_per_sec:.1}}}",
         stats.cycles, stats.events_processed, stats.event_queue_peak
     ));
+    if let Some(r) = host_prof {
+        doc.push_str(&format!(",\"prof\":{}", crate::tmprof::prof_json(r)));
+    }
+    doc.push('}');
     doc
 }

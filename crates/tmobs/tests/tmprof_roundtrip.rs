@@ -1,0 +1,143 @@
+//! `tmprof` artifact round-trips: JSON escaping of hostile phase names,
+//! the schema-v2 self-profile document, the collapsed-stack flamegraph
+//! golden structure, and the acceptance reconciliation — `tmtrace
+//! flame` per-phase totals must agree with `<stem>.selfprof.json` to
+//! the millisecond.
+
+use sim_core::prof::{HostProf, ProfPhase};
+use tmobs::json::{self, Json};
+use tmobs::{SelfProfiler, TraceConfig};
+
+#[test]
+fn escape_handles_quotes_backslashes_and_controls() {
+    assert_eq!(json::escape(r#"say "hi""#), r#"say \"hi\""#);
+    assert_eq!(json::escape(r"back\slash"), r"back\\slash");
+    assert_eq!(
+        json::escape("line\nbreak\ttab\rcr"),
+        r"line\nbreak\ttab\rcr"
+    );
+    assert_eq!(json::escape("bell\u{7}"), "bell\\u0007");
+    // Unicode above the control range passes through unescaped.
+    assert_eq!(json::escape("相位φ→done"), "相位φ→done");
+    assert_eq!(json::escape(""), "");
+}
+
+#[test]
+fn selfprof_json_round_trips_hostile_phase_names() {
+    let nasty = [r#"ph"ase"#, r"back\slash", "相位φ", "tab\there"];
+    let mut p = SelfProfiler::start();
+    for name in nasty {
+        p.lap(name);
+    }
+    p.finish();
+    let doc = p.to_json();
+    let v = json::parse(&doc).expect("self-profile JSON must stay parseable");
+    assert_eq!(v.get("schema").and_then(Json::as_f64), Some(2.0));
+    let phases = v.get("phases").expect("phases object");
+    for name in nasty {
+        assert!(
+            phases.get(name).and_then(Json::as_f64).is_some(),
+            "phase {name:?} lost in round-trip: {doc}"
+        );
+    }
+    assert!(phases.get("epilogue").is_some(), "finish() closes the tail");
+    // The phase durations still sum to the reported total.
+    let total = v.get("total_ms").and_then(Json::as_f64).unwrap();
+    let sum: f64 = match phases {
+        Json::Obj(kv) => kv.iter().filter_map(|(_, d)| d.as_f64()).sum(),
+        other => panic!("phases is not an object: {other:?}"),
+    };
+    assert!((sum - total).abs() < 0.01 * (nasty.len() + 1) as f64);
+}
+
+/// Golden test for the collapsed-stack export: a fixed scope sequence
+/// must produce exactly these stack lines, in exactly this (depth-first,
+/// first-entered) order. Values are host timings and vary; the *paths*
+/// are the contract that flamegraph tooling and `perf-diff` key on.
+#[test]
+fn flame_export_matches_golden_stack_structure() {
+    let mut p = HostProf::start();
+    for _ in 0..2 {
+        p.enter(ProfPhase::Dequeue);
+        p.enter(ProfPhase::SchedPick);
+        p.exit();
+        p.exit();
+        p.enter(ProfPhase::EvRecv);
+        p.enter(ProfPhase::GuestResume);
+        p.exit();
+        p.enter(ProfPhase::Coherence);
+        p.exit();
+        p.exit();
+        p.enter(ProfPhase::EvRespond);
+        p.enter(ProfPhase::Stamp);
+        p.exit();
+        p.exit();
+        p.note_event(1);
+    }
+    let report = p.report();
+    let golden = [
+        "run",
+        "run;dequeue",
+        "run;dequeue;sched_pick",
+        "run;ev_recv",
+        "run;ev_recv;guest_resume",
+        "run;ev_recv;coherence",
+        "run;ev_respond",
+        "run;ev_respond;stamp",
+    ];
+    let text = tmobs::flame(&report);
+    let paths: Vec<&str> = text
+        .lines()
+        .map(|l| l.rsplit_once(' ').expect("`path value` lines").0)
+        .collect();
+    assert_eq!(paths, golden, "flame stack structure changed:\n{text}");
+    // And every line's value parses — the whole document sums.
+    assert!(tmobs::flame_total_us(&text).is_some());
+}
+
+/// The acceptance bar: the flamegraph exported from a real traced run
+/// reconciles with the `"prof"` block of its own `selfprof.json` to the
+/// millisecond.
+#[test]
+fn flame_reconciles_with_selfprof_json_to_the_millisecond() {
+    let mut cfg = TraceConfig::new(
+        stamp::WorkloadKind::KmeansLow,
+        lockiller::system::SystemKind::LockillerTm,
+    );
+    cfg.threads = 2;
+    cfg.profile = true;
+    let art = tmobs::run_trace(&cfg);
+    let report = art.host_prof.as_ref().expect("profiled trace");
+    let flame_ms = tmobs::flame_total_us(&tmobs::flame(report)).unwrap() as f64 / 1e3;
+    let v = json::parse(&art.selfprof_json).expect("selfprof.json parses");
+    let prof = v.get("prof").expect("schema-2 prof block");
+    let total_ms = prof.get("total_ms").and_then(Json::as_f64).unwrap();
+    assert!(
+        (flame_ms - total_ms).abs() < 1.0,
+        "flame sum {flame_ms} ms vs selfprof prof.total_ms {total_ms} ms"
+    );
+    // The prof block's own nodes partition the same total.
+    let self_sum: f64 = prof
+        .get("nodes")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|n| n.get("self_ms").and_then(Json::as_f64).unwrap())
+        .sum();
+    assert!((self_sum - total_ms).abs() < 1.0);
+    // An unprofiled trace of the same config carries no prof block and
+    // simulates identically (the zero-cost guarantee, artifact-level).
+    let mut plain_cfg = cfg.clone();
+    plain_cfg.profile = false;
+    let plain = tmobs::run_trace(&plain_cfg);
+    assert!(plain.host_prof.is_none());
+    assert!(json::parse(&plain.selfprof_json)
+        .unwrap()
+        .get("prof")
+        .is_none());
+    assert_eq!(
+        plain.stats.to_json(),
+        art.stats.to_json(),
+        "profiling moved the simulated stats"
+    );
+}

@@ -139,6 +139,12 @@ pub struct Explorer {
     /// OS context switches per simulated guest op, which multiplies
     /// across the thousands of runs an exploration executes.
     pub backend: Backend,
+    /// Enable host-side self-profiling (`tmprof`) on every explored run.
+    /// The profiler only reads the host clock, so exploration results —
+    /// including the report digest — are byte-identical either way
+    /// (asserted by tests); the per-run profiles themselves are
+    /// discarded by the explorer, which only wants the guarantee.
+    pub profile: bool,
 }
 
 impl Explorer {
@@ -158,6 +164,7 @@ impl Explorer {
             shrink_budget: 200,
             prune: None,
             backend: Backend::Threads,
+            profile: false,
         }
     }
 
@@ -203,6 +210,9 @@ impl Explorer {
             .seed(0);
         if let Some(n) = self.retries {
             r = r.retries(n);
+        }
+        if self.profile {
+            r = r.profile();
         }
         r
     }

@@ -202,3 +202,21 @@ fn random_specs_verify_clean_on_uninjected_systems() {
         );
     }
 }
+
+/// The engine's host-side scope profiler (`Runner::profile`) reads only
+/// the host clock: turning it on for every run of an exploration must
+/// not move the decision digest or any coverage counter.
+#[test]
+fn host_profiling_never_moves_an_exploration_digest() {
+    let mut ex = ring(SystemKind::LockillerTm, 3, 2);
+    let plain = ex.explore();
+    ex.profile = true;
+    let profiled = ex.explore();
+    assert_eq!(plain.digest, profiled.digest, "profiling moved the digest");
+    assert_eq!(plain.schedules, profiled.schedules);
+    assert_eq!(plain.pruned_sleep, profiled.pruned_sleep);
+    assert_eq!(plain.pruned_dedup, profiled.pruned_dedup);
+    assert_eq!(plain.redundant, profiled.redundant);
+    assert_eq!(plain.max_depth, profiled.max_depth);
+    assert_eq!(plain.is_clean(), profiled.is_clean());
+}
