@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # Lints the demo hazard specs plus every tmverify corpus kernel with
-# `tmlint --json`, concatenating the diagnostics in a fixed order.
+# `tmlint --json`, and the compiled VM bytecode (spec kernels + STAMP
+# workloads) with `tmlint kernel --json`, concatenating each stream's
+# diagnostics in a fixed order.
 #
-#   ci/tmlint-smoke.sh          diff against ci/tmlint-baseline.jsonl;
+#   ci/tmlint-smoke.sh          diff against ci/tmlint-baseline.jsonl
+#                               and ci/tmlint-kernel-baseline.jsonl;
 #                               any new or vanished diagnostic fails
-#   ci/tmlint-smoke.sh --bless  rewrite the checked-in baseline
+#   ci/tmlint-smoke.sh --bless  rewrite both checked-in baselines
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=$(mktemp)
-trap 'rm -f "$out"' EXIT
+kout=$(mktemp)
+trap 'rm -f "$out" "$kout"' EXIT
 
 # tmlint exits 1 when an error-severity diagnostic fires (the
 # mixed-access demo is supposed to); only exit 2 (usage/parse) is fatal.
@@ -41,11 +45,32 @@ print(1 if w.get('tiny_l1') else 0)
   lint "${args[@]}"
 done
 
+# Kernel mode: the same demo specs compiled to guest bytecode, plus the
+# STAMP VM kernels (kmeans both contention modes; intruder-flow is the
+# Top-degradation case and must stay diagnostic-free).
+klint() {
+  cargo run --release -q -p tmstatic --bin tmlint -- kernel "$@" >> "$kout" && rc=0 || rc=$?
+  if [ "$rc" -ge 2 ]; then
+    echo "tmlint kernel failed ($rc) for: $*" >&2
+    exit "$rc"
+  fi
+}
+klint --prog '2/c:L0,S1/p:L1' --json
+klint --prog '6/c:L0,L1,L2,S0/c:L3,L4,L5,S3' --system LockillerTM --tiny-l1 --json
+klint --prog '2/c:L0,S1/c:L1,S0' --json
+klint --stamp kmeans --threads 2 --system LockillerTM --json
+klint --stamp kmeans-low --threads 2 --system LockillerTM --json
+klint --stamp intruder-flow --threads 2 --system LockillerTM --json
+
 if [ "${1:-}" = "--bless" ]; then
   mv "$out" ci/tmlint-baseline.jsonl
+  mv "$kout" ci/tmlint-kernel-baseline.jsonl
   trap - EXIT
   echo "blessed $(wc -l < ci/tmlint-baseline.jsonl) diagnostic(s) into ci/tmlint-baseline.jsonl"
+  echo "blessed $(wc -l < ci/tmlint-kernel-baseline.jsonl) diagnostic(s) into ci/tmlint-kernel-baseline.jsonl"
 else
   diff -u ci/tmlint-baseline.jsonl "$out"
   echo "tmlint diagnostics match the baseline ($(wc -l < "$out") diagnostic(s))"
+  diff -u ci/tmlint-kernel-baseline.jsonl "$kout"
+  echo "tmlint kernel diagnostics match the baseline ($(wc -l < "$kout") diagnostic(s))"
 fi

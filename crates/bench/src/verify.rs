@@ -7,14 +7,24 @@
 //! `BENCH_lab.json` / `BENCH_forensics.json`: a regression in these
 //! numbers means the state space or the pruning changed.
 //!
-//! Each row also records `pruned_schedules`: the schedule count of a
-//! second exploration run with the `tmstatic` independence table
-//! installed (equal to `schedules` when the analysis premises don't
-//! hold). The battery asserts the pruned run reproduces the baseline
-//! verdict and never adds schedules, and that on `disjoint-3c3l-tm`
-//! the reduction is strict.
+//! Each row also records `pruned_schedules` / `pruned_digest`: the
+//! result of a second exploration with the `tmstatic` independence
+//! table installed (for `--backend vm` rows the table comes from the
+//! bytecode abstract interpreter over the explorer's own compiled
+//! kernels; for thread rows from the spec-level analysis) — equal to
+//! the baseline when the premises don't hold. The battery asserts:
+//!
+//! - the pruned run reproduces the baseline verdict and never adds
+//!   schedules, strictly reducing them on both `disjoint-3c3l-tm` rows;
+//! - a *vacuous* table (`prunable: false` — premises hold but no core
+//!   is pure) leaves the exploration **byte-identical** (digest
+//!   equality), the no-behavior-change half of the pruning contract;
+//! - rows differing only in backend (`ring-3c3l-tm` vs its `-vm` twin)
+//!   produce identical digests — the backends execute the same ops, so
+//!   the explored spaces must match run-for-run.
 
-use lockiller::SystemKind;
+use lockiller::{Backend, SystemKind};
+use std::collections::HashMap;
 use std::io::Write;
 use std::path::Path;
 use tmverify::progs::ProgSpec;
@@ -24,6 +34,7 @@ struct Entry {
     name: &'static str,
     system: SystemKind,
     prog: &'static str,
+    backend: Backend,
     inject_drop_wakeups: bool,
     expect_clean: bool,
 }
@@ -33,6 +44,7 @@ const SUITE: &[Entry] = &[
         name: "ring-2c2l-rwi",
         system: SystemKind::LockillerRwi,
         prog: "2/c:L0,S1/c:L1,S0",
+        backend: Backend::Threads,
         inject_drop_wakeups: false,
         expect_clean: true,
     },
@@ -40,6 +52,7 @@ const SUITE: &[Entry] = &[
         name: "ring-3c3l-rwi",
         system: SystemKind::LockillerRwi,
         prog: "3/c:L0,S1/c:L1,S2/c:L2,S0",
+        backend: Backend::Threads,
         inject_drop_wakeups: false,
         expect_clean: true,
     },
@@ -47,6 +60,15 @@ const SUITE: &[Entry] = &[
         name: "ring-3c3l-tm",
         system: SystemKind::LockillerTm,
         prog: "3/c:L0,S1/c:L1,S2/c:L2,S0",
+        backend: Backend::Threads,
+        inject_drop_wakeups: false,
+        expect_clean: true,
+    },
+    Entry {
+        name: "ring-3c3l-tm-vm",
+        system: SystemKind::LockillerTm,
+        prog: "3/c:L0,S1/c:L1,S2/c:L2,S0",
+        backend: Backend::Vm,
         inject_drop_wakeups: false,
         expect_clean: true,
     },
@@ -54,6 +76,7 @@ const SUITE: &[Entry] = &[
         name: "ring-4c2l-rwi",
         system: SystemKind::LockillerRwi,
         prog: "2/c:L0,S1/c:L1,S0/c:L0,S1/c:L1,S0",
+        backend: Backend::Threads,
         inject_drop_wakeups: false,
         expect_clean: true,
     },
@@ -61,6 +84,15 @@ const SUITE: &[Entry] = &[
         name: "disjoint-3c3l-tm",
         system: SystemKind::LockillerTm,
         prog: "3/c:L0,S0/c:L1,S1/c:L2,S2",
+        backend: Backend::Threads,
+        inject_drop_wakeups: false,
+        expect_clean: true,
+    },
+    Entry {
+        name: "disjoint-3c3l-tm-vm",
+        system: SystemKind::LockillerTm,
+        prog: "3/c:L0,S0/c:L1,S1/c:L2,S2",
+        backend: Backend::Vm,
         inject_drop_wakeups: false,
         expect_clean: true,
     },
@@ -68,6 +100,7 @@ const SUITE: &[Entry] = &[
         name: "detector-drop-wakeups",
         system: SystemKind::LockillerRwi,
         prog: "2/c:L0,S1/c:L1,S0",
+        backend: Backend::Threads,
         inject_drop_wakeups: true,
         expect_clean: false,
     },
@@ -75,9 +108,12 @@ const SUITE: &[Entry] = &[
 
 /// Run the battery and write `BENCH_verify.json`; panics if a config's
 /// verdict flips (a clean config finding a violation, or the detector
-/// row going blind).
+/// row going blind) or any pruning-contract assert fails.
 pub fn run(quick: bool, jobs: usize, path: &Path) -> std::io::Result<()> {
     let mut rows = Vec::new();
+    // Digest of the first row seen per (system, prog, inject) triple:
+    // backend twins must match it exactly.
+    let mut twin_digest: HashMap<(&str, &str, bool), (&str, u64)> = HashMap::new();
     for e in SUITE {
         if quick && e.name.starts_with("ring-4c") {
             continue;
@@ -87,6 +123,7 @@ pub fn run(quick: bool, jobs: usize, path: &Path) -> std::io::Result<()> {
         ex.no_safety_net = true;
         ex.jobs = jobs.max(1);
         ex.inject.drop_wakeups = e.inject_drop_wakeups;
+        ex.backend = e.backend;
         let start = std::time::Instant::now();
         let rep = ex.explore();
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -98,13 +135,35 @@ pub fn run(quick: bool, jobs: usize, path: &Path) -> std::io::Result<()> {
             rep.render()
         );
         assert!(rep.complete(), "{}: space no longer drains", e.name);
+        let key = (e.system.name(), e.prog, e.inject_drop_wakeups);
+        match twin_digest.get(&key) {
+            Some(&(twin, digest)) => assert_eq!(
+                rep.digest, digest,
+                "{}: exploration digest diverges from backend twin {twin}",
+                e.name
+            ),
+            None => {
+                twin_digest.insert(key, (e.name, rep.digest));
+            }
+        }
 
-        // Re-explore with the tmstatic independence table when its
-        // premises hold: the pruned run must reach the same verdict
-        // while executing no more schedules than the baseline.
-        let analysis = tmstatic::Analysis::new(e.system, ex.spec.clone(), ex.config());
-        let pruned_schedules = match analysis.independence() {
+        // Re-explore with the independence table matched to the
+        // backend's source of truth: bytecode for vm rows, spec DSL
+        // otherwise.
+        let table = match e.backend {
+            Backend::Vm => {
+                tmstatic::VmAnalysis::new(e.system, ex.config(), &ex.kernels()).independence()
+            }
+            Backend::Threads => {
+                tmstatic::Analysis::new(e.system, ex.spec.clone(), ex.config()).independence()
+            }
+        };
+        let prunable = table
+            .as_ref()
+            .is_some_and(lockiller::StaticIndependence::can_refine_any);
+        let (pruned_schedules, pruned_digest) = match table {
             Some(table) => {
+                let vacuous = !table.can_refine_any();
                 let mut pruned = ex.clone();
                 pruned.prune = Some(table);
                 let prep = pruned.explore();
@@ -123,11 +182,18 @@ pub fn run(quick: bool, jobs: usize, path: &Path) -> std::io::Result<()> {
                     prep.schedules,
                     rep.schedules
                 );
-                prep.schedules
+                if vacuous {
+                    assert_eq!(
+                        prep.digest, rep.digest,
+                        "{}: a vacuous table must leave exploration byte-identical",
+                        e.name
+                    );
+                }
+                (prep.schedules, prep.digest)
             }
-            None => rep.schedules,
+            None => (rep.schedules, rep.digest),
         };
-        if e.name == "disjoint-3c3l-tm" {
+        if e.name.starts_with("disjoint-3c3l-tm") {
             assert!(
                 pruned_schedules < rep.schedules,
                 "{}: static pruning must be strict here ({} !< {})",
@@ -142,12 +208,16 @@ pub fn run(quick: bool, jobs: usize, path: &Path) -> std::io::Result<()> {
         );
         rows.push(format!(
             "  {{\"name\": \"{}\", \"system\": \"{}\", \"prog\": \"{}\", \
-             \"wall_ms\": {:.3}, \"pruned_schedules\": {}, \"report\": {}}}",
+             \"backend\": \"{}\", \"wall_ms\": {:.3}, \"pruned_schedules\": {}, \
+             \"pruned_digest\": \"{:016x}\", \"prunable\": {}, \"report\": {}}}",
             e.name,
             e.system.name(),
             e.prog,
+            e.backend.name(),
             wall_ms,
             pruned_schedules,
+            pruned_digest,
+            prunable,
             rep.to_json()
         ));
     }

@@ -128,6 +128,81 @@ pub enum Instr {
     Halt,
 }
 
+impl fmt::Display for Instr {
+    /// Stable one-line assembly rendering — used in [`KernelError`]
+    /// diagnostics and `tmlint kernel` output, so keep it byte-stable.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = |o: BinOp| match o {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+        };
+        let cond = |c: Cond| match c {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+        };
+        match *self {
+            Instr::Imm(rd, v) => write!(f, "r{rd} <- {v}"),
+            Instr::Mov(rd, ra) => write!(f, "r{rd} <- r{ra}"),
+            Instr::Bin(o, rd, ra, rb) => write!(f, "r{rd} <- r{ra} {} r{rb}", op(o)),
+            Instr::BinI(o, rd, ra, v) => write!(f, "r{rd} <- r{ra} {} {v}", op(o)),
+            Instr::Jmp(t) => write!(f, "jmp {t}"),
+            Instr::Br(c, ra, rb, t) => write!(f, "br.{} r{ra}, r{rb} -> {t}", cond(c)),
+            Instr::Tid(rd) => write!(f, "r{rd} <- tid"),
+            Instr::Threads(rd) => write!(f, "r{rd} <- threads"),
+            Instr::Load(rd, ra, off) => write!(f, "r{rd} <- load [r{ra}+{off}]"),
+            Instr::Store(ra, off, rv) => write!(f, "store [r{ra}+{off}] <- r{rv}"),
+            Instr::Cas(rd, ra, re, rn) => write!(f, "r{rd} <- cas [r{ra}], r{re}, r{rn}"),
+            Instr::Compute(n) => write!(f, "compute {n}"),
+            Instr::ComputeR(ra) => write!(f, "compute r{ra}"),
+            Instr::PageTouch(ra) => write!(f, "pagetouch r{ra}"),
+            Instr::Barrier => write!(f, "barrier"),
+            Instr::CritBegin => write!(f, "crit_begin"),
+            Instr::CritEnd => write!(f, "crit_end"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl Instr {
+    /// Dense encoding for [`Kernel::content_hash`]: a stable operation
+    /// tag plus every operand widened to `u64`. Two instructions encode
+    /// equal iff they are equal.
+    fn encode(self) -> [u64; 5] {
+        let o = |o: BinOp| o as u64;
+        let c = |c: Cond| c as u64;
+        match self {
+            Instr::Imm(rd, v) => [0, rd as u64, v, 0, 0],
+            Instr::Mov(rd, ra) => [1, rd as u64, ra as u64, 0, 0],
+            Instr::Bin(b, rd, ra, rb) => [2, o(b), rd as u64, ra as u64, rb as u64],
+            Instr::BinI(b, rd, ra, v) => [3, o(b), rd as u64, ra as u64, v],
+            Instr::Jmp(t) => [4, t as u64, 0, 0, 0],
+            Instr::Br(cc, ra, rb, t) => [5, c(cc), ra as u64, rb as u64, t as u64],
+            Instr::Tid(rd) => [6, rd as u64, 0, 0, 0],
+            Instr::Threads(rd) => [7, rd as u64, 0, 0, 0],
+            Instr::Load(rd, ra, off) => [8, rd as u64, ra as u64, off, 0],
+            Instr::Store(ra, off, rv) => [9, ra as u64, off, rv as u64, 0],
+            Instr::Cas(rd, ra, re, rn) => [10, rd as u64, ra as u64, re as u64, rn as u64],
+            Instr::Compute(n) => [11, n, 0, 0, 0],
+            Instr::ComputeR(ra) => [12, ra as u64, 0, 0, 0],
+            Instr::PageTouch(ra) => [13, ra as u64, 0, 0, 0],
+            Instr::Barrier => [14, 0, 0, 0, 0],
+            Instr::CritBegin => [15, 0, 0, 0, 0],
+            Instr::CritEnd => [16, 0, 0, 0, 0],
+            Instr::Halt => [17, 0, 0, 0, 0],
+        }
+    }
+}
+
 /// A validated guest kernel: the bytecode one simulated thread runs.
 #[derive(Clone, Debug)]
 pub struct Kernel {
@@ -141,13 +216,26 @@ pub struct Kernel {
 /// Static validation failure for a kernel (see [`Kernel::validate`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KernelError {
+    /// Index of the offending instruction.
     pub at: usize,
+    /// Rendered form of the offending instruction ([`Instr`]'s
+    /// `Display`), or empty when the failure is not tied to one
+    /// (undersized kernel, `nregs` over the cap).
+    pub instr: String,
     pub message: String,
 }
 
 impl fmt::Display for KernelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "kernel: instr {}: {}", self.at, self.message)
+        if self.instr.is_empty() {
+            write!(f, "kernel: instr {}: {}", self.at, self.message)
+        } else {
+            write!(
+                f,
+                "kernel: instr {} `{}`: {}",
+                self.at, self.instr, self.message
+            )
+        }
     }
 }
 
@@ -168,18 +256,62 @@ impl Kernel {
         k
     }
 
+    /// Stable content hash over `nregs` and the instruction stream.
+    ///
+    /// The diagnostic [`Kernel::name`] is deliberately excluded: two
+    /// kernels with identical bytecode hash equal, which is what lets
+    /// static analyses (`tmstatic::vmabs`) cache results per kernel
+    /// *content* rather than per instance. FNV-1a, byte-stable across
+    /// runs and platforms.
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let fold = |mut h: u64, x: u64| {
+            for b in x.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+            h
+        };
+        let mut h = fold(OFFSET, self.nregs as u64);
+        h = fold(h, self.instrs.len() as u64);
+        for i in &self.instrs {
+            for w in i.encode() {
+                h = fold(h, w);
+            }
+        }
+        h
+    }
+
     /// Static checks: register and branch-target ranges, and a
     /// reachability dataflow proving every instruction executes in a
     /// consistent critical/plain context — no nested `CritBegin`, no
     /// `CritEnd` outside a section, no `Cas`/`Barrier`/`Halt` inside
     /// one, and no path that falls off the end of the bytecode.
     pub fn validate(&self) -> Result<(), KernelError> {
-        let err = |at: usize, message: String| Err(KernelError { at, message });
+        let err = |at: usize, message: String| {
+            Err(KernelError {
+                at,
+                instr: self
+                    .instrs
+                    .get(at)
+                    .map(ToString::to_string)
+                    .unwrap_or_default(),
+                message,
+            })
+        };
+        // Kernel-level failures carry no offending instruction.
+        let kernel_err = |message: String| {
+            Err(KernelError {
+                at: 0,
+                instr: String::new(),
+                message,
+            })
+        };
         if self.nregs > MAX_REGS {
-            return err(0, format!("nregs {} exceeds {MAX_REGS}", self.nregs));
+            return kernel_err(format!("nregs {} exceeds {MAX_REGS}", self.nregs));
         }
         if self.instrs.is_empty() {
-            return err(0, "empty kernel".into());
+            return kernel_err("empty kernel".into());
         }
         let n = self.instrs.len();
         let reg_ok = |r: Reg| (r as usize) < self.nregs;
@@ -468,6 +600,74 @@ mod tests {
         ])
         .validate()
         .is_ok());
+    }
+
+    #[test]
+    fn kernel_error_renders_offending_instruction() {
+        // Instruction-level failure: index + rendered form + reason.
+        let e = Kernel {
+            name: "bad".into(),
+            nregs: 2,
+            instrs: vec![Instr::CritBegin, Instr::Cas(0, 0, 0, 1), Instr::Halt],
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(e.at, 1);
+        assert_eq!(e.instr, "r0 <- cas [r0], r0, r1");
+        assert_eq!(
+            e.to_string(),
+            "kernel: instr 1 `r0 <- cas [r0], r0, r1`: Cas inside a critical section"
+        );
+        // Register-range failure names the register and the instruction.
+        let e = Kernel {
+            name: "bad".into(),
+            nregs: 2,
+            instrs: vec![Instr::Imm(7, 3), Instr::Halt],
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "kernel: instr 0 `r7 <- 3`: register r7 out of range (nregs 2)"
+        );
+        // Kernel-level failure carries no instruction backtick block.
+        let e = Kernel {
+            name: "bad".into(),
+            nregs: 2,
+            instrs: vec![],
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(e.instr, "");
+        assert_eq!(e.to_string(), "kernel: instr 0: empty kernel");
+    }
+
+    #[test]
+    fn content_hash_ignores_name_but_not_code() {
+        let k = |name: &str, nregs: usize, instrs: Vec<Instr>| Kernel {
+            name: name.into(),
+            nregs,
+            instrs,
+        };
+        let a = k("a", 2, vec![Instr::Imm(0, 1), Instr::Halt]);
+        let renamed = k("b", 2, vec![Instr::Imm(0, 1), Instr::Halt]);
+        assert_eq!(a.content_hash(), renamed.content_hash());
+        // Any operand or structural change must move the hash.
+        let operand = k("a", 2, vec![Instr::Imm(0, 2), Instr::Halt]);
+        let reg = k("a", 2, vec![Instr::Imm(1, 1), Instr::Halt]);
+        let frame = k("a", 3, vec![Instr::Imm(0, 1), Instr::Halt]);
+        let longer = k(
+            "a",
+            2,
+            vec![Instr::Imm(0, 1), Instr::Compute(0), Instr::Halt],
+        );
+        for other in [&operand, &reg, &frame, &longer] {
+            assert_ne!(a.content_hash(), other.content_hash());
+        }
+        // Distinct opcodes with identical operand words must differ.
+        let begin = k("a", 1, vec![Instr::CritBegin, Instr::CritEnd, Instr::Halt]);
+        let end = k("a", 1, vec![Instr::Barrier, Instr::Barrier, Instr::Halt]);
+        assert_ne!(begin.content_hash(), end.content_hash());
     }
 
     #[test]

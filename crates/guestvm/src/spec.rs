@@ -346,6 +346,23 @@ impl SpecProgram {
         b.halt();
         b.build()
     }
+
+    /// Compile every thread of `spec` under the standard
+    /// [`lockiller::Runner`] memory layout without running a simulation:
+    /// the runner allocates the fallback lock's 8-word block first
+    /// ([`SpecProgram::LOCK_LINE`]), then [`SpecProgram::setup`] places
+    /// spec line `i` on [`SpecProgram::data_line`]`(i)`. The returned
+    /// kernels are byte-identical to what `--backend vm` executes, which
+    /// is what lets static analyses (`tmstatic::vmabs`) and `tmlint
+    /// kernel` reason about physical line addresses offline.
+    pub fn compile_all(spec: &ProgSpec) -> Vec<Kernel> {
+        let threads = spec.num_threads();
+        let mut p = SpecProgram::new(spec.clone());
+        let mut s = SetupCtx::new();
+        let _lock = s.alloc(8);
+        p.setup(&mut s, threads);
+        (0..threads).map(|t| p.compile(t)).collect()
+    }
 }
 
 impl Program for SpecProgram {

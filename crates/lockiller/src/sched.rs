@@ -135,6 +135,14 @@ impl StaticIndependence {
     /// machinery, disjoint static bank footprints, and at least one side
     /// consisting solely of pure cores (so no shared sync state exists
     /// for the pair to communicate through).
+    /// Whether the table can refine *any* pair at all. A table with no
+    /// pure cores is vacuous — installing it must leave exploration
+    /// bit-identical to running without one, and callers use this to
+    /// assert that (or to skip the install entirely).
+    pub fn can_refine_any(&self) -> bool {
+        self.pure != 0
+    }
+
     pub fn refines(&self, a: &EvDesc, b: &EvDesc) -> bool {
         if a.cores == 0 || b.cores == 0 || (a.cores & b.cores) != 0 {
             return false;

@@ -105,6 +105,22 @@ impl Kmeans {
         self.accum.add(c as u64 * self.accum_stride)
     }
 
+    /// Compile every thread's kernel under the standard
+    /// [`lockiller::Runner`] memory layout without running a simulation:
+    /// the runner allocates the fallback lock's 8-word block first, then
+    /// this program's [`Program::setup`] places points, centers, and
+    /// accumulators. Addresses are baked in as constants, so the result
+    /// is byte-identical to what `--backend vm` executes — which is what
+    /// lets `tmstatic::vmabs` and `tmlint kernel` analyze the physical
+    /// footprint offline. Consumes the program.
+    pub fn compile_standalone(mut self) -> Vec<guestvm::Kernel> {
+        let mut s = SetupCtx::new();
+        let _lock = s.alloc(8);
+        let threads = self.threads;
+        self.setup(&mut s, threads);
+        (0..threads).map(|t| self.compile(t)).collect()
+    }
+
     /// Compile thread `tid`'s body to `guestvm` bytecode: a fully
     /// unrolled, op-for-op mirror of [`Kmeans::run`] (addresses are
     /// constants per thread, so every point/cluster iteration becomes

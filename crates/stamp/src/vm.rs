@@ -103,6 +103,24 @@ impl IntruderFlow {
         self.params.flows_per_thread * self.threads
     }
 
+    /// Compile the per-thread kernels under the standard
+    /// [`lockiller::Runner`] memory layout without running a simulation:
+    /// the runner allocates the fallback lock's 8-word block first, then
+    /// this program's [`Program::setup`] places the queue head, fragment
+    /// array, reassembly entries, and verdicts. Every thread runs the
+    /// same shared body, so the vector holds `threads` copies of one
+    /// kernel image — static analyses (`tmstatic::vmabs`) dedupe them by
+    /// [`Kernel::content_hash`]. Consumes the program; the runner path
+    /// compiles through [`Program::setup`] instead.
+    pub fn compile_standalone(mut self) -> Vec<Kernel> {
+        let mut s = SetupCtx::new();
+        let _lock = s.alloc(8);
+        let threads = self.threads;
+        self.setup(&mut s, threads);
+        let k = self.kernel.expect("setup populates the kernel");
+        (0..threads).map(|_| (*k).clone()).collect()
+    }
+
     /// The shared thread body. One loop iteration = the original's
     /// packet step: TX1 pops a fragment off the queue, TX2 folds it into
     /// the flow's entry, and — when the flow completes — a

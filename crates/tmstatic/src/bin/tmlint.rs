@@ -1,16 +1,25 @@
-//! Static lint CLI for `ProgSpec` kernels.
+//! Static lint CLI for `ProgSpec` kernels and compiled VM bytecode.
 //!
 //! ```text
 //! tmlint --prog SPEC [--system NAME] [--tiny-l1] [--json]
 //!        [--baseline FILE] [--table]
+//! tmlint kernel (--prog SPEC | --stamp NAME) [--threads N]
+//!        [--system NAME] [--tiny-l1] [--json] [--baseline FILE] [--table]
 //! ```
 //!
-//! Analyzes the kernel under the same simulator geometry `tmverify`
-//! would explore (`--tiny-l1` matches the explorer's shrunk L1) and
-//! prints the diagnostics — human-readable by default, one stable JSON
-//! object per line with `--json` (schema documented in
-//! `tmstatic::lint`). `--table` additionally reports the DPOR pruning
-//! table the analysis would hand the explorer.
+//! The default mode analyzes the spec DSL directly (`tmstatic::lint`).
+//! The `kernel` mode compiles to guest bytecode first and runs the
+//! abstract interpreter (`tmstatic::vmabs`) over what `tmverify
+//! --backend vm` would actually execute — `--prog` compiles the spec
+//! under the standard runner arena layout, `--stamp` takes a STAMP VM
+//! workload by name (`kmeans`, `kmeans-low`, `intruder-flow`). Both
+//! modes share the simulator geometry `tmverify` explores (`--tiny-l1`
+//! matches the explorer's shrunk L1), the stable one-JSON-object-per-
+//! line schema, and the `--baseline` diff protocol; in kernel mode the
+//! position fields are (thread, critical-region ordinal, instruction
+//! pc) and `lines` are physical line numbers (see `tmstatic::vmlint`).
+//! `--table` reports the DPOR pruning table the analysis would hand the
+//! explorer.
 //!
 //! `--baseline FILE` compares against a checked-in baseline (the
 //! `--json` output of a blessed run): only diagnostics *not* present in
@@ -21,42 +30,74 @@
 //! (new) error, 2 bad usage or unreadable input.
 
 use lockiller::SystemKind;
-use tmstatic::{lint, Analysis, Severity};
+use tmstatic::{lint, lint_kernels, Analysis, Diag, Severity, VmAnalysis};
 use tmverify::progs::ProgSpec;
 use tmverify::Explorer;
 
 fn usage() -> ! {
     eprintln!(
         "usage: tmlint --prog SPEC [--system NAME] [--tiny-l1] [--json]\n\
-         \x20             [--baseline FILE] [--table]"
+         \x20             [--baseline FILE] [--table]\n\
+         \x20      tmlint kernel (--prog SPEC | --stamp NAME) [--threads N]\n\
+         \x20             [--system NAME] [--tiny-l1] [--json] [--baseline FILE] [--table]"
     );
     std::process::exit(2);
 }
 
-fn main() {
-    let mut it = std::env::args().skip(1);
-    let mut prog: Option<String> = None;
-    let mut system = SystemKind::LockillerRwi;
-    let mut tiny_l1 = false;
-    let mut json = false;
-    let mut table = false;
-    let mut baseline: Option<std::path::PathBuf> = None;
+struct Opts {
+    kernel_mode: bool,
+    prog: Option<String>,
+    stamp: Option<String>,
+    threads: usize,
+    system: SystemKind,
+    tiny_l1: bool,
+    json: bool,
+    table: bool,
+    baseline: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Opts {
+    let mut it = std::env::args().skip(1).peekable();
+    let kernel_mode = it.peek().is_some_and(|a| a == "kernel");
+    if kernel_mode {
+        it.next();
+    }
+    let mut o = Opts {
+        kernel_mode,
+        prog: None,
+        stamp: None,
+        threads: 2,
+        system: SystemKind::LockillerRwi,
+        tiny_l1: false,
+        json: false,
+        table: false,
+        baseline: None,
+    };
     while let Some(a) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| usage());
         match a.as_str() {
-            "--prog" | "-p" => prog = Some(val()),
+            "--prog" | "-p" => o.prog = Some(val()),
+            "--stamp" if kernel_mode => o.stamp = Some(val()),
+            "--threads" if kernel_mode => {
+                let v = val();
+                let Ok(n) = v.parse::<usize>() else {
+                    eprintln!("tmlint: bad --threads {v:?}");
+                    usage();
+                };
+                o.threads = n.max(1);
+            }
             "--system" | "-s" => {
                 let v = val();
                 let Some(k) = SystemKind::from_name(&v) else {
                     eprintln!("tmlint: unknown system {v:?}");
                     usage();
                 };
-                system = k;
+                o.system = k;
             }
-            "--tiny-l1" => tiny_l1 = true,
-            "--json" => json = true,
-            "--table" => table = true,
-            "--baseline" => baseline = Some(val().into()),
+            "--tiny-l1" => o.tiny_l1 = true,
+            "--json" => o.json = true,
+            "--table" => o.table = true,
+            "--baseline" => o.baseline = Some(val().into()),
             "-h" | "--help" => usage(),
             other => {
                 eprintln!("tmlint: unknown argument {other:?}");
@@ -64,23 +105,14 @@ fn main() {
             }
         }
     }
-    let Some(prog) = prog else {
-        eprintln!("tmlint: --prog is required");
-        usage();
-    };
-    let spec = match ProgSpec::parse(&prog) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("tmlint: {e}");
-            std::process::exit(2);
-        }
-    };
-    let mut ex = Explorer::new(system, spec.clone());
-    ex.tiny_l1 = tiny_l1;
-    let analysis = Analysis::new(system, spec, ex.config());
-    let diags = lint(&analysis);
+    o
+}
 
-    let known: Vec<String> = match &baseline {
+/// Report diagnostics against the optional baseline; returns the exit
+/// code. Shared verbatim by both modes so the JSON / baseline / exit
+/// contract cannot drift between them.
+fn report(diags: &[Diag], o: &Opts, subject: &str) -> i32 {
+    let known: Vec<String> = match &o.baseline {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(text) => text.lines().map(str::to_string).collect(),
             Err(e) => {
@@ -92,7 +124,7 @@ fn main() {
     };
     let mut new_errors = 0usize;
     let mut new_any = 0usize;
-    for d in &diags {
+    for d in diags {
         let row = d.to_json();
         let is_new = !known.contains(&row);
         if is_new {
@@ -101,10 +133,10 @@ fn main() {
                 new_errors += 1;
             }
         }
-        if json {
+        if o.json {
             println!("{row}");
         } else {
-            let tag = if baseline.is_some() && !is_new {
+            let tag = if o.baseline.is_some() && !is_new {
                 " (baseline)"
             } else {
                 ""
@@ -112,31 +144,114 @@ fn main() {
             println!("{}{tag}", d.render());
         }
     }
-    if table {
-        match analysis.independence() {
-            Some(t) => {
-                let foot: Vec<String> = t.bank_foot.iter().map(|f| format!("{f:#b}")).collect();
-                eprintln!(
-                    "tmlint: pruning table: pure={:#b} bank_foot=[{}]",
-                    t.pure,
-                    foot.join(", ")
-                );
-            }
-            None => eprintln!("tmlint: pruning table unavailable (premises not provable)"),
-        }
-    }
-    if !json {
+    if !o.json {
         eprintln!(
             "tmlint: {} diagnostic(s){} on {} ({})",
             diags.len(),
-            if baseline.is_some() {
+            if o.baseline.is_some() {
                 format!(", {new_any} new vs baseline")
             } else {
                 String::new()
             },
-            analysis.spec.render(),
-            analysis.system.name(),
+            subject,
+            o.system.name(),
         );
     }
-    std::process::exit(i32::from(new_errors > 0));
+    i32::from(new_errors > 0)
+}
+
+fn print_table(t: Option<lockiller::StaticIndependence>) {
+    match t {
+        Some(t) => {
+            let foot: Vec<String> = t.bank_foot.iter().map(|f| format!("{f:#b}")).collect();
+            eprintln!(
+                "tmlint: pruning table: pure={:#b} bank_foot=[{}]",
+                t.pure,
+                foot.join(", ")
+            );
+        }
+        None => eprintln!("tmlint: pruning table unavailable (premises not provable)"),
+    }
+}
+
+/// Explorer-identical geometry for `threads` simulated threads.
+fn geometry(threads: usize, tiny_l1: bool) -> sim_core::config::SystemConfig {
+    // Reuse Explorer::config so kernel mode can never drift from what
+    // `tmverify --backend vm` simulates; the spec itself is irrelevant
+    // beyond its thread count.
+    let mut ex = Explorer::new(
+        SystemKind::LockillerRwi,
+        ProgSpec::parse(&format!("{threads}/p:C1")).expect("trivial spec"),
+    );
+    ex.tiny_l1 = tiny_l1;
+    ex.config()
+}
+
+fn main() {
+    let o = parse_args();
+    if o.kernel_mode {
+        let (kernels, subject) = match (&o.prog, &o.stamp) {
+            (Some(p), None) => {
+                let spec = match ProgSpec::parse(p) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("tmlint: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                let subject = format!("kernels of {}", spec.render());
+                (tmverify::progs::SpecProgram::compile_all(&spec), subject)
+            }
+            (None, Some(name)) => {
+                let kernels = match name.as_str() {
+                    "kmeans" => stamp::kmeans::Kmeans::new(stamp::Scale::Tiny, o.threads, true)
+                        .compile_standalone(),
+                    "kmeans-low" => {
+                        stamp::kmeans::Kmeans::new(stamp::Scale::Tiny, o.threads, false)
+                            .compile_standalone()
+                    }
+                    "intruder-flow" => stamp::vm::IntruderFlow::new(stamp::Scale::Tiny, o.threads)
+                        .compile_standalone(),
+                    other => {
+                        eprintln!("tmlint: unknown stamp workload {other:?}");
+                        usage();
+                    }
+                };
+                (kernels, format!("stamp {name} x{}", o.threads))
+            }
+            _ => {
+                eprintln!("tmlint: kernel mode needs exactly one of --prog / --stamp");
+                usage();
+            }
+        };
+        let cfg = geometry(kernels.len(), o.tiny_l1);
+        let a = VmAnalysis::new(o.system, cfg, &kernels);
+        let diags = lint_kernels(&a);
+        let code = report(&diags, &o, &subject);
+        if o.table {
+            print_table(a.independence());
+        }
+        std::process::exit(code);
+    }
+
+    let Some(prog) = o.prog.clone() else {
+        eprintln!("tmlint: --prog is required");
+        usage();
+    };
+    let spec = match ProgSpec::parse(&prog) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tmlint: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut ex = Explorer::new(o.system, spec.clone());
+    ex.tiny_l1 = o.tiny_l1;
+    let analysis = Analysis::new(o.system, spec, ex.config());
+    let diags = lint(&analysis);
+    let code = report(&diags, &o, &analysis.spec.render());
+    if o.table {
+        print_table(analysis.independence());
+    }
+    std::process::exit(code);
 }

@@ -30,6 +30,10 @@
 
 pub mod analysis;
 pub mod lint;
+pub mod vmabs;
+pub mod vmlint;
 
 pub use analysis::Analysis;
 pub use lint::{lint, Diag, Severity};
+pub use vmabs::{analyze, analyze_cached, KernelAbs, LoopBound, VmAnalysis};
+pub use vmlint::lint_kernels;

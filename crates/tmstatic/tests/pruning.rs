@@ -130,3 +130,76 @@ fn corpus_witnesses_unaffected_by_analysis_premises() {
     }
     assert!(seen >= 3);
 }
+
+// ---------------------------------------------------------------------
+// VM-backend pruning: tables derived from the *bytecode* (vmabs) must
+// satisfy the same contract — strict schedule reduction where purity is
+// proven, bit-identical exploration where the table is vacuous, and no
+// divergence between backends with or without a table installed.
+// ---------------------------------------------------------------------
+
+/// The bytecode-derived table for `ex`'s own kernels and geometry.
+fn vm_table(ex: &Explorer) -> Option<lockiller::StaticIndependence> {
+    tmstatic::VmAnalysis::new(ex.system, ex.config(), &ex.kernels()).independence()
+}
+
+#[test]
+fn vm_backend_prunes_strictly_from_bytecode_table() {
+    let mut base = explorer(SystemKind::LockillerTm, "3/c:L0,S0/c:L1,S1/c:L2,S2");
+    base.backend = lockiller::Backend::Vm;
+    let table = vm_table(&base).expect("disjoint kernels prove the premises");
+    assert_eq!(table.pure, 0b111);
+    assert!(table.can_refine_any());
+    let mut pruned = base.clone();
+    pruned.prune = Some(table);
+    let (a, b) = (base.explore(), pruned.explore());
+    assert!(a.is_clean() && a.complete(), "{}", a.render());
+    assert!(b.is_clean() && b.complete(), "{}", b.render());
+    assert!(b.static_prune);
+    assert!(
+        b.schedules < a.schedules,
+        "bytecode table must strictly reduce the vm-backend exploration: {} !< {}",
+        b.schedules,
+        a.schedules
+    );
+}
+
+#[test]
+fn vacuous_bytecode_table_keeps_vm_exploration_bit_identical() {
+    // Ring kernels: every thread aborts/parks, so vmabs proves no core
+    // pure — installing the table must not change a single run.
+    let mut base = explorer(SystemKind::LockillerRwi, "2/c:L0,S1/c:L1,S0");
+    base.backend = lockiller::Backend::Vm;
+    let table = vm_table(&base).expect("ring premises hold");
+    assert!(!table.can_refine_any(), "ring threads are impure");
+    let mut pruned = base.clone();
+    pruned.prune = Some(table);
+    let (a, b) = (base.explore(), pruned.explore());
+    assert_eq!(a.digest, b.digest, "vacuous table must be bit-identical");
+    assert_eq!(a.schedules, b.schedules);
+}
+
+#[test]
+fn backends_agree_on_digests_with_and_without_pruning() {
+    // The guestvm contract: both backends run the same ops, so the
+    // exploration digests must agree backend-to-backend — pruned and
+    // unpruned alike. (The spec- and bytecode-derived tables are
+    // themselves equal; vm_consistency.rs pins that.)
+    for prog in ["3/c:L0,S0/c:L1,S1/c:L2,S2", "2/c:L0,S1/c:L1,S0"] {
+        let threads_ex = explorer(SystemKind::LockillerTm, prog);
+        let mut vm_ex = threads_ex.clone();
+        vm_ex.backend = lockiller::Backend::Vm;
+        let (t, v) = (threads_ex.explore(), vm_ex.explore());
+        assert_eq!(t.digest, v.digest, "{prog}: unpruned backends diverge");
+        assert_eq!(t.schedules, v.schedules);
+
+        let table = vm_table(&vm_ex).expect("premises hold for these kernels");
+        let mut tp = threads_ex.clone();
+        tp.prune = Some(table.clone());
+        let mut vp = vm_ex.clone();
+        vp.prune = Some(table);
+        let (t, v) = (tp.explore(), vp.explore());
+        assert_eq!(t.digest, v.digest, "{prog}: pruned backends diverge");
+        assert_eq!(t.schedules, v.schedules);
+    }
+}

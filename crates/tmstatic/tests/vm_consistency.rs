@@ -1,0 +1,172 @@
+//! Consistency between the two analysis layers: for every `ProgSpec`,
+//! running the bytecode abstract interpreter over
+//! `SpecProgram::compile_all` must *agree with* the spec-level
+//! [`Analysis`] — same footprints (spec lines mapped through
+//! `data_line`), same per-thread verdicts, same pruning table. The
+//! compiler is a straight-line translator, so nothing may be lost
+//! (unsound) or invented (imprecise) in either direction; a divergence
+//! names the spec, thread, and set so the offending translation is
+//! immediately identifiable.
+
+use lockiller::SystemKind;
+use sim_core::types::LineAddr;
+use std::collections::BTreeSet;
+use tmstatic::{Analysis, VmAnalysis};
+use tmverify::progs::{ProgSpec, SpecProgram};
+use tmverify::Explorer;
+
+fn phys(spec_lines: &BTreeSet<u64>) -> BTreeSet<LineAddr> {
+    spec_lines
+        .iter()
+        .map(|&l| SpecProgram::data_line(l))
+        .collect()
+}
+
+/// Assert full agreement between the spec-level and bytecode-level
+/// analyses of `spec` under `system`.
+fn assert_consistent(system: SystemKind, spec: &ProgSpec, tiny_l1: bool) {
+    let mut ex = Explorer::new(system, spec.clone());
+    ex.tiny_l1 = tiny_l1;
+    let cfg = ex.config();
+    let sa = Analysis::new(system, spec.clone(), cfg.clone());
+    let kernels = SpecProgram::compile_all(spec);
+    let va = VmAnalysis::new(system, cfg, &kernels);
+    let label = format!("{} on {}", spec.render(), system.name());
+
+    assert_eq!(sa.threads.len(), va.threads.len(), "{label}: thread count");
+    for (t, (st, vt)) in sa.threads.iter().zip(&va.threads).enumerate() {
+        // Footprints: compiled kernels are straight-line with constant
+        // addresses, so the abstract sets must be *exactly* the spec
+        // sets pushed through the arena layout — no widening allowed.
+        for (name, spec_set, vm_set) in [
+            ("crit_reads", &st.crit_reads, &vt.abs.crit_reads),
+            ("crit_writes", &st.crit_writes, &vt.abs.crit_writes),
+            ("plain_reads", &st.plain_reads, &vt.abs.plain_reads),
+            ("plain_writes", &st.plain_writes, &vt.abs.plain_writes),
+        ] {
+            let vm_lines = vm_set.lines().unwrap_or_else(|| {
+                panic!("{label}: thread {t} {name} widened on a straight-line kernel")
+            });
+            assert_eq!(
+                &phys(spec_set),
+                vm_lines,
+                "{label}: thread {t} {name} diverges between spec and bytecode"
+            );
+        }
+        // Per-region footprints against the corresponding critical
+        // segments, in program order.
+        let crit_segs: Vec<_> = sa.spec.threads[t]
+            .iter()
+            .enumerate()
+            .filter(|(_, seg)| seg.critical)
+            .collect();
+        assert_eq!(
+            crit_segs.len(),
+            vt.abs.regions.len(),
+            "{label}: thread {t} critical-region count"
+        );
+        for ((s, _), (j, region)) in crit_segs.iter().zip(vt.abs.regions.iter().enumerate()) {
+            let sf = &sa.threads[t].segs[*s];
+            assert_eq!(
+                phys(&sf.reads),
+                region.reads.lines().cloned().unwrap(),
+                "{label}: thread {t} segment {s} (region {j}) reads"
+            );
+            assert_eq!(
+                phys(&sf.writes),
+                region.writes.lines().cloned().unwrap(),
+                "{label}: thread {t} segment {s} (region {j}) writes"
+            );
+        }
+        // Derived verdicts: every analysis layer must agree.
+        for (name, a, b) in [
+            ("has_critical", st.has_critical, vt.has_critical),
+            ("overflow", st.overflow, vt.overflow),
+            ("overflow_unknown", false, vt.overflow_unknown),
+            ("tx_abort", st.tx_abort, vt.tx_abort),
+            ("parks", st.parks, vt.parks),
+            ("fallback", st.fallback, vt.fallback),
+            ("lock_read", st.lock_read, vt.lock_read),
+            ("lock_write", st.lock_write, vt.lock_write),
+            ("pure", st.pure, vt.pure),
+        ] {
+            assert_eq!(a, b, "{label}: thread {t} verdict {name} diverges");
+        }
+    }
+
+    // The pruning tables must be identical (or identically absent).
+    match (sa.independence(), va.independence()) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(a.bank_foot, b.bank_foot, "{label}: table bank_foot");
+            assert_eq!(a.pure, b.pure, "{label}: table pure mask");
+        }
+        (a, b) => panic!(
+            "{label}: table availability diverges (spec: {}, bytecode: {})",
+            a.is_some(),
+            b.is_some()
+        ),
+    }
+}
+
+const SYSTEMS: [SystemKind; 5] = [
+    SystemKind::Cgl,
+    SystemKind::Baseline,
+    SystemKind::LockillerRwi,
+    SystemKind::LockillerRwil,
+    SystemKind::LockillerTm,
+];
+
+#[test]
+fn corpus_witness_specs_agree() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../tmverify/tests/corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    assert!(entries.len() >= 3);
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable witness");
+        let w = tmobs::Witness::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let system = SystemKind::from_name(&w.system).expect("witness system exists");
+        let spec = ProgSpec::parse(&w.prog).expect("witness prog parses");
+        assert_consistent(system, &spec, w.tiny_l1);
+    }
+}
+
+#[test]
+fn characteristic_specs_agree_across_all_systems() {
+    for system in SYSTEMS {
+        for prog in [
+            "2/c:L0,S1/p:L1",            // mixed-access demo
+            "2/c:L0,S1/c:L1,S0",         // hand-off ring
+            "3/c:L0,S0/c:L1,S1/c:L2,S2", // disjoint (prunable)
+            "2/p:C5,L0/p:S0,C2",         // plain-only
+        ] {
+            let spec = ProgSpec::parse(prog).expect("test spec parses");
+            assert_consistent(system, &spec, false);
+        }
+    }
+}
+
+#[test]
+fn overflow_spec_agrees_under_tiny_l1() {
+    let spec = ProgSpec::parse("6/c:L0,L1,L2,S0/c:L3,L4,L5,S3").unwrap();
+    for system in [SystemKind::LockillerTm, SystemKind::LockillerRwi] {
+        assert_consistent(system, &spec, true);
+        assert_consistent(system, &spec, false);
+    }
+}
+
+#[test]
+fn random_specs_agree() {
+    for seed in 0..10u64 {
+        let mut rng = proptest::Rng::new(0xC0 + seed);
+        let spec = ProgSpec::random(&mut rng, 2 + (seed as usize % 3), 4);
+        for system in SYSTEMS {
+            assert_consistent(system, &spec, false);
+        }
+    }
+}

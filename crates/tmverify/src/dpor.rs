@@ -195,6 +195,14 @@ impl Explorer {
         .expect("explorer config is valid")
     }
 
+    /// The per-thread guest kernels the vm backend executes, compiled
+    /// under the standard runner arena layout. Public for the same
+    /// reason as [`Explorer::config`]: bytecode-level static analyses
+    /// must see exactly the code and addresses the exploration runs.
+    pub fn kernels(&self) -> Vec<guestvm::Kernel> {
+        SpecProgram::compile_all(&self.spec)
+    }
+
     /// A runner for one schedule (pure: no state shared across runs).
     fn runner(&self) -> Runner {
         let mut policy = self.system.policy();
